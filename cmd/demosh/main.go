@@ -1,0 +1,82 @@
+// Command demosh is an interactive session with the DEMOS/MP command
+// interpreter: each line you type is delivered to the in-simulation shell
+// process, the simulation runs until idle, and the shell's output is
+// printed.
+//
+// Usage:
+//
+//	demosh [-machines 3]
+//	demos> run 2 cpu
+//	demos> ps
+//	demos> migrate p2.1 3
+//
+// Lines can also be piped: echo "ps" | demosh
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"demosmp"
+	"demosmp/internal/kernel"
+)
+
+var machines = flag.Int("machines", 3, "number of processors")
+
+func main() {
+	flag.Parse()
+	c, err := demosmp.New(demosmp.Options{
+		Machines:    *machines,
+		Switchboard: true,
+		PM:          true,
+		MemSched:    true,
+		FS:          true,
+		Shell:       true,
+		Programs: map[string]demosmp.ProgramFactory{
+			"cpu": func(args []string) (kernel.SpawnSpec, error) {
+				return kernel.SpawnSpec{Program: demosmp.CPUBound(500000)}, nil
+			},
+			"bigcpu": func(args []string) (kernel.SpawnSpec, error) {
+				return kernel.SpawnSpec{Program: demosmp.CPUBoundSized(500000, 64<<10)}, nil
+			},
+			"echo": func(args []string) (kernel.SpawnSpec, error) {
+				return kernel.SpawnSpec{Program: demosmp.EchoServer(100)}, nil
+			},
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demosh:", err)
+		os.Exit(1)
+	}
+	c.Run()
+	fmt.Printf("DEMOS/MP: %d machines up. Programs: cpu, bigcpu, echo. Type 'help'.\n", *machines)
+
+	seen := 0
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("demos> ")
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if line == "" {
+			continue
+		}
+		if err := c.ShellCommand(line); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		c.Run()
+		// Print any new shell output.
+		out := c.Console(c.ShellPID)
+		for ; seen < len(out); seen++ {
+			fmt.Println(out[seen])
+		}
+	}
+	fmt.Printf("\nsimulated time elapsed: %v\n", c.Now())
+}

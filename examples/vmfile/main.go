@@ -1,0 +1,66 @@
+// Vmfile: a user program written in DVM assembly does real file I/O.
+//
+// The client program runs on the simulated machine's "CPU": it builds the
+// file system's wire protocol byte by byte, creates and opens a file
+// through the directory and file servers, grants a data area over its own
+// buffer, and lets the kernel move-data facility stream 600 bytes each way
+// — then the demo migrates the whole *client* to another machine in the
+// middle of its run, taking its open handle, data-area link, and buffer
+// along.
+//
+// Run: go run ./examples/vmfile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"demosmp"
+	"demosmp/internal/kernel"
+)
+
+func main() {
+	c, err := demosmp.New(demosmp.Options{
+		Machines:    3,
+		Switchboard: true,
+		PM:          true,
+		FS:          true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prog := demosmp.VMFileClient()
+	fmt.Printf("assembled client: %d instructions, %d B image\n",
+		len(prog.Code), prog.ImageSize())
+
+	pid, err := c.Spawn(2, kernel.SpawnSpec{
+		Program: prog,
+		Links: []demosmp.Link{
+			demosmp.LinkTo(c.DirPID, 1),
+			demosmp.LinkTo(c.FilePID, 1),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client %v started on m2 (file system on m1)\n", pid)
+
+	c.RunFor(40000)
+	at, _ := c.Locate(pid)
+	fmt.Printf("t=%v: client mid-I/O on %v; migrating it to m3\n", c.Now(), at)
+	if err := c.Migrate(pid, 3); err != nil {
+		log.Fatal(err)
+	}
+	c.Run()
+
+	e, m, ok := c.ExitOf(pid)
+	if !ok {
+		log.Fatal("client lost!")
+	}
+	fmt.Printf("t=%v: client finished on %v, verified %d/600 bytes\n", c.Now(), m, e.Code)
+	if e.Code == 600 {
+		fmt.Println("\nan assembly-language user process wrote and re-read a file through")
+		fmt.Println("four server processes — and was itself migrated in the middle of it.")
+	}
+}

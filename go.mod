@@ -1,0 +1,3 @@
+module demosmp
+
+go 1.22

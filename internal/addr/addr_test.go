@@ -1,0 +1,99 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPIDRoundTrip(t *testing.T) {
+	f := func(c, l uint16) bool {
+		p := ProcessID{Creator: MachineID(c), Local: LocalUID(l)}
+		b := EncodePID(nil, p)
+		if len(b) != PIDWireSize {
+			return false
+		}
+		q, rest, err := DecodePID(b)
+		return err == nil && len(rest) == 0 && q == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(m, c, l uint16) bool {
+		a := ProcessAddr{LastKnown: MachineID(m), ID: ProcessID{Creator: MachineID(c), Local: LocalUID(l)}}
+		b := EncodeAddr(nil, a)
+		if len(b) != AddrWireSize {
+			return false
+		}
+		q, rest, err := DecodeAddr(b)
+		return err == nil && len(rest) == 0 && q == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, _, err := DecodePID([]byte{1, 2}); err == nil {
+		t.Fatal("DecodePID accepted short input")
+	}
+	if _, _, err := DecodeAddr([]byte{1, 2, 3}); err == nil {
+		t.Fatal("DecodeAddr accepted short input")
+	}
+}
+
+func TestKernelPID(t *testing.T) {
+	k := KernelPID(3)
+	if !k.IsKernel() {
+		t.Fatal("KernelPID not recognized as kernel")
+	}
+	if (ProcessID{Creator: 3, Local: 7}).IsKernel() {
+		t.Fatal("ordinary pid recognized as kernel")
+	}
+	if NilPID.IsKernel() {
+		t.Fatal("nil pid recognized as kernel")
+	}
+	if !NilPID.IsNil() {
+		t.Fatal("NilPID not nil")
+	}
+}
+
+func TestSameProcessIgnoresLocation(t *testing.T) {
+	p := ProcessID{Creator: 1, Local: 9}
+	a := At(p, 1)
+	b := At(p, 5) // stale hint
+	if !a.SameProcess(b) {
+		t.Fatal("SameProcess must ignore LastKnown")
+	}
+	if a.SameProcess(At(ProcessID{Creator: 1, Local: 10}, 1)) {
+		t.Fatal("different locals considered same")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]string{
+		ProcessID{Creator: 2, Local: 5}.String():        "p2.5",
+		KernelPID(4).String():                           "kernel(m4)",
+		NilPID.String():                                 "pid<nil>",
+		At(ProcessID{Creator: 2, Local: 5}, 7).String(): "p2.5@m7",
+		MachineID(3).String():                           "m3",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+}
+
+func TestDecodeAddrReturnsRest(t *testing.T) {
+	a := At(ProcessID{Creator: 1, Local: 2}, 3)
+	b := EncodeAddr(nil, a)
+	b = append(b, 0xAA, 0xBB)
+	_, rest, err := DecodeAddr(b)
+	if err != nil || len(rest) != 2 || rest[0] != 0xAA {
+		t.Fatalf("rest handling broken: %v %v", rest, err)
+	}
+}

@@ -1,0 +1,504 @@
+// Package core assembles a complete DEMOS/MP cluster: the event engine,
+// the network, one kernel per machine, and the system processes —
+// switchboard, process manager, memory scheduler, the four-process file
+// system, and command interpreter (§2.3, Figure 2-3). It is the public
+// face of the reproduction; the demosmp root package re-exports it.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/dvm"
+	"demosmp/internal/fs"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+	"demosmp/internal/memsched"
+	"demosmp/internal/netw"
+	"demosmp/internal/policy"
+	"demosmp/internal/proc"
+	"demosmp/internal/procmgr"
+	"demosmp/internal/shell"
+	"demosmp/internal/sim"
+	"demosmp/internal/switchboard"
+	"demosmp/internal/trace"
+	"demosmp/internal/workload"
+)
+
+// ProgramFactory instantiates a named program for the shell / process
+// manager spawn path.
+type ProgramFactory func(args []string) (kernel.SpawnSpec, error)
+
+// Options configures a cluster. The zero value plus Machines is usable.
+type Options struct {
+	// Machines is the number of processors (numbered 1..Machines).
+	Machines int
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Net configures the inter-machine network.
+	Net netw.Config
+	// Kernel is the per-kernel configuration template (Tracer, Registry,
+	// Machines and PMLink are filled in by the cluster).
+	Kernel kernel.Config
+	// TraceCap bounds the trace ring (0 = default).
+	TraceCap int
+	// TraceSink, when set, streams trace records as they happen.
+	TraceSink io.Writer
+
+	// Switchboard boots the name server on machine 1.
+	Switchboard bool
+	// PM boots the process manager on PMMachine (default 1) running
+	// Policy (nil = manual).
+	PM        bool
+	PMMachine int
+	Policy    policy.Policy
+	// MemSched boots the memory scheduler on machine 1.
+	MemSched bool
+	// FS boots the four file system processes on FSMachine (default 1).
+	FS          bool
+	FSMachine   int
+	Disk        fs.DiskGeometry
+	CacheBlocks int
+	// Shell boots a command interpreter on machine 1 (requires PM and
+	// Switchboard).
+	Shell bool
+
+	// LoadReportEvery enables periodic kernel load reports to the PM.
+	LoadReportEvery sim.Time
+	// Programs names programs spawnable via shell/PM.
+	Programs map[string]ProgramFactory
+}
+
+// Cluster is a running DEMOS/MP system.
+type Cluster struct {
+	opts Options
+	eng  *sim.Engine
+	net  *netw.Network
+	tr   *trace.Tracer
+	reg  *proc.Registry
+	ks   map[addr.MachineID]*kernel.Kernel
+
+	// System process identities (zero if not booted).
+	SwitchboardPID addr.ProcessID
+	PMPID          addr.ProcessID
+	MemSchedPID    addr.ProcessID
+	DiskPID        addr.ProcessID
+	CachePID       addr.ProcessID
+	FilePID        addr.ProcessID
+	DirPID         addr.ProcessID
+	ShellPID       addr.ProcessID
+
+	pm *procmgr.Manager
+}
+
+// New builds and boots a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Machines < 1 {
+		return nil, fmt.Errorf("core: need at least one machine")
+	}
+	if opts.PMMachine == 0 {
+		opts.PMMachine = 1
+	}
+	if opts.FSMachine == 0 {
+		opts.FSMachine = 1
+	}
+	c := &Cluster{
+		opts: opts,
+		eng:  sim.NewEngine(opts.Seed),
+		ks:   map[addr.MachineID]*kernel.Kernel{},
+	}
+	c.net = netw.New(c.eng, opts.Net)
+	c.tr = trace.New(c.eng.Now, opts.TraceCap)
+	if opts.TraceSink != nil {
+		c.tr.SetSink(opts.TraceSink)
+	}
+	c.reg = buildRegistry(opts)
+
+	kcfg := opts.Kernel
+	kcfg.Tracer = c.tr
+	kcfg.Registry = c.reg
+	kcfg.LoadReportEvery = opts.LoadReportEvery
+	if opts.Programs != nil {
+		kcfg.Programs = func(name string, args []string) (kernel.SpawnSpec, error) {
+			f, ok := opts.Programs[name]
+			if !ok {
+				return kernel.SpawnSpec{}, fmt.Errorf("core: unknown program %q", name)
+			}
+			return f(args)
+		}
+	}
+	for m := 1; m <= opts.Machines; m++ {
+		kcfg.Machines = append([]addr.MachineID(nil), machineList(opts.Machines)...)
+		c.ks[addr.MachineID(m)] = kernel.New(addr.MachineID(m), c.eng, c.net, kcfg)
+	}
+	if err := c.boot(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func machineList(n int) []addr.MachineID {
+	out := make([]addr.MachineID, n)
+	for i := range out {
+		out[i] = addr.MachineID(i + 1)
+	}
+	return out
+}
+
+func buildRegistry(opts Options) *proc.Registry {
+	reg := proc.NewRegistry()
+	reg.Register(switchboard.Kind, func() proc.Body { return switchboard.New() })
+	reg.Register(procmgr.Kind, func() proc.Body { return procmgr.New(nil) })
+	reg.Register(memsched.Kind, func() proc.Body { return memsched.New() })
+	reg.Register(fs.DiskKind, func() proc.Body { return fs.NewDisk(fs.DiskGeometry{}) })
+	reg.Register(fs.CacheKind, func() proc.Body { return fs.NewCache(0) })
+	reg.Register(fs.FileKind, func() proc.Body { return fs.NewFileServer(0) })
+	reg.Register(fs.DirKind, func() proc.Body { return fs.NewDir() })
+	reg.Register(fs.ClientKind, func() proc.Body { return &fs.Client{} })
+	reg.Register(shell.Kind, func() proc.Body { return shell.New() })
+	reg.Register(workload.SinkKind, func() proc.Body { return &workload.Sink{} })
+	reg.Register(workload.ChatterKind, func() proc.Body { return &workload.Chatter{} })
+	reg.Register(workload.LinkHolderKind, func() proc.Body { return &workload.LinkHolder{} })
+	reg.Register(workload.StageKind, func() proc.Body { return &workload.Stage{} })
+	return reg
+}
+
+// boot spawns the configured system processes and wires their links —
+// Figure 2-3's system process structure.
+func (c *Cluster) boot() error {
+	m1 := addr.MachineID(1)
+	if c.opts.Switchboard {
+		pid, err := c.ks[m1].Spawn(kernel.SpawnSpec{Body: switchboard.New(), Privileged: true})
+		if err != nil {
+			return err
+		}
+		c.SwitchboardPID = pid
+	}
+	if c.opts.PM {
+		pmm := addr.MachineID(c.opts.PMMachine)
+		c.pm = procmgr.New(c.opts.Policy)
+		c.pm.SetMachines(machineList(c.opts.Machines))
+		pid, err := c.ks[pmm].Spawn(kernel.SpawnSpec{Body: c.pm, Privileged: true,
+			Links: c.bornLinks()})
+		if err != nil {
+			return err
+		}
+		c.PMPID = pid
+		for _, k := range c.kernels() {
+			k.SetPMLink(link.Link{Addr: addr.At(pid, pmm)})
+		}
+		c.pm.Note(pid, pmm)
+		c.register("procmgr", pid, pmm)
+	}
+	if c.opts.MemSched {
+		pid, err := c.ks[m1].Spawn(kernel.SpawnSpec{Body: memsched.New(), Privileged: true})
+		if err != nil {
+			return err
+		}
+		c.MemSchedPID = pid
+		c.notePM(pid, m1)
+		c.register("memsched", pid, m1)
+		if c.pm != nil {
+			id, err := c.ks[addr.MachineID(c.opts.PMMachine)].MintLinkTo(
+				link.Link{Addr: addr.At(pid, m1)}, c.PMPID)
+			if err != nil {
+				return err
+			}
+			c.pm.MemSchedLink = id
+		}
+	}
+	if c.opts.FS {
+		if err := c.bootFS(); err != nil {
+			return err
+		}
+	}
+	if c.opts.Shell {
+		if c.SwitchboardPID.IsNil() || c.PMPID.IsNil() {
+			return fmt.Errorf("core: shell requires switchboard and PM")
+		}
+		pid, err := c.ks[m1].Spawn(kernel.SpawnSpec{Body: shell.New(), Privileged: true,
+			Links: []link.Link{
+				{Addr: addr.At(c.SwitchboardPID, m1)},
+				{Addr: addr.At(c.PMPID, addr.MachineID(c.opts.PMMachine))},
+			}})
+		if err != nil {
+			return err
+		}
+		c.ShellPID = pid
+		c.notePM(pid, m1)
+	}
+	return nil
+}
+
+func (c *Cluster) bootFS() error {
+	fsm := addr.MachineID(c.opts.FSMachine)
+	k := c.ks[fsm]
+	geom := c.opts.Disk
+	var err error
+	c.DiskPID, err = k.Spawn(kernel.SpawnSpec{Body: fs.NewDisk(geom)})
+	if err != nil {
+		return err
+	}
+	c.CachePID, err = k.Spawn(kernel.SpawnSpec{Body: fs.NewCache(c.opts.CacheBlocks),
+		Links: []link.Link{{Addr: addr.At(c.DiskPID, fsm)}}})
+	if err != nil {
+		return err
+	}
+	c.FilePID, err = k.Spawn(kernel.SpawnSpec{Body: fs.NewFileServer(0),
+		Links: []link.Link{{Addr: addr.At(c.CachePID, fsm)}}})
+	if err != nil {
+		return err
+	}
+	c.DirPID, err = k.Spawn(kernel.SpawnSpec{Body: fs.NewDir(),
+		Links: []link.Link{{Addr: addr.At(c.FilePID, fsm)}}})
+	if err != nil {
+		return err
+	}
+	for _, pid := range []addr.ProcessID{c.DiskPID, c.CachePID, c.FilePID, c.DirPID} {
+		c.notePM(pid, fsm)
+	}
+	c.register("fs.disk", c.DiskPID, fsm)
+	c.register("fs.cache", c.CachePID, fsm)
+	c.register("fs.file", c.FilePID, fsm)
+	c.register("fs.dir", c.DirPID, fsm)
+	return nil
+}
+
+// bornLinks gives boot processes their switchboard link in slot 1 when the
+// switchboard exists ("Links are the only connections a process has").
+func (c *Cluster) bornLinks() []link.Link {
+	if c.SwitchboardPID.IsNil() {
+		return nil
+	}
+	return []link.Link{{Addr: addr.At(c.SwitchboardPID, 1)}}
+}
+
+// register publishes a service name in the switchboard.
+func (c *Cluster) register(name string, pid addr.ProcessID, at addr.MachineID) {
+	if c.SwitchboardPID.IsNil() {
+		return
+	}
+	c.ks[1].GiveMessage(c.SwitchboardPID, addr.KernelAddr(1),
+		switchboard.RegisterMsg(name), link.Link{Addr: addr.At(pid, at)})
+}
+
+func (c *Cluster) notePM(pid addr.ProcessID, at addr.MachineID) {
+	if c.pm != nil {
+		c.pm.Note(pid, at)
+	}
+}
+
+func (c *Cluster) kernels() []*kernel.Kernel {
+	out := make([]*kernel.Kernel, 0, len(c.ks))
+	for _, m := range machineList(len(c.ks)) {
+		out = append(out, c.ks[m])
+	}
+	return out
+}
+
+// --- accessors ---------------------------------------------------------------
+
+// Engine returns the discrete-event engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Tracer returns the cluster tracer.
+func (c *Cluster) Tracer() *trace.Tracer { return c.tr }
+
+// Network returns the network substrate.
+func (c *Cluster) Network() *netw.Network { return c.net }
+
+// Kernel returns machine m's kernel.
+func (c *Cluster) Kernel(m int) *kernel.Kernel { return c.ks[addr.MachineID(m)] }
+
+// Machines returns the machine count.
+func (c *Cluster) Machines() int { return len(c.ks) }
+
+// PM returns the process manager body (nil if not booted). Reading it is
+// only safe between Run calls.
+func (c *Cluster) PM() *procmgr.Manager { return c.pm }
+
+// Run drives the simulation until no events remain.
+func (c *Cluster) Run() { c.eng.Run() }
+
+// RunFor advances the simulation by d microseconds.
+func (c *Cluster) RunFor(d sim.Time) { c.eng.RunFor(d) }
+
+// Now returns the simulated time.
+func (c *Cluster) Now() sim.Time { return c.eng.Now() }
+
+// --- process operations --------------------------------------------------------
+
+// Spawn creates a process from a spec on machine m.
+func (c *Cluster) Spawn(m int, spec kernel.SpawnSpec) (addr.ProcessID, error) {
+	k := c.Kernel(m)
+	if k == nil {
+		return addr.NilPID, fmt.Errorf("core: no machine %d", m)
+	}
+	pid, err := k.Spawn(spec)
+	if err == nil {
+		c.notePM(pid, addr.MachineID(m))
+	}
+	return pid, err
+}
+
+// SpawnVM assembles and spawns a DVM program on machine m.
+func (c *Cluster) SpawnVM(m int, src string, links ...link.Link) (addr.ProcessID, error) {
+	p, err := dvm.Assemble(src)
+	if err != nil {
+		return addr.NilPID, err
+	}
+	return c.Spawn(m, kernel.SpawnSpec{Program: p, Links: links})
+}
+
+// SpawnProgram spawns a pre-assembled program on machine m.
+func (c *Cluster) SpawnProgram(m int, p *dvm.Program, links ...link.Link) (addr.ProcessID, error) {
+	return c.Spawn(m, kernel.SpawnSpec{Program: p, Links: links})
+}
+
+// SpawnFSClient spawns a scripted file system client on machine m.
+func (c *Cluster) SpawnFSClient(m int, file string, rounds int, size uint32) (addr.ProcessID, error) {
+	if c.DirPID.IsNil() {
+		return addr.NilPID, fmt.Errorf("core: file system not booted")
+	}
+	fsm := addr.MachineID(c.opts.FSMachine)
+	return c.Spawn(m, kernel.SpawnSpec{
+		Body:      fs.NewClient(file, rounds, size),
+		ImageSize: int(size),
+		Links: []link.Link{
+			{Addr: addr.At(c.DirPID, fsm)},
+			{Addr: addr.At(c.FilePID, fsm)},
+		},
+	})
+}
+
+// Locate scans the cluster for the machine currently hosting pid.
+func (c *Cluster) Locate(pid addr.ProcessID) (addr.MachineID, bool) {
+	for _, k := range c.kernels() {
+		if info, ok := k.Process(pid); ok && info.State != kernel.StateForwarder {
+			return k.Machine(), true
+		}
+	}
+	return addr.NoMachine, false
+}
+
+// Migrate moves pid to machine dest. With a process manager booted, the
+// order flows through it (so its location table stays current); otherwise
+// machine 1's kernel acts as the manager.
+func (c *Cluster) Migrate(pid addr.ProcessID, dest int) error {
+	at, ok := c.Locate(pid)
+	if !ok {
+		return fmt.Errorf("core: process %v not found", pid)
+	}
+	if c.pm != nil {
+		pmm := addr.MachineID(c.opts.PMMachine)
+		c.ks[pmm].GiveMessage(c.PMPID, addr.KernelAddr(pmm),
+			procmgr.CmdMigrate(pid, addr.MachineID(dest)))
+		return nil
+	}
+	c.ks[at].RequestMigrationOf(addr.At(pid, at), addr.MachineID(dest))
+	return nil
+}
+
+// Evict asks the process manager to move pid to any other machine,
+// retrying across candidates if destinations refuse (§3.2).
+func (c *Cluster) Evict(pid addr.ProcessID) error {
+	if c.pm == nil {
+		return fmt.Errorf("core: eviction requires a process manager")
+	}
+	pmm := addr.MachineID(c.opts.PMMachine)
+	c.ks[pmm].GiveMessage(c.PMPID, addr.KernelAddr(pmm), procmgr.CmdEvict(pid))
+	return nil
+}
+
+// ExitOf scans the cluster for pid's exit record.
+func (c *Cluster) ExitOf(pid addr.ProcessID) (kernel.ExitInfo, addr.MachineID, bool) {
+	for _, k := range c.kernels() {
+		if e, ok := k.Exit(pid); ok {
+			return e, k.Machine(), true
+		}
+	}
+	return kernel.ExitInfo{}, addr.NoMachine, false
+}
+
+// Console concatenates pid's console lines from every machine it ran on.
+func (c *Cluster) Console(pid addr.ProcessID) []string {
+	var out []string
+	for _, k := range c.kernels() {
+		out = append(out, k.Console(pid)...)
+	}
+	return out
+}
+
+// ShellCommand sends a command line to the booted shell.
+func (c *Cluster) ShellCommand(line string) error {
+	if c.ShellPID.IsNil() {
+		return fmt.Errorf("core: shell not booted")
+	}
+	return c.ks[1].GiveMessage(c.ShellPID, addr.KernelAddr(1), shell.CommandMsg(line))
+}
+
+// --- statistics ----------------------------------------------------------------
+
+// Stats aggregates cluster-wide counters.
+type Stats struct {
+	PerKernel map[addr.MachineID]kernel.Stats
+	Net       netw.Stats
+}
+
+// TotalAdmin sums administrative messages across kernels.
+func (s Stats) TotalAdmin() uint64 {
+	var n uint64
+	for _, ks := range s.PerKernel {
+		n += ks.AdminTotal()
+	}
+	return n
+}
+
+// TotalForwarded sums forwarded messages across kernels.
+func (s Stats) TotalForwarded() uint64 {
+	var n uint64
+	for _, ks := range s.PerKernel {
+		n += ks.Forwarded
+	}
+	return n
+}
+
+// TotalLinkUpdates sums link-update messages across kernels.
+func (s Stats) TotalLinkUpdates() uint64 {
+	var n uint64
+	for _, ks := range s.PerKernel {
+		n += ks.LinkUpdatesSent
+	}
+	return n
+}
+
+// TotalMigrations sums completed source-side migrations.
+func (s Stats) TotalMigrations() uint64 {
+	var n uint64
+	for _, ks := range s.PerKernel {
+		n += ks.MigrationsOut
+	}
+	return n
+}
+
+// Stats snapshots every kernel and the network.
+func (c *Cluster) Stats() Stats {
+	s := Stats{PerKernel: map[addr.MachineID]kernel.Stats{}, Net: c.net.Stats()}
+	for _, k := range c.kernels() {
+		s.PerKernel[k.Machine()] = k.Stats()
+	}
+	return s
+}
+
+// Reports collects migration reports from every kernel, ordered by start
+// time.
+func (c *Cluster) Reports() []kernel.MigrationReport {
+	var out []kernel.MigrationReport
+	for _, k := range c.kernels() {
+		out = append(out, k.Reports()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+
+	"demosmp/internal/msg"
+	"demosmp/internal/workload"
+)
+
+// TestEvictLooksElsewhere is §3.2 end to end: the first destination the
+// process manager tries refuses the migration; the PM looks elsewhere and
+// the process lands on a willing machine.
+func TestEvictLooksElsewhere(t *testing.T) {
+	c := full(t, 3, nil)
+	// Machine 2 is under different administrative control and refuses
+	// every incoming migration.
+	c.Kernel(2).SetAccept(func(ask msg.MigrateAsk, memFree int) bool { return false })
+
+	pid, _ := c.SpawnProgram(1, workload.CPUBound(300000))
+	c.RunFor(5000)
+	if err := c.Evict(pid); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	e, m, ok := c.ExitOf(pid)
+	if !ok || e.Code != workload.CPUBoundResult(300000) {
+		t.Fatalf("evicted process corrupted: %+v ok=%v", e, ok)
+	}
+	if m != 3 {
+		t.Fatalf("finished on %v; the PM should have fallen through to m3", m)
+	}
+	if r := c.Stats().PerKernel[2].MigrationsRefused; r != 1 {
+		t.Fatalf("m2 refusals = %d, want 1", r)
+	}
+}
+
+// TestEvictAllRefuse: every candidate refuses; the process simply stays
+// home and keeps running — "If the destination machine refuses, the
+// process cannot be migrated."
+func TestEvictAllRefuse(t *testing.T) {
+	c := full(t, 3, nil)
+	refuse := func(ask msg.MigrateAsk, memFree int) bool { return false }
+	c.Kernel(2).SetAccept(refuse)
+	c.Kernel(3).SetAccept(refuse)
+
+	pid, _ := c.SpawnProgram(1, workload.CPUBound(200000))
+	c.RunFor(5000)
+	c.Evict(pid)
+	c.Run()
+	e, m, ok := c.ExitOf(pid)
+	if !ok || m != 1 || e.Code != workload.CPUBoundResult(200000) {
+		t.Fatalf("process should have stayed on m1: %+v on %v ok=%v", e, m, ok)
+	}
+	refusals := c.Stats().PerKernel[2].MigrationsRefused + c.Stats().PerKernel[3].MigrationsRefused
+	if refusals != 2 {
+		t.Fatalf("refusals = %d, want 2 (tried both)", refusals)
+	}
+}

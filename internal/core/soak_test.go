@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+	"demosmp/internal/sim"
+	"demosmp/internal/workload"
+)
+
+// TestSoakContinuousMigration is a deterministic soak: a dozen mixed
+// processes (CPU jobs, echo pairs, file system clients) run while random
+// migrations fire continuously at every live process — including the file
+// system servers. At the end, every computation must have produced its
+// exact expected result and the cluster-wide invariants must hold.
+func TestSoakContinuousMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, seed := range []int64{101, 202} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c := full(t, 4, nil)
+
+			type expect struct {
+				pid  addr.ProcessID
+				code int32
+				name string
+			}
+			var expects []expect
+
+			// CPU-bound jobs.
+			for i := 0; i < 4; i++ {
+				n := 100000 + rng.Intn(200000)
+				pid, err := c.SpawnProgram(1+rng.Intn(4), workload.CPUBound(n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				expects = append(expects, expect{pid, workload.CPUBoundResult(n), "cpu"})
+			}
+			// Echo pairs. The client's link carries the server's true
+			// birth machine — a link can only ever be minted with a
+			// location the process actually had (Figure 2-1).
+			for i := 0; i < 2; i++ {
+				rounds := 10 + rng.Intn(10)
+				srvMachine := 1 + rng.Intn(4)
+				server, _ := c.Spawn(srvMachine, kernel.SpawnSpec{Program: workload.EchoServer(rounds)})
+				client, _ := c.Spawn(1+rng.Intn(4), kernel.SpawnSpec{
+					Program: workload.RequestClient(rounds),
+					Links:   []link.Link{{Addr: addr.At(server, addr.MachineID(srvMachine))}},
+				})
+				expects = append(expects, expect{client, int32(rounds), "echo-client"})
+			}
+			// File system clients.
+			for i := 0; i < 3; i++ {
+				rounds := 5 + rng.Intn(5)
+				pid, err := c.SpawnFSClient(1+rng.Intn(4), fmt.Sprintf("soak%d", i), rounds, 600)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expects = append(expects, expect{pid, int32(rounds), "fs-client"})
+			}
+
+			// Continuous random migrations: every ~40ms of simulated
+			// time, pick any live process (servers included) and move
+			// it somewhere random.
+			for burst := 0; burst < 120; burst++ {
+				c.RunFor(sim.Time(20000 + rng.Intn(40000)))
+				var live []addr.ProcessID
+				for m := 1; m <= 4; m++ {
+					for _, info := range c.Kernel(m).Processes() {
+						if info.State == kernel.StateForwarder ||
+							info.PID == c.PMPID { // the PM drives migrations; skip
+							continue
+						}
+						live = append(live, info.PID)
+					}
+				}
+				if len(live) == 0 {
+					break
+				}
+				victim := live[rng.Intn(len(live))]
+				c.Migrate(victim, 1+rng.Intn(4))
+			}
+			c.Run()
+
+			for _, ex := range expects {
+				e, m, ok := c.ExitOf(ex.pid)
+				if !ok {
+					t.Fatalf("%s %v never finished", ex.name, ex.pid)
+				}
+				if e.Code != ex.code {
+					t.Fatalf("%s %v: result %d, want %d (finished on %v)",
+						ex.name, ex.pid, e.Code, ex.code, m)
+				}
+			}
+			// Invariants: memory fully reclaimed for exited processes
+			// (system servers may still hold images).
+			s := c.Stats()
+			if s.TotalMigrations() == 0 {
+				t.Fatal("soak performed no migrations")
+			}
+			t.Logf("seed %d: %d migrations, %d forwards, %d link updates, %d admin msgs, t=%v",
+				seed, s.TotalMigrations(), s.TotalForwarded(), s.TotalLinkUpdates(),
+				s.TotalAdmin(), c.Now())
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/procmgr"
+	"demosmp/internal/workload"
+)
+
+// The paper's §7: "There is no process state hidden in the various
+// functional modules of the operating system" — so the operating system's
+// own server processes are migratable. These tests move them.
+
+// TestMigrateSwitchboard: the name service moves; lookups made through
+// stale links still resolve, and newly spawned processes still find it.
+func TestMigrateSwitchboard(t *testing.T) {
+	c := full(t, 3, nil)
+	c.Run()
+	if err := c.Migrate(c.SwitchboardPID, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if m, _ := c.Locate(c.SwitchboardPID); m != 3 {
+		t.Fatalf("switchboard on %v, want m3", m)
+	}
+	// The shell's switchboard link still points at m1; the lookup is
+	// forwarded and must succeed anyway.
+	if err := c.ShellCommand("lookup fs.dir"); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	out := strings.Join(c.Console(c.ShellPID), "\n")
+	if !strings.Contains(out, "lookup: link to") {
+		t.Fatalf("lookup through migrated switchboard failed:\n%s", out)
+	}
+	if f := c.Stats().PerKernel[1].Forwarded; f == 0 {
+		t.Fatal("lookup did not exercise the forwarder")
+	}
+}
+
+// TestMigrateProcessManager: the PM itself moves mid-operation. Kernels'
+// PM links go stale; load reports, migration commands, and spawns keep
+// working through forwarding, and the PM's state (location table) moves
+// with it.
+func TestMigrateProcessManager(t *testing.T) {
+	c := full(t, 3, nil)
+	pid, _ := c.SpawnProgram(2, workload.CPUBound(300000))
+	c.RunFor(5000)
+
+	// Move the process manager m1 -> m2. The *driver* here must not be
+	// the PM (it cannot coordinate its own move in this implementation),
+	// so ask kernel 3 directly — the mechanism is all kernel-side anyway.
+	c.Kernel(3).RequestMigrationOf(addr.At(c.PMPID, 1), 2)
+	c.RunFor(100000) // PM's move completes; the worker is still running
+	if m, _ := c.Locate(c.PMPID); m != 2 {
+		t.Fatalf("PM on %v, want m2", m)
+	}
+
+	// A shell command now travels via the stale PM link and forwarder.
+	if err := c.ShellCommand(fmt.Sprintf("migrate %d.%d 3", pid.Creator, pid.Local)); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	e, m, ok := c.ExitOf(pid)
+	if !ok || m != 3 || e.Code != workload.CPUBoundResult(300000) {
+		t.Fatalf("migration via migrated PM: code=%d m=%v ok=%v", e.Code, m, ok)
+	}
+	// The PM's restored state knows the new location. (c.PM() would be
+	// the pre-migration Go object; fetch the live body from m2.)
+	body, ok := c.Kernel(2).BodyOf(c.PMPID)
+	if !ok {
+		t.Fatal("PM body missing on m2")
+	}
+	if at := body.(*procmgr.Manager).Locations[pid]; at != 3 {
+		t.Fatalf("migrated PM's location table: %v", at)
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+	"demosmp/internal/workload"
+)
+
+// TestVMFileClient: a user program written in DVM assembly performs real
+// file I/O through the four server processes, with the kernel move-data
+// facility streaming its buffer both ways.
+func TestVMFileClient(t *testing.T) {
+	c := full(t, 2, nil)
+	pid, err := c.Spawn(2, kernel.SpawnSpec{
+		Program: workload.VMFileClient(),
+		Links: []link.Link{
+			{Addr: addr.At(c.DirPID, 1)},
+			{Addr: addr.At(c.FilePID, 1)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	e, _, ok := c.ExitOf(pid)
+	if !ok {
+		t.Fatal("vm file client never finished")
+	}
+	if e.Code != 600 {
+		t.Fatalf("vm file client verified %d bytes, want 600", e.Code)
+	}
+}
+
+// TestVMFileClientSurvivesOwnMigration: the assembly client itself migrates
+// between its write and its read — its data area link, open handle, and
+// in-buffer state all move with it.
+func TestVMFileClientSurvivesOwnMigration(t *testing.T) {
+	c := full(t, 3, nil)
+	pid, err := c.Spawn(2, kernel.SpawnSpec{
+		Program: workload.VMFileClient(),
+		Links: []link.Link{
+			{Addr: addr.At(c.DirPID, 1)},
+			{Addr: addr.At(c.FilePID, 1)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Migrate the client partway through its run.
+	c.RunFor(40000)
+	if err := c.Migrate(pid, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	e, m, ok := c.ExitOf(pid)
+	if !ok || e.Code != 600 {
+		t.Fatalf("migrated vm client verified %d (ok=%v) on %v", e.Code, ok, m)
+	}
+	if m != 3 {
+		t.Fatalf("client finished on %v, want m3", m)
+	}
+}

@@ -1,0 +1,436 @@
+package dvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates DVM assembly into a Program.
+//
+// Syntax:
+//
+//	; comment
+//	.stack 512            ; stack reservation (default 256)
+//	.data                 ; switch to the data segment
+//	msg:   .asciz "hi"    ; NUL-terminated string
+//	buf:   .space 64      ; zero-filled bytes
+//	nums:  .word 1, 2, 3  ; 32-bit words
+//	.code                 ; switch to the code segment (default)
+//	start: movi r0, 10
+//	       addi r1, r1, 1
+//	       cmp  r1, r0
+//	       jlt  start
+//	       sys  exit      ; syscall by name or number
+//
+// Immediates may be decimal, hex (0x...), a character ('c'), or a label.
+// Code labels resolve to instruction byte addresses; data labels to
+// absolute image addresses (code precedes data). The entry point is the
+// label "start" if present, else the first instruction.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		labels:    map[string]uint32{},
+		stackSize: 256,
+	}
+	if err := a.firstPass(src); err != nil {
+		return nil, err
+	}
+	if err := a.secondPass(src); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Code:      a.code,
+		Data:      a.data,
+		StackSize: a.stackSize,
+		Labels:    a.labels,
+	}
+	if e, ok := a.labels["start"]; ok {
+		p.Entry = e
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for known-good embedded programs.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var sysNames = map[string]int32{
+	"exit": SysExit, "yield": SysYield, "getpid": SysGetPID,
+	"send": SysSend, "send2": SysSend2, "recv": SysRecv, "mklink": SysMkLink,
+	"rmlink": SysRmLink, "print": SysPrint, "time": SysTime,
+	"migrate": SysMigrate, "rand": SysRand,
+}
+
+type asmError struct {
+	line int
+	err  error
+}
+
+func (e asmError) Error() string { return fmt.Sprintf("dvm asm: line %d: %v", e.line, e.err) }
+
+type assembler struct {
+	labels    map[string]uint32
+	code      []Instr
+	data      []byte
+	stackSize int
+	codeBytes int // from first pass, for data label resolution
+}
+
+type stmt struct {
+	line   int
+	label  string
+	op     string
+	args   []string
+	inData bool
+}
+
+func parseLines(src string) ([]stmt, error) {
+	var out []stmt
+	inData := false
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		// Strip comments, respecting character/string literals crudely:
+		// a ';' inside quotes stays.
+		if idx := commentIndex(line); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		s := stmt{line: i + 1}
+		if c := strings.Index(line, ":"); c >= 0 && !strings.ContainsAny(line[:c], " \t\"'") {
+			s.label = line[:c]
+			line = strings.TrimSpace(line[c+1:])
+		}
+		if line != "" {
+			fields := strings.SplitN(line, " ", 2)
+			s.op = strings.ToLower(fields[0])
+			if len(fields) > 1 {
+				s.args = splitArgs(fields[1])
+			}
+		}
+		switch s.op {
+		case ".data":
+			inData = true
+			continue
+		case ".code", ".text":
+			inData = false
+			continue
+		}
+		s.inData = inData
+		if s.label == "" && s.op == "" {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func commentIndex(line string) int {
+	inStr, inChar := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inChar {
+				inStr = !inStr
+			}
+		case '\'':
+			if !inStr {
+				inChar = !inChar
+			}
+		case ';':
+			if !inStr && !inChar {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func splitArgs(s string) []string {
+	var args []string
+	depth := false // inside a string
+	cur := strings.Builder{}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			depth = !depth
+			cur.WriteByte(c)
+		case c == ',' && !depth:
+			args = append(args, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		args = append(args, t)
+	}
+	return args
+}
+
+// firstPass sizes segments and binds labels.
+func (a *assembler) firstPass(src string) error {
+	stmts, err := parseLines(src)
+	if err != nil {
+		return err
+	}
+	codeAddr, dataOff := 0, 0
+	type pendingLabel struct {
+		name string
+		data bool
+		off  int
+		line int
+	}
+	var pend []pendingLabel
+	for _, s := range stmts {
+		if s.label != "" {
+			if s.inData {
+				pend = append(pend, pendingLabel{s.label, true, dataOff, s.line})
+			} else {
+				pend = append(pend, pendingLabel{s.label, false, codeAddr, s.line})
+			}
+		}
+		if s.op == "" {
+			continue
+		}
+		if s.inData {
+			n, err := dataSize(s)
+			if err != nil {
+				return asmError{s.line, err}
+			}
+			dataOff += n
+		} else {
+			switch s.op {
+			case ".stack":
+				if len(s.args) != 1 {
+					return asmError{s.line, fmt.Errorf(".stack wants one size")}
+				}
+				n, err := strconv.Atoi(s.args[0])
+				if err != nil || n < 16 {
+					return asmError{s.line, fmt.Errorf("bad stack size %q", s.args[0])}
+				}
+				a.stackSize = n
+			default:
+				codeAddr += InstrSize
+			}
+		}
+	}
+	a.codeBytes = codeAddr
+	for _, p := range pend {
+		if _, dup := a.labels[p.name]; dup {
+			return asmError{p.line, fmt.Errorf("duplicate label %q", p.name)}
+		}
+		if p.data {
+			a.labels[p.name] = uint32(codeAddr + p.off)
+		} else {
+			a.labels[p.name] = uint32(p.off)
+		}
+	}
+	return nil
+}
+
+func dataSize(s stmt) (int, error) {
+	switch s.op {
+	case ".asciz":
+		if len(s.args) != 1 {
+			return 0, fmt.Errorf(".asciz wants one string")
+		}
+		str, err := strconv.Unquote(s.args[0])
+		if err != nil {
+			return 0, fmt.Errorf("bad string %s: %v", s.args[0], err)
+		}
+		return len(str) + 1, nil
+	case ".space":
+		if len(s.args) != 1 {
+			return 0, fmt.Errorf(".space wants one size")
+		}
+		n, err := strconv.Atoi(s.args[0])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad size %q", s.args[0])
+		}
+		return n, nil
+	case ".word":
+		if len(s.args) == 0 {
+			return 0, fmt.Errorf(".word wants values")
+		}
+		return 4 * len(s.args), nil
+	default:
+		return 0, fmt.Errorf("unknown data directive %q", s.op)
+	}
+}
+
+func (a *assembler) secondPass(src string) error {
+	stmts, _ := parseLines(src)
+	for _, s := range stmts {
+		if s.op == "" || s.op == ".stack" {
+			continue
+		}
+		if s.inData {
+			if err := a.emitData(s); err != nil {
+				return asmError{s.line, err}
+			}
+			continue
+		}
+		in, err := a.emitInstr(s)
+		if err != nil {
+			return asmError{s.line, err}
+		}
+		a.code = append(a.code, in)
+	}
+	return nil
+}
+
+func (a *assembler) emitData(s stmt) error {
+	switch s.op {
+	case ".asciz":
+		str, err := strconv.Unquote(s.args[0])
+		if err != nil {
+			return err
+		}
+		a.data = append(a.data, str...)
+		a.data = append(a.data, 0)
+	case ".space":
+		n, _ := strconv.Atoi(s.args[0])
+		a.data = append(a.data, make([]byte, n)...)
+	case ".word":
+		for _, arg := range s.args {
+			v, err := a.imm(arg)
+			if err != nil {
+				return err
+			}
+			a.data = append(a.data,
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	}
+	return nil
+}
+
+func (a *assembler) reg(s string) (uint8, error) {
+	s = strings.ToLower(s)
+	if len(s) == 2 && s[0] == 'r' && s[1] >= '0' && s[1] < '0'+NumRegs {
+		return s[1] - '0', nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func (a *assembler) imm(s string) (int32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		if v < -1<<31 || v > 1<<32-1 {
+			return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+		}
+		return int32(v), nil
+	}
+	if len(s) >= 3 && s[0] == '\'' {
+		c, err := strconv.Unquote(s)
+		if err != nil || len(c) != 1 {
+			return 0, fmt.Errorf("bad char literal %s", s)
+		}
+		return int32(c[0]), nil
+	}
+	if addr, ok := a.labels[s]; ok {
+		return int32(addr), nil
+	}
+	return 0, fmt.Errorf("undefined label %q", s)
+}
+
+type operandKind int
+
+const (
+	opNone operandKind = iota
+	opRI               // reg, imm
+	opRR               // reg, reg
+	opRRR              // reg, reg, reg
+	opRRI              // reg, reg, imm
+	opI                // imm
+	opR                // reg
+)
+
+var instrSpec = map[string]struct {
+	op   Op
+	kind operandKind
+}{
+	"nop": {NOP, opNone}, "halt": {HALT, opNone}, "ret": {RET, opNone},
+	"movi": {MOVI, opRI}, "cmpi": {CMPI, opRI},
+	"mov": {MOV, opRR}, "cmp": {CMP, opRR},
+	"add": {ADD, opRRR}, "sub": {SUB, opRRR}, "mul": {MUL, opRRR},
+	"div": {DIV, opRRR}, "mod": {MOD, opRRR}, "and": {AND, opRRR},
+	"or": {OR, opRRR}, "xor": {XOR, opRRR}, "shl": {SHL, opRRR}, "shr": {SHR, opRRR},
+	"addi": {ADDI, opRRI},
+	"jmp":  {JMP, opI}, "jeq": {JEQ, opI}, "jne": {JNE, opI},
+	"jlt": {JLT, opI}, "jle": {JLE, opI}, "jgt": {JGT, opI}, "jge": {JGE, opI},
+	"call": {CALL, opI},
+	"push": {PUSH, opR}, "pop": {POP, opR},
+	"ldw": {LDW, opRRI}, "stw": {STW, opRRI},
+	"ldb": {LDB, opRRI}, "stb": {STB, opRRI},
+	"lea": {MOVI, opRI}, // alias: load effective address of a label
+}
+
+func (a *assembler) emitInstr(s stmt) (Instr, error) {
+	if s.op == "sys" {
+		if len(s.args) != 1 {
+			return Instr{}, fmt.Errorf("sys wants one argument")
+		}
+		if n, ok := sysNames[strings.ToLower(s.args[0])]; ok {
+			return Instr{Op: SYS, Imm: n}, nil
+		}
+		n, err := a.imm(s.args[0])
+		if err != nil {
+			return Instr{}, fmt.Errorf("unknown syscall %q", s.args[0])
+		}
+		return Instr{Op: SYS, Imm: n}, nil
+	}
+	spec, ok := instrSpec[s.op]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown instruction %q", s.op)
+	}
+	in := Instr{Op: spec.op}
+	need := map[operandKind]int{opNone: 0, opRI: 2, opRR: 2, opRRR: 3, opRRI: 3, opI: 1, opR: 1}[spec.kind]
+	if len(s.args) != need {
+		return Instr{}, fmt.Errorf("%s wants %d operands, got %d", s.op, need, len(s.args))
+	}
+	var err error
+	switch spec.kind {
+	case opRI:
+		if in.A, err = a.reg(s.args[0]); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.imm(s.args[1])
+	case opRR:
+		if in.A, err = a.reg(s.args[0]); err != nil {
+			return in, err
+		}
+		in.B, err = a.reg(s.args[1])
+	case opRRR:
+		if in.A, err = a.reg(s.args[0]); err != nil {
+			return in, err
+		}
+		if in.B, err = a.reg(s.args[1]); err != nil {
+			return in, err
+		}
+		in.C, err = a.reg(s.args[2])
+	case opRRI:
+		if in.A, err = a.reg(s.args[0]); err != nil {
+			return in, err
+		}
+		if in.B, err = a.reg(s.args[1]); err != nil {
+			return in, err
+		}
+		in.Imm, err = a.imm(s.args[2])
+	case opI:
+		in.Imm, err = a.imm(s.args[0])
+	case opR:
+		in.A, err = a.reg(s.args[0])
+	}
+	return in, err
+}

@@ -1,0 +1,61 @@
+package dvm
+
+import (
+	"testing"
+
+	"demosmp/internal/memory"
+)
+
+// FuzzAssemble: the assembler must reject arbitrary source cleanly.
+func FuzzAssemble(f *testing.F) {
+	f.Add("start: movi r0, 1\n sys exit")
+	f.Add(".data\nx: .word 1\n.code\nlea r1, x\nldw r0, r1, 0\nsys exit")
+	f.Add(".stack 64\nloop: jmp loop")
+	f.Add("; just a comment")
+	f.Add("garbage garbage garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Whatever assembles must lay out and disassemble without
+		// panicking.
+		if _, err := p.BuildImage(nil); err != nil {
+			t.Fatalf("assembled program failed layout: %v", err)
+		}
+		_ = p.Disassemble()
+	})
+}
+
+// FuzzExecute: arbitrary instruction bytes must fault gracefully, never
+// panic or run away — the VM executes whatever is in the (migratable,
+// self-modifiable) image.
+func FuzzExecute(f *testing.F) {
+	p := MustAssemble("start: movi r0, 1\n sys exit")
+	img, _ := p.BuildImage(nil)
+	raw, _ := img.Bytes()
+	f.Add(raw)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, code []byte) {
+		size := len(code)
+		if size == 0 {
+			return
+		}
+		if size > 4096 {
+			code = code[:4096]
+			size = 4096
+		}
+		img := memory.NewImage(size+256, nil)
+		img.WriteAt(code, 0)
+		vm := New(img, 0)
+		sys := newFakeSys()
+		// Bounded execution: fuzzed code may loop, which is fine —
+		// faults and halts are the interesting outcomes.
+		for i := 0; i < 20; i++ {
+			if _, st := vm.Step(sys, 1000); st != Running && st != Yielded {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+// Package dvm implements the DEMOS virtual machine: a small register
+// machine whose complete execution state — code, data, stack, registers —
+// is byte-serializable.
+//
+// The paper's processes are native Z8000 programs; moving one means copying
+// its program, data, stack, and state to another processor (Figure 2-2,
+// §3.1 step 5). Reproducing that in Go requires a program representation
+// that can be frozen between two instructions, shipped as bytes, and
+// resumed elsewhere; the DVM is that representation. User workloads are
+// written in its assembly (see asm.go) and trap into the hosting kernel for
+// the DEMOS kernel calls (send, receive, link management, migration).
+package dvm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a DVM opcode.
+type Op uint8
+
+const (
+	NOP Op = iota
+	HALT
+	MOVI // a = imm
+	MOV  // a = b
+	ADD  // a = b + c
+	SUB
+	MUL
+	DIV
+	MOD
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	ADDI // a = b + imm
+	CMP  // flags = sign(a - b)
+	CMPI // flags = sign(a - imm)
+	JMP  // pc = imm
+	JEQ
+	JNE
+	JLT
+	JLE
+	JGT
+	JGE
+	CALL // push pc; pc = imm
+	RET  // pc = pop
+	PUSH // push a
+	POP  // a = pop
+	LDW  // a = mem32[b + imm]
+	STW  // mem32[b + imm] = a
+	LDB  // a = mem8[b + imm] (zero extended)
+	STB  // mem8[b + imm] = a & 0xFF
+	SYS  // kernel trap, number in imm
+	numOps
+)
+
+var opNames = [numOps]string{
+	"nop", "halt", "movi", "mov", "add", "sub", "mul", "div", "mod",
+	"and", "or", "xor", "shl", "shr", "addi", "cmp", "cmpi",
+	"jmp", "jeq", "jne", "jlt", "jle", "jgt", "jge",
+	"call", "ret", "push", "pop", "ldw", "stw", "ldb", "stb", "sys",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Syscall numbers for the SYS instruction — the DEMOS kernel calls.
+const (
+	SysExit    = 0  // exit with code R0
+	SysYield   = 1  // surrender the rest of the quantum
+	SysGetPID  = 2  // R0 = creating machine, R1 = local uid
+	SysSend    = 3  // send on link R0, buffer R1, length R2, carried link R3 (0 = none); R0 = 0 ok / -1 error
+	SysRecv    = 4  // receive into buffer R1, capacity R2; blocks; R0 = length, R3 = carried link id (0 = none), R4 = sender machine hint
+	SysMkLink  = 5  // create link: attrs R1, area offset R2, area length R3; R0 = link id or -1
+	SysRmLink  = 6  // destroy link R0; R0 = 0 ok / -1
+	SysPrint   = 7  // print buffer R1, length R2 to the trace console
+	SysTime    = 8  // R0 = low 32 bits of simulated µs
+	SysMigrate = 9  // request own migration to machine R0; R0 = 0 ok / -1
+	SysRand    = 10 // R0 = pseudo-random 32 bits
+	SysSend2   = 11 // like SysSend but carrying two links: R3 and R5 (0 = none); needed for file I/O (data area + reply)
+)
+
+// InstrSize is the fixed encoded instruction size in bytes.
+const InstrSize = 8
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op      Op
+	A, B, C uint8 // register operands
+	Imm     int32
+}
+
+// Encode writes the 8-byte form of the instruction into b.
+func (in Instr) Encode(b []byte) {
+	b[0] = byte(in.Op)
+	b[1] = in.A
+	b[2] = in.B
+	b[3] = in.C
+	binary.LittleEndian.PutUint32(b[4:], uint32(in.Imm))
+}
+
+// DecodeInstr parses an 8-byte instruction.
+func DecodeInstr(b []byte) (Instr, error) {
+	if len(b) < InstrSize {
+		return Instr{}, fmt.Errorf("dvm: short instruction: %d bytes", len(b))
+	}
+	in := Instr{
+		Op: Op(b[0]), A: b[1], B: b[2], C: b[3],
+		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+	if in.Op >= numOps {
+		return Instr{}, fmt.Errorf("dvm: illegal opcode %d", b[0])
+	}
+	if in.A >= NumRegs || in.B >= NumRegs || in.C >= NumRegs {
+		return Instr{}, fmt.Errorf("dvm: illegal register in %v", in.Op)
+	}
+	return in, nil
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	r := func(x uint8) string { return fmt.Sprintf("r%d", x) }
+	switch in.Op {
+	case NOP, HALT, RET:
+		return in.Op.String()
+	case MOVI, CMPI:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.A), in.Imm)
+	case MOV, CMP:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.A), r(in.B))
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.A), r(in.B), r(in.C))
+	case ADDI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.A), r(in.B), in.Imm)
+	case JMP, JEQ, JNE, JLT, JLE, JGT, JGE, CALL:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case PUSH, POP:
+		return fmt.Sprintf("%s %s", in.Op, r(in.A))
+	case LDW, STW, LDB, STB:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.A), r(in.B), in.Imm)
+	case SYS:
+		return fmt.Sprintf("sys %d", in.Imm)
+	default:
+		return fmt.Sprintf("%s a=%d b=%d c=%d imm=%d", in.Op, in.A, in.B, in.C, in.Imm)
+	}
+}

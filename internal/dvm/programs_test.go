@@ -1,0 +1,106 @@
+package dvm
+
+import (
+	"testing"
+)
+
+// TestRecursiveFibonacci exercises deep CALL/RET nesting and the stack.
+func TestRecursiveFibonacci(t *testing.T) {
+	// fib(n) with n in r1, result in r0; clobbers r2, r3.
+	p := MustAssemble(`
+		.stack 2048
+	start:	movi r1, 15
+		call fib
+		sys exit
+	fib:	cmpi r1, 2
+		jge rec
+		mov r0, r1        ; fib(0)=0, fib(1)=1
+		ret
+	rec:	push r1
+		addi r1, r1, -1
+		call fib          ; r0 = fib(n-1)
+		pop r1
+		push r0
+		addi r1, r1, -2
+		call fib          ; r0 = fib(n-2)
+		pop r3
+		add r0, r0, r3
+		ret
+	`)
+	vm, _, err := p.NewVM(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newFakeSys()
+	for i := 0; i < 10000; i++ {
+		if _, st := vm.Step(sys, 10000); st == Halted {
+			if vm.CPU.ExitCode != 610 { // fib(15)
+				t.Fatalf("fib(15) = %d, want 610", vm.CPU.ExitCode)
+			}
+			return
+		} else if st == Faulted {
+			t.Fatalf("faulted: %v", vm.Fault)
+		}
+	}
+	t.Fatal("fib never finished")
+}
+
+// TestStringReverse exercises byte loads/stores in a loop.
+func TestStringReverse(t *testing.T) {
+	p := MustAssemble(`
+		.data
+	s:	.asciz "demosmp"
+		.code
+	start:	lea r1, s         ; left
+		lea r2, s
+		addi r2, r2, 6    ; right
+	loop:	cmp r1, r2
+		jge done
+		ldb r3, r1, 0
+		ldb r4, r2, 0
+		stb r4, r1, 0
+		stb r3, r2, 0
+		addi r1, r1, 1
+		addi r2, r2, -1
+		jmp loop
+	done:	lea r1, s
+		movi r2, 7
+		sys print
+		movi r0, 0
+		sys exit
+	`)
+	vm, _, _ := p.NewVM(nil)
+	sys := newFakeSys()
+	if _, st := vm.Step(sys, 100000); st != Halted {
+		t.Fatalf("status %v (%v)", st, vm.Fault)
+	}
+	if len(sys.prints) != 1 || string(sys.prints[0]) != "pmsomed" {
+		t.Fatalf("reversed = %q, want %q", sys.prints, "pmsomed")
+	}
+}
+
+// TestSelfModifyingCode: code lives in the same image as data, so a program
+// can patch itself — and the patch must survive a snapshot/resume (it is
+// part of the moved program image).
+func TestSelfModifyingCode(t *testing.T) {
+	p := MustAssemble(`
+	start:	movi r0, 111     ; instruction to be patched (index 0)
+		jmp check
+	check:	cmpi r0, 111
+		jne done
+		; patch instruction 0's immediate (bytes 4..7 of the image)
+		movi r1, 222
+		movi r2, 0
+		stw r1, r2, 4
+		jmp start
+	done:	sys exit
+	`)
+	vm, _, _ := p.NewVM(nil)
+	sys := newFakeSys()
+	if _, st := vm.Step(sys, 10000); st != Halted {
+		t.Fatalf("status %v (%v)", st, vm.Fault)
+	}
+	if vm.CPU.ExitCode != 222 {
+		t.Fatalf("exit %d, want the patched 222", vm.CPU.ExitCode)
+	}
+}

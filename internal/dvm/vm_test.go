@@ -1,0 +1,681 @@
+package dvm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"demosmp/internal/memory"
+)
+
+// fakeSys is a scriptable Syscalls implementation.
+type fakeSys struct {
+	sent    [][]byte
+	sentOn  []uint16
+	carried []uint16
+	inbox   [][]byte
+	prints  [][]byte
+	links   uint16
+	migrate []uint16
+	now     uint64
+	rng     *rand.Rand
+}
+
+func newFakeSys() *fakeSys { return &fakeSys{rng: rand.New(rand.NewSource(1))} }
+
+func (f *fakeSys) Send(l uint16, data []byte, carry ...uint16) error {
+	f.sentOn = append(f.sentOn, l)
+	f.sent = append(f.sent, append([]byte(nil), data...))
+	var c uint16
+	if len(carry) > 0 {
+		c = carry[0]
+	}
+	f.carried = append(f.carried, c)
+	return nil
+}
+
+func (f *fakeSys) Recv(max int) ([]byte, uint16, uint16, bool) {
+	if len(f.inbox) == 0 {
+		return nil, 0, 0, false
+	}
+	d := f.inbox[0]
+	f.inbox = f.inbox[1:]
+	if len(d) > max {
+		d = d[:max]
+	}
+	return d, 0, 0, true
+}
+
+func (f *fakeSys) CreateLink(attrs uint16, off, length uint32) (uint16, error) {
+	f.links++
+	return f.links, nil
+}
+func (f *fakeSys) DestroyLink(l uint16) error { return nil }
+func (f *fakeSys) PID() (uint16, uint16)      { return 3, 42 }
+func (f *fakeSys) Now() uint64                { return f.now }
+func (f *fakeSys) Print(d []byte)             { f.prints = append(f.prints, append([]byte(nil), d...)) }
+func (f *fakeSys) MigrateSelf(m uint16) error { f.migrate = append(f.migrate, m); return nil }
+func (f *fakeSys) Rand() uint32               { return f.rng.Uint32() }
+
+func run(t *testing.T, src string) (*VM, *fakeSys, Status) {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	vm, _, err := p.NewVM(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newFakeSys()
+	var st Status
+	for i := 0; i < 1000; i++ {
+		_, st = vm.Step(sys, 10000)
+		if st != Running && st != Yielded {
+			return vm, sys, st
+		}
+	}
+	t.Fatalf("program did not terminate; status %v, fault %v", st, vm.Fault)
+	return nil, nil, st
+}
+
+func TestArithmetic(t *testing.T) {
+	vm, _, st := run(t, `
+		movi r1, 6
+		movi r2, 7
+		mul r0, r1, r2     ; 42
+		addi r0, r0, 58    ; 100
+		movi r3, 3
+		div r4, r0, r3     ; 33
+		mod r5, r0, r3     ; 1
+		add r0, r4, r5     ; 34
+		sys exit
+	`)
+	if st != Halted || vm.CPU.ExitCode != 34 {
+		t.Fatalf("status %v exit %d, want Halted 34", st, vm.CPU.ExitCode)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 = 55.
+	vm, _, _ := run(t, `
+	start:	movi r1, 0        ; i
+		movi r2, 0        ; sum
+	loop:	addi r1, r1, 1
+		add r2, r2, r1
+		cmpi r1, 10
+		jlt loop
+		mov r0, r2
+		sys exit
+	`)
+	if vm.CPU.ExitCode != 55 {
+		t.Fatalf("sum = %d, want 55", vm.CPU.ExitCode)
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	vm, _, _ := run(t, `
+		movi r1, 0xF0
+		movi r2, 0x3C
+		and r3, r1, r2    ; 0x30
+		or  r4, r1, r2    ; 0xFC
+		xor r5, r1, r2    ; 0xCC
+		movi r6, 4
+		shl r3, r3, r6    ; 0x300
+		shr r4, r4, r6    ; 0xF
+		add r0, r3, r4
+		add r0, r0, r5
+		sys exit
+	`)
+	want := int32(0x300 + 0xF + 0xCC)
+	if vm.CPU.ExitCode != want {
+		t.Fatalf("exit = %#x, want %#x", vm.CPU.ExitCode, want)
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	// double(x) via call; compute double(double(5)) = 20.
+	vm, _, _ := run(t, `
+		movi r1, 5
+		call double
+		call double
+		mov r0, r1
+		sys exit
+	double:	add r1, r1, r1
+		ret
+	`)
+	if vm.CPU.ExitCode != 20 {
+		t.Fatalf("exit = %d, want 20", vm.CPU.ExitCode)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	vm, _, _ := run(t, `
+		movi r1, 11
+		movi r2, 22
+		push r1
+		push r2
+		pop r3           ; 22
+		pop r4           ; 11
+		sub r0, r3, r4   ; 11
+		sys exit
+	`)
+	if vm.CPU.ExitCode != 11 {
+		t.Fatalf("exit = %d, want 11", vm.CPU.ExitCode)
+	}
+}
+
+func TestDataSegmentAndMemory(t *testing.T) {
+	vm, _, _ := run(t, `
+		.data
+	vals:	.word 100, 200, 300
+	buf:	.space 8
+		.code
+	start:	lea r1, vals
+		ldw r2, r1, 0
+		ldw r3, r1, 4
+		ldw r4, r1, 8
+		add r0, r2, r3
+		add r0, r0, r4     ; 600
+		lea r5, buf
+		stw r0, r5, 0
+		ldw r0, r5, 0
+		sys exit
+	`)
+	if vm.CPU.ExitCode != 600 {
+		t.Fatalf("exit = %d, want 600", vm.CPU.ExitCode)
+	}
+}
+
+func TestByteOps(t *testing.T) {
+	vm, _, _ := run(t, `
+		.data
+	s:	.asciz "AB"
+		.code
+	start:	lea r1, s
+		ldb r2, r1, 0     ; 'A' = 65
+		ldb r3, r1, 1     ; 'B' = 66
+		movi r4, 'C'
+		stb r4, r1, 0
+		ldb r5, r1, 0     ; 67
+		add r0, r2, r3
+		add r0, r0, r5    ; 198
+		sys exit
+	`)
+	if vm.CPU.ExitCode != 198 {
+		t.Fatalf("exit = %d, want 198", vm.CPU.ExitCode)
+	}
+}
+
+func TestPrintSyscall(t *testing.T) {
+	_, sys, _ := run(t, `
+		.data
+	msg:	.asciz "hello"
+		.code
+	start:	lea r1, msg
+		movi r2, 5
+		sys print
+		movi r0, 0
+		sys exit
+	`)
+	if len(sys.prints) != 1 || string(sys.prints[0]) != "hello" {
+		t.Fatalf("prints = %q", sys.prints)
+	}
+}
+
+func TestSendRecvSyscalls(t *testing.T) {
+	p := MustAssemble(`
+		.data
+	out:	.asciz "ping"
+	in:	.space 32
+		.code
+	start:	movi r0, 5        ; link id
+		lea r1, out
+		movi r2, 4
+		movi r3, 0
+		sys send
+		lea r1, in
+		movi r2, 32
+		sys recv
+		sys exit          ; exit code = received length
+	`)
+	vm, _, err := p.NewVM(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newFakeSys()
+	_, st := vm.Step(sys, 10000)
+	if st != Blocked {
+		t.Fatalf("status %v, want Blocked on empty inbox", st)
+	}
+	if len(sys.sent) != 1 || string(sys.sent[0]) != "ping" || sys.sentOn[0] != 5 {
+		t.Fatalf("send not performed: %q on %v", sys.sent, sys.sentOn)
+	}
+	// Re-Step still blocked (retry semantics).
+	if _, st = vm.Step(sys, 10000); st != Blocked {
+		t.Fatalf("second step: %v, want Blocked", st)
+	}
+	if len(sys.sent) != 1 {
+		t.Fatal("blocked retry re-ran the send")
+	}
+	sys.inbox = append(sys.inbox, []byte("pong!"))
+	_, st = vm.Step(sys, 10000)
+	if st != Halted || vm.CPU.ExitCode != 5 {
+		t.Fatalf("after wakeup: %v exit=%d, want Halted 5", st, vm.CPU.ExitCode)
+	}
+}
+
+func TestYield(t *testing.T) {
+	p := MustAssemble(`
+		movi r0, 1
+		sys yield
+		movi r0, 2
+		sys exit
+	`)
+	vm, _, _ := p.NewVM(nil)
+	sys := newFakeSys()
+	used, st := vm.Step(sys, 10000)
+	if st != Yielded || used != 2 {
+		t.Fatalf("yield: used=%d st=%v", used, st)
+	}
+	_, st = vm.Step(sys, 10000)
+	if st != Halted || vm.CPU.ExitCode != 2 {
+		t.Fatalf("after yield: %v %d", st, vm.CPU.ExitCode)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	p := MustAssemble(`
+	loop:	addi r1, r1, 1
+		jmp loop
+	`)
+	vm, _, _ := p.NewVM(nil)
+	sys := newFakeSys()
+	used, st := vm.Step(sys, 100)
+	if st != Running || used != 100 {
+		t.Fatalf("used=%d st=%v, want 100 Running", used, st)
+	}
+	if vm.CPU.Steps != 100 {
+		t.Fatalf("Steps = %d", vm.CPU.Steps)
+	}
+}
+
+func TestGetPIDTimeRandMigrate(t *testing.T) {
+	p := MustAssemble(`
+		sys getpid       ; r0=3 r1=42
+		push r0
+		push r1
+		sys time
+		sys rand
+		movi r0, 7
+		sys migrate
+		pop r0
+		pop r1
+		sys exit
+	`)
+	vm, _, _ := p.NewVM(nil)
+	sys := newFakeSys()
+	sys.now = 12345
+	_, st := vm.Step(sys, 10000)
+	if st != Halted {
+		t.Fatalf("status %v fault %v", st, vm.Fault)
+	}
+	if vm.CPU.ExitCode != 42 {
+		t.Fatalf("pid local = %d, want 42", vm.CPU.ExitCode)
+	}
+	if len(sys.migrate) != 1 || sys.migrate[0] != 7 {
+		t.Fatalf("migrate calls: %v", sys.migrate)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"div-zero", "movi r1, 0\n div r0, r0, r1"},
+		{"mod-zero", "movi r1, 0\n mod r0, r0, r1"},
+		{"bad-load", "movi r1, 100000\n ldw r0, r1, 0"},
+		{"bad-store", "movi r1, -5\n stw r0, r1, 0"},
+		{"wild-jump", "jmp 99999"},
+		{"stack-underflow", "ret"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := Assemble(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm, _, _ := p.NewVM(nil)
+			_, st := vm.Step(newFakeSys(), 1000)
+			if st != Faulted || vm.Fault == nil {
+				t.Fatalf("status %v fault %v, want Faulted", st, vm.Fault)
+			}
+		})
+	}
+}
+
+func TestStackOverflowFault(t *testing.T) {
+	p := MustAssemble(`
+	loop:	push r0
+		jmp loop
+	`)
+	vm, _, _ := p.NewVM(nil)
+	var st Status
+	for i := 0; i < 10000; i++ {
+		if _, st = vm.Step(newFakeSys(), 1000); st == Faulted {
+			return
+		}
+	}
+	t.Fatalf("runaway push never faulted; status %v", st)
+}
+
+func TestInstrRoundTripProperty(t *testing.T) {
+	f := func(op uint8, a, b, c uint8, imm int32) bool {
+		in := Instr{Op: Op(op % uint8(numOps)), A: a % NumRegs, B: b % NumRegs, C: c % NumRegs, Imm: imm}
+		var buf [InstrSize]byte
+		in.Encode(buf[:])
+		out, err := DecodeInstr(buf[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeInstrRejectsGarbage(t *testing.T) {
+	if _, err := DecodeInstr([]byte{byte(numOps), 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("accepted illegal opcode")
+	}
+	if _, err := DecodeInstr([]byte{0, 9, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("accepted illegal register")
+	}
+	if _, err := DecodeInstr([]byte{0}); err == nil {
+		t.Fatal("accepted short instruction")
+	}
+}
+
+func TestCPUSnapshotRoundTrip(t *testing.T) {
+	f := func(r0, r7 int32, pc, sp uint32, flags uint8, steps uint64) bool {
+		in := CPU{PC: pc, SP: sp, Flags: flags, Steps: steps}
+		in.R[0], in.R[7] = r0, r7
+		b := in.Encode(nil)
+		if len(b) != CPUWireSize {
+			return false
+		}
+		out, rest, err := DecodeCPU(b)
+		return err == nil && len(rest) == 0 && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeCPU([]byte{1, 2}); err == nil {
+		t.Fatal("accepted short CPU snapshot")
+	}
+}
+
+// TestSnapshotResumeEquivalence is the heart of migration correctness at the
+// VM level: freezing the machine between any two instructions, serializing
+// CPU + memory image, and resuming in a fresh VM must produce the same
+// final answer as an uninterrupted run.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	src := `
+		.data
+	tbl:	.space 400
+		.code
+	start:	movi r1, 0         ; i
+		movi r2, 0         ; acc
+	loop:	lea r3, tbl
+		movi r4, 4
+		mul r5, r1, r4
+		add r3, r3, r5
+		mul r6, r1, r1
+		stw r6, r3, 0      ; tbl[i] = i*i
+		ldw r7, r3, 0
+		add r2, r2, r7     ; acc += i*i
+		push r2
+		pop r2
+		addi r1, r1, 1
+		cmpi r1, 100
+		jlt loop
+		mov r0, r2
+		sys exit
+	`
+	p := MustAssemble(src)
+
+	// Uninterrupted run.
+	ref, _, _ := p.NewVM(nil)
+	_, st := ref.Step(newFakeSys(), 1<<20)
+	if st != Halted {
+		t.Fatalf("reference run: %v (%v)", st, ref.Fault)
+	}
+
+	for _, cut := range []int{1, 7, 50, 333, 777, 1200} {
+		vm, img, _ := p.NewVM(nil)
+		sys := newFakeSys()
+		remaining := cut
+		for remaining > 0 {
+			used, st := vm.Step(sys, remaining)
+			remaining -= used
+			if st == Halted {
+				break
+			}
+			if st == Faulted {
+				t.Fatalf("cut %d: faulted: %v", cut, vm.Fault)
+			}
+		}
+		// "Migrate": serialize and rebuild.
+		cpuSnap := vm.CPU.Encode(nil)
+		memSnap, err := img.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		img2 := memory.NewImage(len(memSnap), nil)
+		if err := img2.WriteAt(memSnap, 0); err != nil {
+			t.Fatal(err)
+		}
+		cpu2, _, err := DecodeCPU(cpuSnap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm2 := &VM{CPU: cpu2, Mem: img2}
+		for i := 0; ; i++ {
+			if i > 10000 {
+				t.Fatalf("cut %d: resumed VM never halted", cut)
+			}
+			if _, st := vm2.Step(sys, 1000); st == Halted {
+				break
+			} else if st == Faulted {
+				t.Fatalf("cut %d: resumed VM faulted: %v", cut, vm2.Fault)
+			}
+		}
+		if vm2.CPU.ExitCode != ref.CPU.ExitCode {
+			t.Fatalf("cut %d: exit %d, uninterrupted run gave %d",
+				cut, vm2.CPU.ExitCode, ref.CPU.ExitCode)
+		}
+	}
+}
+
+func TestSnapshotResumeEquivalenceProperty(t *testing.T) {
+	p := MustAssemble(`
+	start:	movi r1, 1
+		movi r2, 0
+	loop:	mul r3, r1, r1
+		add r2, r2, r3
+		push r2
+		pop r2
+		addi r1, r1, 1
+		cmpi r1, 60
+		jlt loop
+		mov r0, r2
+		sys exit
+	`)
+	ref, _, _ := p.NewVM(nil)
+	ref.Step(newFakeSys(), 1<<20)
+
+	f := func(cut uint16) bool {
+		vm, img, _ := p.NewVM(nil)
+		left := int(cut%500) + 1
+		for left > 0 {
+			used, st := vm.Step(newFakeSys(), left)
+			left -= used
+			if st == Halted {
+				// Finished before the migration point; a dead
+				// process is never migrated.
+				return vm.CPU.ExitCode == ref.CPU.ExitCode
+			}
+		}
+		snap, _ := img.Bytes()
+		img2 := memory.NewImage(len(snap), nil)
+		img2.WriteAt(snap, 0)
+		vm2 := &VM{CPU: vm.CPU, Mem: img2}
+		for i := 0; i < 10000; i++ {
+			if _, st := vm2.Step(newFakeSys(), 1000); st == Halted {
+				return vm2.CPU.ExitCode == ref.CPU.ExitCode
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeImmediatesAndHex(t *testing.T) {
+	vm, _, _ := run(t, `
+		movi r1, -10
+		movi r2, 0x10
+		add r0, r1, r2    ; 6
+		sys exit
+	`)
+	if vm.CPU.ExitCode != 6 {
+		t.Fatalf("exit = %d, want 6", vm.CPU.ExitCode)
+	}
+}
+
+func TestSignedComparisons(t *testing.T) {
+	vm, _, _ := run(t, `
+		movi r1, -5
+		cmpi r1, 3
+		jlt neg           ; -5 < 3 must take the signed branch
+		movi r0, 0
+		sys exit
+	neg:	movi r0, 1
+		sys exit
+	`)
+	if vm.CPU.ExitCode != 1 {
+		t.Fatal("signed comparison broken")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"movi r9, 1",
+		"movi r1",
+		"jmp nowhere",
+		"lbl: nop\nlbl: nop",
+		".data\nx: .word\n.code\nnop",
+		"sys nosuchcall",
+		".stack abc",
+		".data\nx: .asciz unquoted\n.code\nnop",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestAssemblerCommentsAndLiterals(t *testing.T) {
+	p, err := Assemble(`
+		; full line comment
+		.data
+	s:	.asciz "semi ; inside"   ; trailing
+		.code
+	start:	movi r1, ';'
+		mov r0, r1
+		sys exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _, _ := p.NewVM(nil)
+	vm.Step(newFakeSys(), 100)
+	if vm.CPU.ExitCode != ';' {
+		t.Fatalf("char literal broken: %d", vm.CPU.ExitCode)
+	}
+	// The string retained its semicolon.
+	base, _ := p.Label("s")
+	img, _ := p.BuildImage(nil)
+	b := make([]byte, 13)
+	img.ReadAt(b, int(base))
+	if !bytes.Equal(b, []byte("semi ; inside")) {
+		t.Fatalf("data = %q", b)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p := MustAssemble(`
+	start:	movi r0, 42
+		addi r1, r0, -1
+		cmp r0, r1
+		jne start
+		sys exit
+	`)
+	text := p.Disassemble()
+	for _, want := range []string{"movi r0, 42", "addi r1, r0, -1", "cmp r0, r1", "sys 0"} {
+		if !contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+func TestEntryPoint(t *testing.T) {
+	p := MustAssemble(`
+	helper:	movi r0, 1
+		sys exit
+	start:	movi r0, 2
+		sys exit
+	`)
+	if p.Entry != 2*InstrSize {
+		t.Fatalf("entry = %d, want %d", p.Entry, 2*InstrSize)
+	}
+	vm, _, _ := p.NewVM(nil)
+	vm.Step(newFakeSys(), 100)
+	if vm.CPU.ExitCode != 2 {
+		t.Fatal("did not start at 'start'")
+	}
+}
+
+func TestImageSizeRounding(t *testing.T) {
+	p := MustAssemble("nop\nsys exit")
+	if p.ImageSize()%memory.PageSize != 0 {
+		t.Fatalf("image size %d not page aligned", p.ImageSize())
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{Running: "running", Blocked: "blocked", Halted: "halted", Faulted: "faulted", Yielded: "yielded"} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+}
+
+func ExampleAssemble() {
+	p := MustAssemble(`
+	start:	movi r1, 6
+		movi r2, 7
+		mul r0, r1, r2
+		sys exit
+	`)
+	vm, _, _ := p.NewVM(nil)
+	vm.Step(newFakeSys(), 100)
+	fmt.Println(vm.CPU.ExitCode)
+	// Output: 42
+}

@@ -1,0 +1,84 @@
+package fs_test
+
+import (
+	"demosmp/internal/fs"
+	"demosmp/internal/link"
+	"demosmp/internal/proc"
+)
+
+// adminProbe exercises create/open/write/stat/list/remove/lookup in order.
+type adminProbe struct {
+	State             int
+	H                 uint16
+	Area              link.ID
+	Size              uint32
+	Listing           string
+	RemovedOK         bool
+	LookupAfterRemove bool
+}
+
+func (p *adminProbe) Kind() string { return "fs-admin-probe" }
+
+func (p *adminProbe) ask(ctx proc.Context, on link.ID, body []byte, extra ...link.ID) {
+	reply, _ := ctx.CreateLink(link.AttrReply, link.DataArea{})
+	ctx.Send(on, body, append(extra, reply)...)
+}
+
+func (p *adminProbe) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	if p.State == 0 {
+		p.Area, _ = ctx.CreateLink(link.AttrDataRead|link.AttrDataWrite, link.DataArea{Length: 256})
+		p.ask(ctx, 1, fs.DCreateMsg("doomed"))
+		p.State = 1
+	}
+	for {
+		d, ok := ctx.Recv()
+		if !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+		okRep, payload, err := fs.ParseReply(d.Body)
+		if err != nil {
+			continue
+		}
+		switch p.State {
+		case 1: // created
+			fid, _ := fs.ParseU32(payload)
+			p.ask(ctx, 2, fs.FOpenMsg(fid))
+			p.State = 2
+		case 2: // opened: write 700 bytes in three chunks of <=256
+			p.H, _ = fs.ParseU16(payload)
+			buf := make([]byte, 256)
+			ctx.ImageWrite(0, buf)
+			p.ask(ctx, 2, fs.FIOMsg(fs.OpFWrite, p.H, 0, 256), p.Area)
+			p.State = 3
+		case 3:
+			p.ask(ctx, 2, fs.FIOMsg(fs.OpFWrite, p.H, 256, 256), p.Area)
+			p.State = 4
+		case 4:
+			p.ask(ctx, 2, fs.FIOMsg(fs.OpFWrite, p.H, 512, 188), p.Area)
+			p.State = 5
+		case 5: // stat
+			p.ask(ctx, 2, fs.FStatMsg(p.H))
+			p.State = 6
+		case 6: // stat reply
+			p.Size, _ = fs.ParseU32(payload)
+			p.ask(ctx, 1, fs.DListMsg())
+			p.State = 7
+		case 7: // listing
+			if okRep {
+				p.Listing = string(payload)
+			}
+			p.ask(ctx, 1, fs.DRemoveMsg("doomed"))
+			p.State = 8
+		case 8: // removed
+			p.RemovedOK = okRep
+			p.ask(ctx, 1, fs.DLookupMsg("doomed"))
+			p.State = 9
+		case 9: // lookup after remove must fail
+			p.LookupAfterRemove = okRep
+			return 0, proc.Status{State: proc.Exited}
+		}
+	}
+}
+
+func (p *adminProbe) Snapshot() ([]byte, error) { return nil, nil }
+func (p *adminProbe) Restore([]byte) error      { return nil }

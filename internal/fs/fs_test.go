@@ -1,0 +1,313 @@
+package fs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/fs"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+	"demosmp/internal/netw"
+	"demosmp/internal/proc"
+	"demosmp/internal/sim"
+	"demosmp/internal/trace"
+)
+
+// rig boots a cluster with the four file system processes on fsMachine.
+type rig struct {
+	t    *testing.T
+	eng  *sim.Engine
+	tr   *trace.Tracer
+	ks   map[addr.MachineID]*kernel.Kernel
+	disk addr.ProcessID
+	cach addr.ProcessID
+	file addr.ProcessID
+	dir  addr.ProcessID
+}
+
+func newRig(t *testing.T, machines, fsMachine int) *rig {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	net := netw.New(eng, netw.Config{})
+	tr := trace.New(eng.Now, 0)
+	reg := proc.NewRegistry()
+	reg.Register(fs.DiskKind, func() proc.Body { return fs.NewDisk(fs.DiskGeometry{}) })
+	reg.Register(fs.CacheKind, func() proc.Body { return fs.NewCache(0) })
+	reg.Register(fs.FileKind, func() proc.Body { return fs.NewFileServer(0) })
+	reg.Register(fs.DirKind, func() proc.Body { return fs.NewDir() })
+	reg.Register(fs.ClientKind, func() proc.Body { return &fs.Client{} })
+
+	r := &rig{t: t, eng: eng, tr: tr, ks: map[addr.MachineID]*kernel.Kernel{}}
+	for i := 1; i <= machines; i++ {
+		r.ks[addr.MachineID(i)] = kernel.New(addr.MachineID(i), eng, net,
+			kernel.Config{Tracer: tr, Registry: reg})
+	}
+	fsm := addr.MachineID(fsMachine)
+	k := r.ks[fsm]
+	var err error
+	r.disk, err = k.Spawn(kernel.SpawnSpec{Body: fs.NewDisk(fs.DefaultGeometry())})
+	must(t, err)
+	r.cach, err = k.Spawn(kernel.SpawnSpec{Body: fs.NewCache(32),
+		Links: []link.Link{{Addr: addr.At(r.disk, fsm)}}})
+	must(t, err)
+	r.file, err = k.Spawn(kernel.SpawnSpec{Body: fs.NewFileServer(0),
+		Links: []link.Link{{Addr: addr.At(r.cach, fsm)}}})
+	must(t, err)
+	r.dir, err = k.Spawn(kernel.SpawnSpec{Body: fs.NewDir(),
+		Links: []link.Link{{Addr: addr.At(r.file, fsm)}}})
+	must(t, err)
+	return r
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) k(m int) *kernel.Kernel { return r.ks[addr.MachineID(m)] }
+
+// client spawns a scripted client on machine m. The dir/file links point at
+// the servers' *birth* machine — intentionally stale if they have migrated.
+func (r *rig) client(m int, file string, rounds int, size uint32, fsHome int) addr.ProcessID {
+	r.t.Helper()
+	c := fs.NewClient(file, rounds, size)
+	pid, err := r.k(m).Spawn(kernel.SpawnSpec{
+		Body:      c,
+		ImageSize: int(size),
+		Links: []link.Link{
+			{Addr: addr.At(r.dir, addr.MachineID(fsHome))},
+			{Addr: addr.At(r.file, addr.MachineID(fsHome))},
+		},
+	})
+	must(r.t, err)
+	return pid
+}
+
+func (r *rig) exitOf(pid addr.ProcessID) kernel.ExitInfo {
+	r.t.Helper()
+	for _, k := range r.ks {
+		if e, ok := k.Exit(pid); ok {
+			return e
+		}
+	}
+	r.t.Fatalf("process %v never exited\ntrace:\n%s", pid, r.tr.String())
+	return kernel.ExitInfo{}
+}
+
+func TestSingleClientWriteReadVerify(t *testing.T) {
+	r := newRig(t, 2, 1)
+	pid := r.client(2, "alpha", 3, 700, 1) // spans two blocks
+	r.eng.Run()
+	e := r.exitOf(pid)
+	if e.Code != 3 {
+		t.Fatalf("verified %d/3 rounds; console: %v", e.Code, r.k(2).Console(pid))
+	}
+}
+
+func TestMultiBlockStridedFile(t *testing.T) {
+	r := newRig(t, 2, 1)
+	c := fs.NewClient("big", 8, 1500)
+	c.Stride = true
+	pid, err := r.k(2).Spawn(kernel.SpawnSpec{
+		Body: c, ImageSize: 1500,
+		Links: []link.Link{
+			{Addr: addr.At(r.dir, 1)},
+			{Addr: addr.At(r.file, 1)},
+		},
+	})
+	must(t, err)
+	r.eng.Run()
+	if e := r.exitOf(pid); e.Code != 8 {
+		t.Fatalf("verified %d/8 strided rounds", e.Code)
+	}
+}
+
+func TestManyClientsSharedServer(t *testing.T) {
+	r := newRig(t, 4, 1)
+	var pids []addr.ProcessID
+	for i := 0; i < 6; i++ {
+		m := 2 + i%3
+		pids = append(pids, r.client(m, fmt.Sprintf("f%d", i), 4, 600, 1))
+	}
+	r.eng.Run()
+	for _, pid := range pids {
+		if e := r.exitOf(pid); e.Code != 4 {
+			t.Fatalf("client %v verified %d/4", pid, e.Code)
+		}
+	}
+	// The disk actually saw traffic.
+	body, ok := r.k(1).BodyOf(r.disk)
+	if !ok {
+		t.Fatal("disk gone")
+	}
+	d := body.(*fs.Disk)
+	if d.Writes == 0 {
+		t.Fatalf("disk writes=%d; write-through never reached the platter", d.Writes)
+	}
+	// Reads are all absorbed by the cache at this working-set size.
+	cbody, _ := r.k(1).BodyOf(r.cach)
+	if c := cbody.(*fs.Cache); c.Hits == 0 {
+		t.Fatal("no cache hits across six clients")
+	}
+}
+
+func TestCacheHitPath(t *testing.T) {
+	r := newRig(t, 2, 1)
+	// Two clients reading/writing the same small file region repeatedly
+	// should produce cache hits.
+	p1 := r.client(2, "hot", 6, 300, 1)
+	r.eng.Run()
+	if e := r.exitOf(p1); e.Code != 6 {
+		t.Fatalf("verified %d/6", e.Code)
+	}
+	body, _ := r.k(1).BodyOf(r.cach)
+	c := body.(*fs.Cache)
+	if c.Hits == 0 {
+		t.Fatalf("no cache hits (misses=%d)", c.Misses)
+	}
+}
+
+func TestDirOperations(t *testing.T) {
+	r := newRig(t, 2, 1)
+	// Two clients with the same file name share the file (create is
+	// idempotent naming).
+	p1 := r.client(2, "shared", 2, 256, 1)
+	r.eng.Run()
+	p2 := r.client(2, "shared", 2, 256, 1)
+	r.eng.Run()
+	if e := r.exitOf(p1); e.Code != 2 {
+		t.Fatalf("p1 verified %d", e.Code)
+	}
+	if e := r.exitOf(p2); e.Code != 2 {
+		t.Fatalf("p2 verified %d", e.Code)
+	}
+	body, _ := r.k(1).BodyOf(r.dir)
+	d := body.(*fs.Dir)
+	if len(d.Names) != 1 {
+		t.Fatalf("directory has %d names, want 1 shared entry", len(d.Names))
+	}
+}
+
+// TestE6MigrateFileServerUnderLoad is the paper's own test example (§2.3):
+// "It migrates a file system process while several user processes are
+// performing I/O. This is more difficult than moving a user process."
+func TestE6MigrateFileServerUnderLoad(t *testing.T) {
+	r := newRig(t, 3, 1)
+	var pids []addr.ProcessID
+	for i := 0; i < 4; i++ {
+		pids = append(pids, r.client(2+i%2, fmt.Sprintf("io%d", i), 10, 600, 1))
+	}
+	// Let I/O get going, then migrate the file server m1 -> m3 mid-storm.
+	r.eng.RunFor(80000)
+	r.k(3).RequestMigrationOf(addr.At(r.file, 1), 3)
+	r.eng.Run()
+
+	// The file server must now live on m3...
+	info, ok := r.k(3).Process(r.file)
+	if !ok || info.Kind != fs.FileKind {
+		t.Fatalf("file server not on m3: %+v (ok=%v)", info, ok)
+	}
+	// ...and every client's every round must still verify: no lost or
+	// corrupted operations.
+	for _, pid := range pids {
+		if e := r.exitOf(pid); e.Code != 10 {
+			t.Fatalf("client %v verified %d/10 after file-server migration", pid, e.Code)
+		}
+	}
+	// The forwarding machinery was actually exercised.
+	if f := r.k(1).Stats().Forwarded + r.k(1).Stats().ForwardedPending; f == 0 {
+		t.Fatal("file server migrated without any message forwarding — test migrated too early/late")
+	}
+}
+
+// TestMigrateWholeFileSystem moves all four server processes one by one
+// while a client works.
+func TestMigrateWholeFileSystem(t *testing.T) {
+	r := newRig(t, 3, 1)
+	pid := r.client(2, "journey", 12, 512, 1)
+	r.eng.RunFor(60000)
+	for i, srv := range []addr.ProcessID{r.disk, r.cach, r.file, r.dir} {
+		r.k(3).RequestMigrationOf(addr.At(srv, 1), 3)
+		r.eng.RunFor(sim.Time(40000 + i*1000))
+	}
+	r.eng.Run()
+	if e := r.exitOf(pid); e.Code != 12 {
+		t.Fatalf("verified %d/12 with the whole FS migrating", e.Code)
+	}
+	for _, srv := range []addr.ProcessID{r.disk, r.cach, r.file, r.dir} {
+		if _, ok := r.k(3).Process(srv); !ok {
+			t.Fatalf("server %v did not arrive on m3", srv)
+		}
+	}
+}
+
+func TestReadBeyondEOF(t *testing.T) {
+	r := newRig(t, 1, 1)
+	// A raw probe: create, open, read an empty file.
+	pr := &probe{}
+	pid, err := r.k(1).Spawn(kernel.SpawnSpec{
+		Body: pr, ImageSize: 256,
+		Links: []link.Link{
+			{Addr: addr.At(r.dir, 1)},
+			{Addr: addr.At(r.file, 1)},
+		},
+	})
+	must(t, err)
+	r.eng.Run()
+	if _, ok := r.k(1).Exit(pid); !ok {
+		t.Fatal("probe never finished")
+	}
+	if pr.ReadN != 0 {
+		t.Fatalf("read %d bytes from an empty file", pr.ReadN)
+	}
+}
+
+// probe creates+opens a file and reads from an empty region.
+type probe struct {
+	State int
+	H     uint16
+	ReadN uint32
+	Area  link.ID
+}
+
+func (p *probe) Kind() string { return "fs-probe" }
+
+func (p *probe) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	if p.State == 0 {
+		p.State = 1
+		p.Area, _ = ctx.CreateLink(link.AttrDataRead|link.AttrDataWrite, link.DataArea{Length: 256})
+		reply, _ := ctx.CreateLink(link.AttrReply, link.DataArea{})
+		ctx.Send(1, fs.DCreateMsg("empty"), reply)
+	}
+	for {
+		d, ok := ctx.Recv()
+		if !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+		_, payload, err := fs.ParseReply(d.Body)
+		if err != nil {
+			continue
+		}
+		switch p.State {
+		case 1:
+			fid, _ := fs.ParseU32(payload)
+			reply, _ := ctx.CreateLink(link.AttrReply, link.DataArea{})
+			ctx.Send(2, fs.FOpenMsg(fid), reply)
+			p.State = 2
+		case 2:
+			p.H, _ = fs.ParseU16(payload)
+			reply, _ := ctx.CreateLink(link.AttrReply, link.DataArea{})
+			ctx.Send(2, fs.FIOMsg(fs.OpFRead, p.H, 0, 100), p.Area, reply)
+			p.State = 3
+		case 3:
+			p.ReadN, _ = fs.ParseU32(payload)
+			return 0, proc.Status{State: proc.Exited}
+		}
+	}
+}
+
+func (p *probe) Snapshot() ([]byte, error) { return nil, nil }
+func (p *probe) Restore([]byte) error      { return nil }

@@ -1,0 +1,183 @@
+package fs_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/fs"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+	"demosmp/internal/proc"
+	simt "demosmp/internal/sim"
+)
+
+// fsOp is one scripted operation for the model probe.
+type fsOp struct {
+	Write bool
+	Off   uint32
+	Data  []byte // write: payload; read: filled with the result
+	N     uint32 // read length
+	OK    bool
+	Got   []byte
+}
+
+// modelProbe opens one file and executes a scripted op list sequentially.
+type modelProbe struct {
+	Ops   []*fsOp
+	State int // 0 create, 1 open, 2+i op i
+	H     uint16
+	Area  link.ID
+	Size  uint32 // buffer size
+	Done  bool
+}
+
+func (p *modelProbe) Kind() string { return "fs-model-probe" }
+
+func (p *modelProbe) ask(ctx proc.Context, on link.ID, body []byte, extra ...link.ID) {
+	reply, _ := ctx.CreateLink(link.AttrReply, link.DataArea{})
+	ctx.Send(on, body, append(extra, reply)...)
+}
+
+func (p *modelProbe) startOp(ctx proc.Context) bool {
+	i := p.State - 2
+	if i >= len(p.Ops) {
+		p.Done = true
+		return false
+	}
+	op := p.Ops[i]
+	if op.Write {
+		ctx.ImageWrite(0, op.Data)
+		p.ask(ctx, 2, fs.FIOMsg(fs.OpFWrite, p.H, op.Off, uint32(len(op.Data))), p.Area)
+	} else {
+		// Poison the buffer so stale bytes cannot fake a pass.
+		poison := make([]byte, op.N)
+		for j := range poison {
+			poison[j] = 0xEE
+		}
+		ctx.ImageWrite(0, poison)
+		p.ask(ctx, 2, fs.FIOMsg(fs.OpFRead, p.H, op.Off, op.N), p.Area)
+	}
+	return true
+}
+
+func (p *modelProbe) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	if p.State == 0 {
+		p.Area, _ = ctx.CreateLink(link.AttrDataRead|link.AttrDataWrite,
+			link.DataArea{Length: p.Size})
+		p.ask(ctx, 1, fs.DCreateMsg("model"))
+		p.State = 1
+	}
+	for {
+		d, ok := ctx.Recv()
+		if !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+		okRep, payload, err := fs.ParseReply(d.Body)
+		if err != nil {
+			continue
+		}
+		switch {
+		case p.State == 1: // create reply
+			fid, _ := fs.ParseU32(payload)
+			p.ask(ctx, 2, fs.FOpenMsg(fid))
+			p.State = 2 // next reply is open
+		case p.State == 2 && p.H == 0: // open reply
+			p.H, _ = fs.ParseU16(payload)
+			if !p.startOp(ctx) {
+				return 0, proc.Status{State: proc.Exited}
+			}
+		default: // op reply
+			i := p.State - 2
+			op := p.Ops[i]
+			op.OK = okRep
+			if okRep && !op.Write {
+				n, _ := fs.ParseU32(payload)
+				op.Got = make([]byte, n)
+				ctx.ImageRead(0, op.Got)
+			}
+			p.State++
+			if !p.startOp(ctx) {
+				return 0, proc.Status{State: proc.Exited}
+			}
+		}
+	}
+}
+
+func (p *modelProbe) Snapshot() ([]byte, error) { return nil, nil }
+func (p *modelProbe) Restore([]byte) error      { return nil }
+
+// TestFileServerMatchesModel drives the real four-process file system with
+// random reads and writes — with the file server migrating mid-sequence —
+// and compares every result against a plain in-memory reference file.
+func TestFileServerMatchesModel(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		const bufSize = 4096
+		const fileSpan = 8192
+
+		var ops []*fsOp
+		nOps := 25 + rng.Intn(15)
+		for i := 0; i < nOps; i++ {
+			if rng.Intn(2) == 0 {
+				n := 1 + rng.Intn(bufSize-1)
+				data := make([]byte, n)
+				rng.Read(data)
+				ops = append(ops, &fsOp{Write: true, Off: uint32(rng.Intn(fileSpan)), Data: data})
+			} else {
+				ops = append(ops, &fsOp{Off: uint32(rng.Intn(fileSpan)), N: uint32(1 + rng.Intn(bufSize-1))})
+			}
+		}
+
+		r := newRig(t, 3, 1)
+		probe := &modelProbe{Ops: ops, Size: bufSize}
+		pid, err := r.k(2).Spawn(kernel.SpawnSpec{
+			Body: probe, ImageSize: bufSize,
+			Links: []link.Link{
+				{Addr: addr.At(r.dir, 1)},
+				{Addr: addr.At(r.file, 1)},
+			},
+		})
+		must(t, err)
+		// Migrate the file server at a random instant mid-sequence.
+		r.eng.RunFor(simt.Time(50000 + rng.Intn(400000)))
+		r.k(3).RequestMigrationOf(addr.At(r.file, 1), 3)
+		r.eng.Run()
+
+		if _, ok := r.k(2).Exit(pid); !ok {
+			t.Fatalf("seed %d: probe never finished (%d/%d ops)", seed, probe.State-2, len(ops))
+		}
+
+		// Replay against the reference model.
+		model := []byte{}
+		for i, op := range ops {
+			if op.Write {
+				end := int(op.Off) + len(op.Data)
+				if end > len(model) {
+					model = append(model, make([]byte, end-len(model))...)
+				}
+				copy(model[op.Off:], op.Data)
+				if !op.OK {
+					t.Fatalf("seed %d op %d: write failed", seed, i)
+				}
+				continue
+			}
+			if !op.OK {
+				t.Fatalf("seed %d op %d: read failed", seed, i)
+			}
+			want := []byte{}
+			if int(op.Off) < len(model) {
+				end := int(op.Off) + int(op.N)
+				if end > len(model) {
+					end = len(model)
+				}
+				want = model[op.Off:end]
+			}
+			if !bytes.Equal(op.Got, want) {
+				t.Fatalf("seed %d op %d: read [%d+%d) diverged from model (got %d bytes, want %d)",
+					seed, i, op.Off, op.N, len(op.Got), len(want))
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package fs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/fs"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+)
+
+// TestCacheEvictionReachesDisk: a working set bigger than the cache forces
+// LRU evictions; re-reads must then come from the disk — correctly.
+func TestCacheEvictionReachesDisk(t *testing.T) {
+	r := newRig(t, 2, 1)
+	rng := rand.New(rand.NewSource(3))
+
+	// 45 single-block writes across 45 distinct blocks (cache holds 32),
+	// then read them all back.
+	var ops []*fsOp
+	payloads := map[uint32][]byte{}
+	for i := 0; i < 45; i++ {
+		data := make([]byte, fs.BlockSize)
+		rng.Read(data)
+		off := uint32(i) * fs.BlockSize
+		payloads[off] = data
+		ops = append(ops, &fsOp{Write: true, Off: off, Data: data})
+	}
+	for i := 0; i < 45; i++ {
+		ops = append(ops, &fsOp{Off: uint32(i) * fs.BlockSize, N: fs.BlockSize})
+	}
+	probe := &modelProbe{Ops: ops, Size: fs.BlockSize}
+	pid, err := r.k(2).Spawn(kernel.SpawnSpec{
+		Body: probe, ImageSize: fs.BlockSize,
+		Links: []link.Link{
+			{Addr: addr.At(r.dir, 1)},
+			{Addr: addr.At(r.file, 1)},
+		},
+	})
+	must(t, err)
+	r.eng.Run()
+	if _, ok := r.k(2).Exit(pid); !ok {
+		t.Fatal("probe never finished")
+	}
+	for i := 45; i < 90; i++ {
+		op := ops[i]
+		if !op.OK {
+			t.Fatalf("read %d failed", i)
+		}
+		want := payloads[op.Off]
+		if string(op.Got) != string(want) {
+			t.Fatalf("block at %d corrupted after eviction round trip", op.Off)
+		}
+	}
+	dbody, _ := r.k(1).BodyOf(r.disk)
+	if reads := dbody.(*fs.Disk).Reads; reads == 0 {
+		t.Fatal("working set never overflowed to the disk")
+	}
+	cbody, _ := r.k(1).BodyOf(r.cach)
+	if n := len(cbody.(*fs.Cache).Blocks); n > 32 {
+		t.Fatalf("cache holds %d blocks, capacity 32", n)
+	}
+}
+
+// TestDiskFull: when the file server runs out of blocks, writes fail
+// cleanly and prior data stays readable.
+func TestDiskFull(t *testing.T) {
+	// Build a rig manually with a tiny block budget.
+	r := newRig(t, 2, 1)
+	tiny, err := r.k(1).Spawn(kernel.SpawnSpec{
+		Body:  fs.NewFileServer(4), // four blocks total
+		Links: []link.Link{{Addr: addr.At(r.cach, 1)}},
+	})
+	must(t, err)
+	dir2, err := r.k(1).Spawn(kernel.SpawnSpec{
+		Body:  fs.NewDir(),
+		Links: []link.Link{{Addr: addr.At(tiny, 1)}},
+	})
+	must(t, err)
+
+	block := make([]byte, fs.BlockSize)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	ops := []*fsOp{
+		{Write: true, Off: 0, Data: block},                 // block 1 of 4
+		{Write: true, Off: fs.BlockSize, Data: block},      // block 2
+		{Write: true, Off: 10 * fs.BlockSize, Data: block}, // needs blocks 3..11: fails
+		{Off: 0, N: fs.BlockSize},                          // still readable
+	}
+	probe := &modelProbe{Ops: ops, Size: fs.BlockSize}
+	pid, err := r.k(2).Spawn(kernel.SpawnSpec{
+		Body: probe, ImageSize: fs.BlockSize,
+		Links: []link.Link{
+			{Addr: addr.At(dir2, 1)},
+			{Addr: addr.At(tiny, 1)},
+		},
+	})
+	must(t, err)
+	r.eng.Run()
+	if _, ok := r.k(2).Exit(pid); !ok {
+		t.Fatal("probe never finished")
+	}
+	if !ops[0].OK || !ops[1].OK {
+		t.Fatal("in-budget writes failed")
+	}
+	if ops[2].OK {
+		t.Fatal("write past the block budget succeeded")
+	}
+	if !ops[3].OK || string(ops[3].Got) != string(block) {
+		t.Fatal("prior data unreadable after a failed write")
+	}
+}
+
+// TestStatAndRemove exercises the remaining directory/file operations.
+func TestStatAndRemove(t *testing.T) {
+	r := newRig(t, 1, 1)
+	pr := &adminProbe{}
+	pid, err := r.k(1).Spawn(kernel.SpawnSpec{
+		Body: pr, ImageSize: 256,
+		Links: []link.Link{
+			{Addr: addr.At(r.dir, 1)},
+			{Addr: addr.At(r.file, 1)},
+		},
+	})
+	must(t, err)
+	r.eng.Run()
+	if _, ok := r.k(1).Exit(pid); !ok {
+		t.Fatal("probe never finished")
+	}
+	if pr.Size != 700 {
+		t.Fatalf("stat size = %d, want 700", pr.Size)
+	}
+	if !pr.RemovedOK || pr.LookupAfterRemove {
+		t.Fatalf("remove: ok=%v, lookup-after=%v", pr.RemovedOK, pr.LookupAfterRemove)
+	}
+	if pr.Listing != "doomed" {
+		t.Fatalf("listing before removal = %q, want the created file", pr.Listing)
+	}
+}

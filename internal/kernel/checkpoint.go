@@ -1,0 +1,169 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/memory"
+	"demosmp/internal/proc"
+	"demosmp/internal/trace"
+)
+
+// This file implements the paper's §1 fault-recovery idea: "If the
+// information necessary to transport a process is saved in stable storage,
+// it may be possible to 'migrate' a process from a processor that has
+// crashed to a working one." A checkpoint is exactly the three migration
+// payloads — resident record, swappable state, program image — with a
+// small header, so Revive on another kernel is migration steps 3-5 and 8
+// replayed from bytes instead of from data-move streams.
+
+const checkpointMagic = 0x444D5043 // "DMPC"
+
+// Checkpoint serializes a transportable copy of a local process. The
+// process keeps running; the copy reflects its state at this instant
+// (between scheduling slices, which is the only observable granularity).
+func (k *Kernel) Checkpoint(pid addr.ProcessID) ([]byte, error) {
+	p, ok := k.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("kernel %v: no process %v", k.machine, pid)
+	}
+	switch p.state {
+	case StateForwarder, StateIncoming, StateInMigration, StateDead:
+		return nil, fmt.Errorf("kernel %v: %v is %v; not checkpointable", k.machine, pid, p.state)
+	}
+	resident := k.encodeResident(p)
+	ctl, err := p.body.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("kernel: snapshot of %v: %w", pid, err)
+	}
+	swappable := encodeSwappable(p.links, ctl)
+	var program []byte
+	if p.image != nil {
+		if program, err = p.image.Bytes(); err != nil {
+			return nil, err
+		}
+	}
+
+	b := binary.LittleEndian.AppendUint32(nil, checkpointMagic)
+	b = addr.EncodePID(b, pid)
+	b = append(b, byte(p.state)) // the state to revive into
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(resident)))
+	b = append(b, resident...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(swappable)))
+	b = append(b, swappable...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(program)))
+	b = append(b, program...)
+	k.trace(trace.CatMigrate, "checkpoint",
+		fmt.Sprintf("%v: %dB (resident %d, swappable %d, program %d)",
+			pid, len(b), len(resident), len(swappable), len(program)))
+	return b, nil
+}
+
+// Revive instantiates a checkpointed process on this kernel, preserving
+// its identity. Messages sent on old links will reach it here once their
+// holders' link tables are updated — or immediately, if a forwarding
+// address (or the old machine's return-to-sender bounce) can still point
+// the way; after a crash, senders rely on the locate path or on new links.
+func (k *Kernel) Revive(checkpoint []byte) (addr.ProcessID, error) {
+	b := checkpoint
+	if len(b) < 4+addr.PIDWireSize+1 || binary.LittleEndian.Uint32(b) != checkpointMagic {
+		return addr.NilPID, fmt.Errorf("kernel: not a checkpoint")
+	}
+	b = b[4:]
+	pid, b, err := addr.DecodePID(b)
+	if err != nil {
+		return addr.NilPID, err
+	}
+	state := ProcState(b[0])
+	b = b[1:]
+	next := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("kernel: truncated checkpoint")
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < n {
+			return nil, fmt.Errorf("kernel: truncated checkpoint section")
+		}
+		sec := b[:n]
+		b = b[n:]
+		return sec, nil
+	}
+	resident, err := next()
+	if err != nil {
+		return addr.NilPID, err
+	}
+	swappable, err := next()
+	if err != nil {
+		return addr.NilPID, err
+	}
+	program, err := next()
+	if err != nil {
+		return addr.NilPID, err
+	}
+
+	if old, dup := k.procs[pid]; dup {
+		if old.state != StateForwarder {
+			return addr.NilPID, fmt.Errorf("kernel %v: %v already exists here", k.machine, pid)
+		}
+		k.stats.ForwarderBytes -= ForwarderWireSize
+		delete(k.procs, pid)
+	}
+	res, err := decodeResident(resident)
+	if err != nil {
+		return addr.NilPID, err
+	}
+	table, ctl, err := decodeSwappable(swappable)
+	if err != nil {
+		return addr.NilPID, err
+	}
+	body, err := k.cfg.Registry.New(res.kind)
+	if err != nil {
+		return addr.NilPID, err
+	}
+	if err := body.Restore(ctl); err != nil {
+		return addr.NilPID, err
+	}
+	var img *memory.Image
+	if len(program) > 0 {
+		if k.cfg.MemCapacity > 0 && k.memUsed+len(program) > k.cfg.MemCapacity {
+			return addr.NilPID, fmt.Errorf("kernel %v: out of memory for revival", k.machine)
+		}
+		img = memory.NewImage(len(program), k.swap)
+		if err := img.WriteAt(program, 0); err != nil {
+			return addr.NilPID, err
+		}
+		if mh, ok := body.(proc.MemoryHolder); ok {
+			mh.SetImage(img)
+		}
+		k.memUsed += img.Size()
+	}
+	p := &Process{
+		id:         pid,
+		body:       body,
+		kind:       res.kind,
+		links:      table,
+		image:      img,
+		privileged: res.privileged,
+		cpuUsed:    res.cpuUsed,
+		msgsIn:     res.msgsIn,
+		msgsOut:    res.msgsOut,
+		createdAt:  k.eng.Now(),
+		commTo:     make(map[addr.MachineID]uint64),
+		commDelta:  make(map[addr.MachineID]uint64),
+	}
+	k.procs[pid] = p
+	k.stats.Revived++
+	k.trace(trace.CatMigrate, "revive", fmt.Sprintf("%v as %v from %dB checkpoint",
+		pid, state, len(checkpoint)))
+	switch state {
+	case StateWaiting:
+		p.state = StateWaiting
+	case StateSuspended:
+		p.state = StateSuspended
+	default:
+		k.enqueueRun(p)
+	}
+	return pid, nil
+}

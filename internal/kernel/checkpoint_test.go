@@ -1,0 +1,145 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+	"demosmp/internal/workload"
+)
+
+// TestCheckpointReviveAfterCrash is §1's fault-recovery scenario: a
+// checkpoint saved to "stable storage" revives the process on a working
+// machine after its processor crashes, and the computation completes from
+// the checkpointed state.
+func TestCheckpointReviveAfterCrash(t *testing.T) {
+	c := newTC(t, 2, nil)
+	pid, err := c.k(1).Spawn(kernel.SpawnSpec{Program: workload.CPUBound(100000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.runFor(50000) // partway through
+
+	snap, err := c.k(1).Checkpoint(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.runFor(10000) // a little more progress after the checkpoint
+	c.k(1).Crash()
+	c.run()
+	if _, _, ok := func() (kernel.ExitInfo, addr.MachineID, bool) {
+		for m, k := range c.ks {
+			if e, ok := k.Exit(pid); ok {
+				return e, m, true
+			}
+		}
+		return kernel.ExitInfo{}, 0, false
+	}(); ok {
+		t.Fatal("process somehow exited despite the crash")
+	}
+
+	revived, err := c.k(2).Revive(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revived != pid {
+		t.Fatalf("revived as %v, want the same identity %v", revived, pid)
+	}
+	c.run()
+	e, ok := c.k(2).Exit(pid)
+	if !ok {
+		t.Fatal("revived process never finished")
+	}
+	if e.Code != workload.CPUBoundResult(100000) {
+		t.Fatalf("revived result %d, want %d — checkpoint state corrupt",
+			e.Code, workload.CPUBoundResult(100000))
+	}
+	if s := c.k(2).Stats(); s.Revived != 1 {
+		t.Fatalf("revived counter = %d", s.Revived)
+	}
+}
+
+// TestCheckpointNativeBody: native server state survives the same path.
+func TestCheckpointNativeBody(t *testing.T) {
+	c := newTC(t, 2, nil)
+	cb := &counterBody{}
+	pid, _ := c.k(1).Spawn(kernel.SpawnSpec{Body: cb})
+	sink := &blackholeBody{}
+	sinkPID, _ := c.k(2).Spawn(kernel.SpawnSpec{Body: sink})
+	for i := 0; i < 3; i++ {
+		c.k(1).GiveMessage(pid, addr.At(sinkPID, 2), []byte("hit"), c.linkTo(sinkPID, 2, 0))
+	}
+	c.run()
+	snap, err := c.k(1).Checkpoint(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.k(1).Crash()
+	if _, err := c.k(2).Revive(snap); err != nil {
+		t.Fatal(err)
+	}
+	// The revived counter continues from 3.
+	c.k(2).GiveMessage(pid, addr.At(sinkPID, 2), []byte("hit"), c.linkTo(sinkPID, 2, 0))
+	c.run()
+	if len(sink.Got) != 4 || sink.Got[3] != "count=4@m2" {
+		t.Fatalf("revived counter state: %v", sink.Got)
+	}
+}
+
+// TestReviveRefusesCollision: a live process is never overwritten.
+func TestReviveRefusesCollision(t *testing.T) {
+	c := newTC(t, 2, nil)
+	pid, _ := c.k(1).Spawn(kernel.SpawnSpec{Body: &counterBody{}})
+	c.runFor(1000)
+	snap, _ := c.k(1).Checkpoint(pid)
+	if _, err := c.k(1).Revive(snap); err == nil {
+		t.Fatal("revive over a live process accepted")
+	}
+}
+
+// TestReviveReplacesForwarder: reviving where only a forwarding address
+// remains supersedes it (like migrating back home).
+func TestReviveReplacesForwarder(t *testing.T) {
+	c := newTC(t, 2, nil)
+	pid, _ := c.k(1).Spawn(kernel.SpawnSpec{Body: &counterBody{}})
+	c.migrate(2, pid, 1, 2)
+	c.run()
+	snap, err := c.k(2).Checkpoint(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.k(2).Crash()
+	// m1 still holds the forwarder; revival replaces it.
+	if _, err := c.k(1).Revive(snap); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := c.k(1).Process(pid)
+	if !ok || info.State == kernel.StateForwarder {
+		t.Fatalf("revive did not replace the forwarder: %+v", info)
+	}
+}
+
+// TestCheckpointRejectsGarbage and non-checkpointable states.
+func TestCheckpointValidation(t *testing.T) {
+	c := newTC(t, 2, nil)
+	if _, err := c.k(1).Revive([]byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage revived")
+	}
+	if _, err := c.k(1).Checkpoint(addr.ProcessID{Creator: 9, Local: 9}); err == nil {
+		t.Fatal("checkpointed a nonexistent process")
+	}
+	// A forwarding address is not checkpointable.
+	pid, _ := c.k(1).Spawn(kernel.SpawnSpec{Body: &counterBody{}})
+	c.migrate(2, pid, 1, 2)
+	c.run()
+	if _, err := c.k(1).Checkpoint(pid); err == nil {
+		t.Fatal("checkpointed a forwarding address")
+	}
+	// Truncated checkpoints are rejected.
+	snap, _ := c.k(2).Checkpoint(pid)
+	for _, cut := range []int{5, 12, len(snap) - 3} {
+		if _, err := c.k(1).Revive(snap[:cut]); err == nil {
+			t.Fatalf("revived %d-byte truncation", cut)
+		}
+	}
+}

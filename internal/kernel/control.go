@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"fmt"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/trace"
+)
+
+// kernelMsg handles a message received by the kernel itself: frames
+// addressed to the kernel pseudo-process, and DELIVERTOKERNEL messages that
+// arrived at a local process's queue (§2.2).
+func (k *Kernel) kernelMsg(m *msg.Message) {
+	switch m.Kind {
+	case msg.KindLinkUpdate:
+		k.applyLinkUpdate(m)
+	case msg.KindData:
+		k.handleDataPacket(m)
+	case msg.KindAck:
+		k.handleAck(m)
+	case msg.KindControl:
+		k.kernelControl(m)
+	default:
+		// A user message addressed to a kernel: nothing meaningful.
+		k.stats.DeadLetters++
+	}
+}
+
+func (k *Kernel) kernelControl(m *msg.Message) {
+	switch m.Op {
+	// --- migration protocol (§3.1) ---
+	case msg.OpMigrateRequest:
+		k.handleMigrateRequest(m)
+	case msg.OpMigrateAsk:
+		k.handleMigrateAsk(m)
+	case msg.OpMigrateAccept:
+		k.handleMigrateAccept(m)
+	case msg.OpMigrateRefuse:
+		k.handleMigrateRefuse(m)
+	case msg.OpMoveDataReq:
+		k.handleMoveDataReq(m)
+	case msg.OpMigrateEstablished:
+		k.handleMigrateEstablished(m)
+	case msg.OpMigrateCleanup:
+		k.handleMigrateCleanup(m)
+	case msg.OpMigrateAbort:
+		k.handleMigrateAbort(m)
+	case msg.OpMigrateDone:
+		// A self-initiated migration's completion report (requester was
+		// this kernel rather than a process manager).
+		if d, err := msg.DecodeMigrateDone(m.Body); err == nil {
+			k.doneMigs = append(k.doneMigs, d)
+		}
+
+	// --- process control (§2.2: control follows the process) ---
+	case msg.OpSuspend:
+		k.handleSuspend(m)
+	case msg.OpResume:
+		k.handleResume(m)
+	case msg.OpKill:
+		if p, ok := k.procs[m.To.ID]; ok && p.state != StateForwarder {
+			k.stats.Kills++
+			k.terminate(p, -1, fmt.Errorf("killed by %v", m.From.ID))
+		}
+	case msg.OpCreateProcess:
+		k.handleCreateProcess(m)
+
+	// --- move-data facility (§2.2) ---
+	case msg.OpMoveRead:
+		k.handleMoveRead(m)
+	case msg.OpMoveReadDone:
+		// Only reaches the kernel on the failure path; success arrives
+		// as a reassembled stream.
+		k.handleMoveReadFailed(m)
+
+	// --- forwarding machinery ---
+	case msg.OpDeathNotice:
+		k.handleDeathNotice(m)
+	case msg.OpNotDeliverable:
+		k.handleNotDeliverable(m)
+	case msg.OpLocateReply:
+		k.handleLocateReply(m)
+	case msg.OpEagerUpdate:
+		k.applyEagerUpdate(m)
+
+	default:
+		k.trace(trace.CatDeliver, "unknown-control", m.Op.String())
+	}
+}
+
+func (k *Kernel) handleSuspend(m *msg.Message) {
+	p, ok := k.procs[m.To.ID]
+	if !ok || p.state == StateForwarder {
+		return
+	}
+	switch p.state {
+	case StateReady:
+		k.removeFromRunq(p)
+		p.prevState = StateReady
+		p.state = StateSuspended
+	case StateWaiting:
+		p.prevState = StateWaiting
+		p.state = StateSuspended
+	}
+	k.trace(trace.CatProc, "suspend", p.id.String())
+}
+
+func (k *Kernel) handleResume(m *msg.Message) {
+	p, ok := k.procs[m.To.ID]
+	if !ok || p.state != StateSuspended {
+		return
+	}
+	if p.prevState == StateWaiting && len(p.queue) == 0 {
+		p.state = StateWaiting
+	} else {
+		k.enqueueRun(p)
+	}
+	k.trace(trace.CatProc, "resume", p.id.String())
+}
+
+func (k *Kernel) handleCreateProcess(m *msg.Message) {
+	req, err := msg.DecodeCreateProcess(m.Body)
+	if err != nil || k.cfg.Programs == nil {
+		k.replyCreateDone(m.From, addr.NilPID, req.Tag)
+		return
+	}
+	spec, err := k.cfg.Programs(req.Name, req.Args)
+	if err != nil {
+		k.trace(trace.CatProc, "create-failed", fmt.Sprintf("%s: %v", req.Name, err))
+		k.replyCreateDone(m.From, addr.NilPID, req.Tag)
+		return
+	}
+	pid, err := k.Spawn(spec)
+	if err != nil {
+		k.trace(trace.CatProc, "create-failed", fmt.Sprintf("%s: %v", req.Name, err))
+	}
+	k.replyCreateDone(m.From, pid, req.Tag)
+}
+
+func (k *Kernel) replyCreateDone(to addr.ProcessAddr, pid addr.ProcessID, tag uint16) {
+	d := msg.CreateDone{PID: pid, Machine: k.machine, Tag: tag}
+	k.route(&msg.Message{
+		Kind: msg.KindControl, Op: msg.OpCreateDone,
+		From: addr.KernelAddr(k.machine), To: to,
+		Body: d.Encode(),
+	})
+}

@@ -1,0 +1,260 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/link"
+	"demosmp/internal/msg"
+	"demosmp/internal/proc"
+	"demosmp/internal/sim"
+	"demosmp/internal/trace"
+)
+
+// procCtx is the kernel-call interface handed to a body for one Step.
+type procCtx struct {
+	k           *Kernel
+	p           *Process
+	msgsHandled int
+}
+
+var _ proc.Context = (*procCtx)(nil)
+
+func (c *procCtx) PID() addr.ProcessID     { return c.p.id }
+func (c *procCtx) Machine() addr.MachineID { return c.k.machine }
+func (c *procCtx) Now() sim.Time           { return c.k.eng.Now() }
+func (c *procCtx) Rand() uint32            { return c.k.eng.Rand().Uint32() }
+
+func (c *procCtx) Send(on link.ID, body []byte, carry ...link.ID) error {
+	return c.send(on, msg.KindUser, msg.OpNone, body, carry)
+}
+
+func (c *procCtx) SendOp(on link.ID, op msg.Op, body []byte) error {
+	if !c.p.privileged {
+		return fmt.Errorf("kernel: %v is not privileged", c.p.id)
+	}
+	return c.send(on, msg.KindControl, op, body, nil)
+}
+
+func (c *procCtx) send(on link.ID, kind msg.Kind, op msg.Op, body []byte, carry []link.ID) error {
+	l, ok := c.p.links.Get(on)
+	if !ok {
+		return fmt.Errorf("kernel: %v has no link %v", c.p.id, on)
+	}
+	m := &msg.Message{
+		Kind: kind, Op: op,
+		From: addr.At(c.p.id, c.k.machine),
+		To:   l.Addr,
+		DTK:  l.Attrs&link.AttrDeliverToKernel != 0,
+		Body: append([]byte(nil), body...),
+	}
+	for _, cid := range carry {
+		cl, ok := c.p.links.Get(cid)
+		if !ok {
+			return fmt.Errorf("kernel: %v carries unknown link %v", c.p.id, cid)
+		}
+		m.Links = append(m.Links, cl)
+		if cl.Attrs&link.AttrReply != 0 {
+			// Passing a reply link transfers it.
+			c.p.links.Remove(cid)
+		}
+	}
+	if l.Attrs&link.AttrReply != 0 {
+		// §2.4: reply links "are used only once to respond to requests".
+		c.p.links.Remove(on)
+	}
+	c.p.msgsOut++
+	c.p.msgsDelta++
+	c.p.commTo[l.Addr.LastKnown]++
+	c.p.commDelta[l.Addr.LastKnown]++
+	c.k.route(m)
+	return nil
+}
+
+func (c *procCtx) Recv() (proc.Delivery, bool) {
+	if len(c.p.queue) == 0 {
+		return proc.Delivery{}, false
+	}
+	m := c.p.queue[0]
+	c.p.queue = c.p.queue[1:]
+	c.msgsHandled++
+	d := proc.Delivery{From: m.From, Body: m.Body, Op: m.Op}
+	for _, l := range m.Links {
+		id, err := c.p.links.Insert(l)
+		if err != nil {
+			c.k.trace(trace.CatDeliver, "carried-link-dropped",
+				fmt.Sprintf("%v: %v", c.p.id, err))
+			break
+		}
+		d.Carried = append(d.Carried, id)
+	}
+	if m.Kind == msg.KindControl {
+		switch m.Op {
+		case msg.OpMoveWriteDone:
+			if st, err := msg.DecodeXferStatus(m.Body); err == nil {
+				d.Xfer, d.OK = st.Xfer, st.OK
+			}
+		case msg.OpMoveReadDone:
+			if st, err := msg.DecodeXferStatus(m.Body); err == nil {
+				d.Xfer, d.OK = st.Xfer, st.OK
+				d.Data = m.Body[3:]
+			}
+		case msg.OpTimer:
+			if len(m.Body) >= 2 {
+				d.Xfer = binary.LittleEndian.Uint16(m.Body)
+			}
+		}
+	}
+	return d, true
+}
+
+func (c *procCtx) CreateLink(attrs link.Attr, area link.DataArea) (link.ID, error) {
+	if !area.IsZero() {
+		if c.p.image == nil {
+			return link.NilID, fmt.Errorf("kernel: %v has no memory image for a data area", c.p.id)
+		}
+		if int(area.Offset)+int(area.Length) > c.p.image.Size() {
+			return link.NilID, fmt.Errorf("kernel: data area [%d+%d) outside image of %d bytes",
+				area.Offset, area.Length, c.p.image.Size())
+		}
+	}
+	l := link.Link{Addr: addr.At(c.p.id, c.k.machine), Attrs: attrs, Area: area}
+	return c.p.links.Insert(l)
+}
+
+func (c *procCtx) DestroyLink(id link.ID) error {
+	if !c.p.links.Remove(id) {
+		return fmt.Errorf("kernel: %v has no link %v", c.p.id, id)
+	}
+	return nil
+}
+
+func (c *procCtx) LinkAddr(id link.ID) (link.Link, bool) { return c.p.links.Get(id) }
+
+func (c *procCtx) MintLink(l link.Link) (link.ID, error) {
+	if !c.p.privileged {
+		return link.NilID, fmt.Errorf("kernel: %v is not privileged", c.p.id)
+	}
+	return c.p.links.Insert(l)
+}
+
+// MoveTo streams data into the data area granted by a held link (§2.2).
+func (c *procCtx) MoveTo(on link.ID, off uint32, data []byte, userXfer uint16) error {
+	l, ok := c.p.links.Get(on)
+	if !ok {
+		return fmt.Errorf("kernel: %v has no link %v", c.p.id, on)
+	}
+	if l.Attrs&link.AttrDataWrite == 0 {
+		return fmt.Errorf("kernel: link %v grants no write access", on)
+	}
+	if !l.Area.Contains(off, uint32(len(data))) {
+		return fmt.Errorf("kernel: write [%d+%d) outside granted area of %d bytes",
+			off, len(data), l.Area.Length)
+	}
+	kx := c.k.newXferID()
+	n := c.k.streamWrite(l.Addr, kx, l.Area.Offset+off, data)
+	c.k.moveOps[kx] = moveOp{
+		initiator: c.p.id, userXfer: userXfer,
+		packets: n, acked: make(map[uint32]bool),
+	}
+	return nil
+}
+
+// MoveFrom streams data out of the data area granted by a held link.
+func (c *procCtx) MoveFrom(on link.ID, off, n uint32, userXfer uint16) error {
+	l, ok := c.p.links.Get(on)
+	if !ok {
+		return fmt.Errorf("kernel: %v has no link %v", c.p.id, on)
+	}
+	if l.Attrs&link.AttrDataRead == 0 {
+		return fmt.Errorf("kernel: link %v grants no read access", on)
+	}
+	if !l.Area.Contains(off, n) {
+		return fmt.Errorf("kernel: read [%d+%d) outside granted area of %d bytes",
+			off, n, l.Area.Length)
+	}
+	k := c.k
+	pid := c.p.id
+	kx := k.newXferID()
+	st := k.registerInStream(kx, func(data []byte) {
+		body := msg.XferStatus{Xfer: userXfer, OK: true}.Encode()
+		body = append(body, data...)
+		k.route(&msg.Message{
+			Kind: msg.KindControl, Op: msg.OpMoveReadDone,
+			From: addr.KernelAddr(k.machine), To: addr.At(pid, k.machine),
+			Body: body,
+		})
+	})
+	st.fail = func() {
+		k.route(&msg.Message{
+			Kind: msg.KindControl, Op: msg.OpMoveReadDone,
+			From: addr.KernelAddr(k.machine), To: addr.At(pid, k.machine),
+			Body: msg.XferStatus{Xfer: userXfer, OK: false}.Encode(),
+		})
+	}
+	req := msg.MoveRead{PID: l.Addr.ID, AreaOff: l.Area.Offset, Off: off, Len: n, Xfer: kx}
+	k.route(&msg.Message{
+		Kind: msg.KindControl, Op: msg.OpMoveRead,
+		From: addr.KernelAddr(k.machine), To: l.Addr, DTK: true,
+		Body: req.Encode(),
+	})
+	return nil
+}
+
+func (c *procCtx) ImageRead(off int, b []byte) error {
+	if c.p.image == nil {
+		return fmt.Errorf("kernel: %v has no memory image", c.p.id)
+	}
+	return c.p.image.ReadAt(b, off)
+}
+
+func (c *procCtx) ImageWrite(off int, b []byte) error {
+	if c.p.image == nil {
+		return fmt.Errorf("kernel: %v has no memory image", c.p.id)
+	}
+	return c.p.image.WriteAt(b, off)
+}
+
+// SetTimer delivers an OpTimer message to this process after d. The timer
+// is a normal routed message, so it follows the process through a
+// migration.
+func (c *procCtx) SetTimer(d sim.Time, tag uint16) {
+	k := c.k
+	to := addr.At(c.p.id, k.machine)
+	body := binary.LittleEndian.AppendUint16(nil, tag)
+	k.eng.After(d, "kernel:timer", func() {
+		k.route(&msg.Message{
+			Kind: msg.KindControl, Op: msg.OpTimer,
+			From: addr.KernelAddr(k.machine), To: to,
+			Body: body,
+		})
+	})
+}
+
+func (c *procCtx) Print(b []byte) {
+	line := string(b)
+	c.k.console[c.p.id] = append(c.k.console[c.p.id], line)
+	c.k.trace(trace.CatConsole, "print", fmt.Sprintf("%v: %s", c.p.id, strings.TrimRight(line, "\n")))
+}
+
+func (c *procCtx) Logf(format string, args ...any) {
+	c.Print([]byte(fmt.Sprintf(format, args...)))
+}
+
+// RequestMigration forwards the wish to the process manager, or — when no
+// manager is configured — lets the kernel act as its own manager.
+func (c *procCtx) RequestMigration(dest addr.MachineID) error {
+	req := msg.MigrateRequest{PID: c.p.id, Dest: dest}
+	if !c.k.cfg.PMLink.IsNil() {
+		c.k.route(&msg.Message{
+			Kind: msg.KindControl, Op: msg.OpMigrateRequest,
+			From: addr.At(c.p.id, c.k.machine), To: c.k.cfg.PMLink.Addr,
+			Body: req.Encode(),
+		})
+		return nil
+	}
+	c.k.RequestMigrationOf(addr.At(c.p.id, c.k.machine), dest)
+	return nil
+}

@@ -1,0 +1,283 @@
+package kernel
+
+import (
+	"fmt"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/trace"
+)
+
+// route submits a message to the delivery system. The destination machine
+// is the (possibly stale) last-known-machine hint in the process address;
+// staleness is repaired downstream by forwarding addresses (§4).
+func (k *Kernel) route(m *msg.Message) {
+	if k.crashed {
+		return
+	}
+	k.stats.MsgsRouted++
+	if m.SentAt == 0 {
+		m.SentAt = k.eng.Now()
+	}
+	if m.To.LastKnown == k.machine {
+		k.eng.After(k.cfg.LocalLatency, "kernel:local-deliver", func() {
+			k.deliverLocal(m)
+		})
+		return
+	}
+	k.net.Send(k.machine, m.To.LastKnown, m)
+}
+
+// DeliverFrame implements netw.Endpoint.
+func (k *Kernel) DeliverFrame(m *msg.Message) {
+	if k.crashed {
+		return
+	}
+	k.deliverLocal(m)
+}
+
+// deliverLocal is the paper's "normal message delivery system tries to find
+// a process when a message arrives for it" (§3.1 step 7).
+func (k *Kernel) deliverLocal(m *msg.Message) {
+	if m.To.ID.IsKernel() {
+		k.kernelMsg(m)
+		return
+	}
+	p, ok := k.procs[m.To.ID]
+	if !ok {
+		k.unknownProcess(m)
+		return
+	}
+	switch p.state {
+	case StateForwarder:
+		k.forward(p, m)
+	case StateInMigration, StateIncoming:
+		// §3.1 step 1: "Messages arriving for the migrating process,
+		// including DELIVERTOKERNEL messages, will be placed on its
+		// message queue."
+		p.queue = append(p.queue, m)
+		k.stats.MsgsHeld++
+		if len(p.queue) > p.queueHighWater {
+			p.queueHighWater = len(p.queue)
+		}
+	default:
+		if m.DTK {
+			// §2.2: "on arrival at the destination process's message
+			// queue, the message is received by the kernel on that
+			// processor."
+			k.kernelMsg(m)
+			return
+		}
+		k.enqueue(p, m)
+	}
+}
+
+// enqueue places a message on a process's queue and wakes it if waiting.
+func (k *Kernel) enqueue(p *Process, m *msg.Message) {
+	p.queue = append(p.queue, m)
+	p.msgsIn++
+	k.stats.MsgsEnqueued++
+	if len(p.queue) > p.queueHighWater {
+		p.queueHighWater = len(p.queue)
+	}
+	if p.state == StateWaiting {
+		k.enqueueRun(p)
+	}
+}
+
+// forward re-routes a message through a forwarding address (§4, Figure
+// 4-1): "the machine address of the message is updated and the message is
+// resubmitted to the message delivery system. As a byproduct of forwarding,
+// an attempt may be made to fix up the link of the sending process."
+func (k *Kernel) forward(f *Process, m *msg.Message) {
+	m.To.LastKnown = f.fwdTo
+	m.Forwards++
+	k.stats.Forwarded++
+	k.trace(trace.CatForward, "forward",
+		fmt.Sprintf("%v for %v -> %v (hop %d)", m.Kind, m.To.ID, f.fwdTo, m.Forwards))
+	k.route(m)
+	if k.shouldSendLinkUpdate(m) {
+		k.sendLinkUpdate(m.From, m.To.ID, f.fwdTo)
+	}
+}
+
+// shouldSendLinkUpdate filters which forwards generate the §5 update
+// message: only traffic that originated from a process's link (user
+// messages and process-manager control sends), never kernel-internal
+// streams or the update messages themselves.
+func (k *Kernel) shouldSendLinkUpdate(m *msg.Message) bool {
+	if m.From.ID.IsKernel() || m.From.ID.IsNil() {
+		return false
+	}
+	switch m.Kind {
+	case msg.KindUser, msg.KindControl:
+		return true
+	default:
+		return false
+	}
+}
+
+// sendLinkUpdate emits the special message of §5 to the kernel of the
+// process that sent the forwarded message. It is addressed to the sender's
+// process address with DELIVERTOKERNEL semantics, so it chases a sender
+// that has itself migrated.
+func (k *Kernel) sendLinkUpdate(sender addr.ProcessAddr, migrated addr.ProcessID, newMachine addr.MachineID) {
+	u := msg.LinkUpdate{Sender: sender.ID, Migrated: migrated, Machine: newMachine}
+	m := &msg.Message{
+		Kind: msg.KindLinkUpdate,
+		From: addr.KernelAddr(k.machine),
+		To:   sender,
+		DTK:  true,
+		Body: u.Encode(),
+	}
+	k.stats.LinkUpdatesSent++
+	k.trace(trace.CatLinkUpdate, "linkupdate-sent",
+		fmt.Sprintf("to kernel of %v: %v is now on %v", sender.ID, migrated, newMachine))
+	k.route(m)
+}
+
+// applyLinkUpdate rewrites the sender's link table (§5): "All links in the
+// sending process's link table that point to the migrated process are then
+// updated to point to the new location."
+func (k *Kernel) applyLinkUpdate(m *msg.Message) {
+	u, err := msg.DecodeLinkUpdate(m.Body)
+	if err != nil {
+		k.trace(trace.CatLinkUpdate, "linkupdate-bad", err.Error())
+		return
+	}
+	k.stats.LinkUpdatesApplied++
+	p, ok := k.procs[u.Sender]
+	if !ok || p.links == nil {
+		return // sender gone; nothing to fix
+	}
+	n := p.links.UpdateAddr(u.Migrated, u.Machine)
+	k.stats.LinksFixed += uint64(n)
+	if n > 0 {
+		k.trace(trace.CatLinkUpdate, "linkupdate-applied",
+			fmt.Sprintf("%d links of %v now point at %v on %v", n, u.Sender, u.Migrated, u.Machine))
+	}
+}
+
+// applyEagerUpdate handles the broadcast-update ablation: every kernel
+// rewrites every local link table at migration time.
+func (k *Kernel) applyEagerUpdate(m *msg.Message) {
+	u, err := msg.DecodePIDMachine(m.Body)
+	if err != nil {
+		return
+	}
+	fixed := 0
+	for _, p := range k.sortedProcs() {
+		if p.links != nil {
+			fixed += p.links.UpdateAddr(u.PID, u.Machine)
+		}
+	}
+	k.stats.LinksFixed += uint64(fixed)
+	k.trace(trace.CatLinkUpdate, "eager-applied",
+		fmt.Sprintf("%d links now point at %v on %v", fixed, u.PID, u.Machine))
+}
+
+// unknownProcess handles a message whose target does not exist here:
+// either the process terminated (dead letter) or — in the return-to-sender
+// baseline — it migrated away without leaving a forwarding address.
+func (k *Kernel) unknownProcess(m *msg.Message) {
+	if k.cfg.Mode == ModeReturnToSender && k.shouldSendLinkUpdate(m) {
+		k.bounce(m)
+		return
+	}
+	k.stats.DeadLetters++
+	k.trace(trace.CatDeliver, "dead-letter", fmt.Sprintf("%v for %v", m.Kind, m.To.ID))
+}
+
+// bounce implements the §4 alternative: "return messages to their senders
+// as not deliverable... The sending kernel can attempt to find the new
+// location of the process, perhaps by notifying the process manager."
+func (k *Kernel) bounce(m *msg.Message) {
+	k.stats.Bounced++
+	k.trace(trace.CatForward, "bounce", fmt.Sprintf("%v for %v returned to m%d",
+		m.Kind, m.To.ID, uint16(m.From.LastKnown)))
+	nd := &msg.Message{
+		Kind: msg.KindControl, Op: msg.OpNotDeliverable,
+		From: addr.KernelAddr(k.machine),
+		To:   addr.KernelAddr(m.From.LastKnown),
+		Orig: m,
+	}
+	k.route(nd)
+}
+
+// handleNotDeliverable runs on the sending kernel: hold the message, ask
+// the process manager where the process went, resend on reply.
+func (k *Kernel) handleNotDeliverable(m *msg.Message) {
+	orig := m.Orig
+	if orig == nil {
+		return
+	}
+	pid := orig.To.ID
+	k.pendingLocate[pid] = append(k.pendingLocate[pid], orig)
+	if len(k.pendingLocate[pid]) > 1 {
+		return // locate already outstanding
+	}
+	if k.cfg.PMLink.IsNil() {
+		k.stats.DeadLetters++
+		return
+	}
+	k.stats.LocateRequests++
+	req := &msg.Message{
+		Kind: msg.KindControl, Op: msg.OpLocate,
+		From: addr.KernelAddr(k.machine), To: k.cfg.PMLink.Addr,
+		Body: addr.EncodePID(nil, pid),
+	}
+	k.route(req)
+}
+
+// handleLocateReply resends held messages to the located machine and fixes
+// local senders' links.
+func (k *Kernel) handleLocateReply(m *msg.Message) {
+	pm, err := msg.DecodePIDMachine(m.Body)
+	if err != nil {
+		return
+	}
+	held := k.pendingLocate[pm.PID]
+	delete(k.pendingLocate, pm.PID)
+	if pm.Machine == addr.NoMachine {
+		k.stats.DeadLetters += uint64(len(held))
+		return
+	}
+	for _, orig := range held {
+		orig.To.LastKnown = pm.Machine
+		if p, ok := k.procs[orig.From.ID]; ok && p.links != nil {
+			k.stats.LinksFixed += uint64(p.links.UpdateAddr(pm.PID, pm.Machine))
+		}
+		k.stats.Resubmitted++
+		k.route(orig)
+	}
+}
+
+// sendDeathNoticeTo starts (or continues) the §4 garbage collection of
+// forwarding addresses "by means of pointers backwards along the path of
+// migration".
+func (k *Kernel) sendDeathNoticeTo(pid addr.ProcessID, to addr.MachineID) {
+	m := &msg.Message{
+		Kind: msg.KindControl, Op: msg.OpDeathNotice,
+		From: addr.KernelAddr(k.machine), To: addr.KernelAddr(to),
+		Body: msg.PIDMachine{PID: pid, Machine: k.machine}.Encode(),
+	}
+	k.route(m)
+}
+
+func (k *Kernel) handleDeathNotice(m *msg.Message) {
+	pm, err := msg.DecodePIDMachine(m.Body)
+	if err != nil {
+		return
+	}
+	p, ok := k.procs[pm.PID]
+	if !ok || p.state != StateForwarder {
+		return
+	}
+	delete(k.procs, pm.PID)
+	k.stats.ForwardersReclaimed++
+	k.stats.ForwarderBytes -= ForwarderWireSize
+	k.trace(trace.CatForward, "forwarder-reclaimed", pm.PID.String())
+	if p.cameFrom != addr.NoMachine {
+		k.sendDeathNoticeTo(pm.PID, p.cameFrom)
+	}
+}

@@ -1,0 +1,666 @@
+// Package kernel implements the per-node DEMOS/MP kernel: processes,
+// messages, links, the scheduler, the move-data facility, and — the paper's
+// contribution — the 8-step process migration mechanism with forwarding
+// addresses and lazy link updating (§3–§5).
+//
+// A copy of the kernel runs on (is instantiated for) each machine. Kernels
+// cooperate purely by exchanging messages through the network substrate;
+// "different modules of the kernel on the same processor, as well as
+// kernels on different processors, use the message mechanism to communicate
+// with each other".
+package kernel
+
+import (
+	"fmt"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/dvm"
+	"demosmp/internal/link"
+	"demosmp/internal/memory"
+	"demosmp/internal/msg"
+	"demosmp/internal/netw"
+	"demosmp/internal/proc"
+	"demosmp/internal/sim"
+	"demosmp/internal/trace"
+)
+
+// ProcState is a process's scheduling/lifecycle state as the kernel sees it.
+type ProcState uint8
+
+const (
+	// StateReady: runnable (queued or currently in a slice).
+	StateReady ProcState = iota + 1
+	// StateWaiting: blocked in receive on an empty message queue.
+	StateWaiting
+	// StateSuspended: stopped by the process manager.
+	StateSuspended
+	// StateInMigration: frozen on the source machine; arriving messages
+	// (including DELIVERTOKERNEL ones) are held on the queue (§3.1 step 1).
+	StateInMigration
+	// StateIncoming: the empty process state allocated on the
+	// destination machine (§3.1 step 3), being filled by data moves.
+	StateIncoming
+	// StateForwarder: a forwarding address — "a degenerate process
+	// state, whose only contents are the (last known) machine to which
+	// the process was migrated" (§3.1 step 7).
+	StateForwarder
+	// StateDead: terminated; the entry is removed immediately after.
+	StateDead
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateWaiting:
+		return "waiting"
+	case StateSuspended:
+		return "suspended"
+	case StateInMigration:
+		return "in-migration"
+	case StateIncoming:
+		return "incoming"
+	case StateForwarder:
+		return "forwarder"
+	case StateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// ForwardMode selects how messages for a departed process are handled (§4).
+type ForwardMode uint8
+
+const (
+	// ModeForward leaves a forwarding address and re-routes messages —
+	// the paper's design.
+	ModeForward ForwardMode = iota
+	// ModeReturnToSender is the alternative the paper describes and
+	// rejects: no state is left behind; messages bounce to the sending
+	// kernel, which must locate the process via the process manager.
+	ModeReturnToSender
+)
+
+// Config parameterizes one kernel. The zero value is filled with defaults.
+type Config struct {
+	// Quantum is the instruction budget per VM scheduling slice.
+	Quantum int
+	// InstrCostNanos is the cost of one VM instruction (Z8000-class
+	// default: 2µs).
+	InstrCostNanos uint32
+	// NativeStepCost charges a native (server) body per Step call.
+	NativeStepCost sim.Time
+	// NativeMsgCost charges a native body per message received.
+	NativeMsgCost sim.Time
+	// CtxSwitch is the cost between slices.
+	CtxSwitch sim.Time
+	// LocalLatency is same-machine message delivery time.
+	LocalLatency sim.Time
+	// DataPacket is the move-data packet payload size (§6: the facility
+	// "minimize[s] network overhead by sending larger packets").
+	DataPacket int
+	// MemCapacity bounds real memory for process images (0 = unlimited).
+	MemCapacity int
+	// SwapCapacity bounds the swap store (0 = unlimited).
+	SwapCapacity int
+	// SwapSoftLimit, when set, is the resident-byte threshold above
+	// which the kernel swaps out pages of waiting/suspended processes —
+	// the load-limiting behavior the paper assumes of contemporary
+	// systems (§3.1: "This function is often available in systems with
+	// load-limiting schedulers").
+	SwapSoftLimit int
+	// LinkTableCap bounds each process's link table.
+	LinkTableCap int
+	// Mode selects forwarding vs the return-to-sender baseline.
+	Mode ForwardMode
+	// EagerUpdate broadcasts the new location to every kernel at
+	// migration time instead of relying on lazy updates (ablation).
+	EagerUpdate bool
+	// ReclaimForwarders enables the §4 garbage collection: on process
+	// death, forwarding addresses are removed via "pointers backwards
+	// along the path of migration".
+	ReclaimForwarders bool
+	// MigrateTimeout bounds how long either kernel waits for migration
+	// progress before aborting and restoring/discarding state. The
+	// timer re-arms on every protocol step, so it only fires when the
+	// peer has actually gone silent (e.g. crashed mid-transfer).
+	MigrateTimeout sim.Time
+	// Accept decides whether to accept an inbound migration (§3.2
+	// autonomy: "If the destination machine refuses, the process cannot
+	// be migrated"). nil accepts whenever memory fits.
+	Accept func(ask msg.MigrateAsk, memFree int) bool
+	// Registry re-instantiates bodies on arrival.
+	Registry *proc.Registry
+	// Programs instantiates named programs for OpCreateProcess.
+	Programs func(name string, args []string) (SpawnSpec, error)
+	// PMLink, when set, is where self-migration requests, load reports
+	// and locate queries go.
+	PMLink link.Link
+	// LoadReportEvery enables periodic load reports to PMLink.
+	LoadReportEvery sim.Time
+	// OnReport receives a MigrationReport when this kernel completes a
+	// migration as the source.
+	OnReport func(MigrationReport)
+	// Tracer receives structured events (may be nil).
+	Tracer *trace.Tracer
+	// Machines lists all machines in the cluster (for EagerUpdate
+	// broadcast).
+	Machines []addr.MachineID
+}
+
+func (c *Config) fillDefaults() {
+	if c.Quantum <= 0 {
+		c.Quantum = 500
+	}
+	if c.InstrCostNanos == 0 {
+		c.InstrCostNanos = 2000
+	}
+	if c.NativeStepCost == 0 {
+		c.NativeStepCost = 100
+	}
+	if c.NativeMsgCost == 0 {
+		c.NativeMsgCost = 50
+	}
+	if c.CtxSwitch == 0 {
+		c.CtxSwitch = 50
+	}
+	if c.LocalLatency == 0 {
+		c.LocalLatency = 30
+	}
+	if c.DataPacket <= 0 {
+		c.DataPacket = 512
+	}
+	if c.LinkTableCap <= 0 {
+		c.LinkTableCap = link.DefaultCap
+	}
+	if c.MigrateTimeout == 0 {
+		c.MigrateTimeout = 30_000_000 // 30 simulated seconds
+	}
+	if c.Registry == nil {
+		c.Registry = proc.NewRegistry()
+	}
+}
+
+// Process is the kernel's process record. The exported view is ProcInfo.
+type Process struct {
+	id         addr.ProcessID
+	state      ProcState
+	prevState  ProcState // state to restore after migration/suspension
+	body       proc.Body
+	kind       string
+	links      *link.Table
+	queue      []*msg.Message
+	image      *memory.Image
+	privileged bool
+	cameFrom   addr.MachineID // previous host, for death-notice GC
+
+	// Forwarder fields (state == StateForwarder).
+	fwdTo addr.MachineID
+
+	// Accounting.
+	createdAt      sim.Time
+	cpuUsed        sim.Time
+	msgsIn         uint64
+	msgsOut        uint64
+	commTo         map[addr.MachineID]uint64
+	queueHighWater int
+
+	// Deltas since the last load report.
+	cpuDelta  sim.Time
+	msgsDelta uint64
+	commDelta map[addr.MachineID]uint64
+}
+
+// ForwarderWireSize is the storage a forwarding address needs:
+// pid(4) + destination machine(2) + back pointer(2) = 8 bytes,
+// matching the paper's "it uses 8 bytes of storage".
+const ForwarderWireSize = 8
+
+// EncodeForwarder serializes a forwarding address (used by the E5
+// experiment to verify the 8-byte claim, and by checkpoint tooling).
+func EncodeForwarder(pid addr.ProcessID, to, back addr.MachineID) []byte {
+	b := addr.EncodePID(make([]byte, 0, ForwarderWireSize), pid)
+	b = append(b, byte(to), byte(to>>8))
+	b = append(b, byte(back), byte(back>>8))
+	return b
+}
+
+// ProcInfo is a read-only snapshot of a process for tests and tools.
+type ProcInfo struct {
+	PID        addr.ProcessID
+	State      ProcState
+	Kind       string
+	Links      int
+	QueueLen   int
+	ImageSize  int
+	CPUUsed    sim.Time
+	MsgsIn     uint64
+	MsgsOut    uint64
+	FwdTo      addr.MachineID
+	Privileged bool
+}
+
+// ExitInfo records how a process ended.
+type ExitInfo struct {
+	Code int32
+	Err  error
+	At   sim.Time
+}
+
+// SpawnSpec describes a process to create.
+type SpawnSpec struct {
+	// Program, if set, creates a VM process (Body must be nil).
+	Program *dvm.Program
+	// Body, if set, creates a native process.
+	Body proc.Body
+	// ImageSize allocates a memory image for a native body (for data
+	// areas); ignored for VM processes, whose program defines the size.
+	ImageSize int
+	// Links are installed in the new process's table in order, getting
+	// IDs 1..n. By convention slot 1 is the switchboard link.
+	Links []link.Link
+	// Privileged marks system processes (may mint links, send control
+	// ops).
+	Privileged bool
+}
+
+// Kernel is one machine's kernel.
+type Kernel struct {
+	machine addr.MachineID
+	eng     *sim.Engine
+	net     *netw.Network
+	cfg     Config
+
+	procs   map[addr.ProcessID]*Process
+	nextUID addr.LocalUID
+	runq    []*Process
+
+	cpuFreeAt   sim.Time
+	sliceQueued bool
+
+	memUsed int
+	swap    *memory.Store
+
+	out      map[addr.ProcessID]*outMigration
+	in       map[addr.ProcessID]*inMigration
+	nextXfer uint16
+	xfersIn  map[uint16]*inStream // inbound streams, keyed by locally-allocated xfer id
+	moveOps  map[uint16]moveOp    // outbound move-data writes awaiting completion
+
+	pendingLocate map[addr.ProcessID][]*msg.Message
+	console       map[addr.ProcessID][]string
+	exits         map[addr.ProcessID]ExitInfo
+	doneMigs      []msg.MigrateDone // MigrateDone replies addressed to this kernel
+
+	lastReportBusy sim.Time
+	lastReportAt   sim.Time
+
+	stats   Stats
+	reports []MigrationReport
+	crashed bool
+}
+
+// New creates a kernel for machine m, attaches it to the network, and
+// returns it ready for Spawn calls.
+func New(m addr.MachineID, eng *sim.Engine, net *netw.Network, cfg Config) *Kernel {
+	if m == addr.NoMachine {
+		panic("kernel: machine 0 is reserved")
+	}
+	cfg.fillDefaults()
+	k := &Kernel{
+		machine:       m,
+		eng:           eng,
+		net:           net,
+		cfg:           cfg,
+		procs:         make(map[addr.ProcessID]*Process),
+		nextUID:       1,
+		swap:          memory.NewStore(cfg.SwapCapacity),
+		out:           make(map[addr.ProcessID]*outMigration),
+		in:            make(map[addr.ProcessID]*inMigration),
+		xfersIn:       make(map[uint16]*inStream),
+		moveOps:       make(map[uint16]moveOp),
+		pendingLocate: make(map[addr.ProcessID][]*msg.Message),
+		console:       make(map[addr.ProcessID][]string),
+		exits:         make(map[addr.ProcessID]ExitInfo),
+		stats:         newStats(),
+	}
+	net.Attach(m, k)
+	if cfg.LoadReportEvery > 0 {
+		k.scheduleLoadReport()
+	}
+	return k
+}
+
+// Machine returns this kernel's machine id.
+func (k *Kernel) Machine() addr.MachineID { return k.machine }
+
+// Engine returns the driving event engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Config returns the active configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Stats returns a snapshot of this kernel's counters.
+func (k *Kernel) Stats() Stats { return k.stats.Clone() }
+
+// Reports returns the migration reports this kernel produced as a source.
+func (k *Kernel) Reports() []MigrationReport {
+	return append([]MigrationReport(nil), k.reports...)
+}
+
+// DoneMigrations returns MigrateDone notifications addressed to this kernel
+// (self-initiated migrations without a process manager).
+func (k *Kernel) DoneMigrations() []msg.MigrateDone {
+	return append([]msg.MigrateDone(nil), k.doneMigs...)
+}
+
+// MemUsed returns bytes of real memory in use by process images.
+func (k *Kernel) MemUsed() int { return k.memUsed }
+
+// Swap exposes the swap store (for the memory scheduler).
+func (k *Kernel) Swap() *memory.Store { return k.swap }
+
+// Crashed reports whether Crash was called.
+func (k *Kernel) Crashed() bool { return k.crashed }
+
+// Crash simulates processor failure: the machine stops sending and
+// receiving, and all local state freezes. Messages in flight to it are
+// handled by the network's retry/undeliverable machinery.
+func (k *Kernel) Crash() {
+	k.crashed = true
+	k.net.SetDown(k.machine, true)
+}
+
+// Spawn creates a process and schedules it. Mirrors process creation in
+// DEMOS: the new process's only connections are the links it is given.
+func (k *Kernel) Spawn(spec SpawnSpec) (addr.ProcessID, error) {
+	if k.crashed {
+		return addr.NilPID, fmt.Errorf("kernel %v: crashed", k.machine)
+	}
+	var body proc.Body
+	var img *memory.Image
+	switch {
+	case spec.Program != nil && spec.Body != nil:
+		return addr.NilPID, fmt.Errorf("kernel: SpawnSpec has both Program and Body")
+	case spec.Program != nil:
+		var err error
+		img, err = spec.Program.BuildImage(k.swap)
+		if err != nil {
+			return addr.NilPID, err
+		}
+		body = proc.NewVMBody(spec.Program.Entry)
+	case spec.Body != nil:
+		body = spec.Body
+		if spec.ImageSize > 0 {
+			img = memory.NewImage(spec.ImageSize, k.swap)
+		}
+	default:
+		return addr.NilPID, fmt.Errorf("kernel: SpawnSpec has neither Program nor Body")
+	}
+	imgSize := 0
+	if img != nil {
+		imgSize = img.Size()
+	}
+	if k.cfg.MemCapacity > 0 && k.memUsed+imgSize > k.cfg.MemCapacity {
+		return addr.NilPID, fmt.Errorf("kernel %v: out of memory (%d + %d > %d)",
+			k.machine, k.memUsed, imgSize, k.cfg.MemCapacity)
+	}
+
+	pid := addr.ProcessID{Creator: k.machine, Local: k.nextUID}
+	k.nextUID++
+	p := &Process{
+		id:         pid,
+		state:      StateReady,
+		body:       body,
+		kind:       body.Kind(),
+		links:      link.NewTable(k.cfg.LinkTableCap),
+		image:      img,
+		privileged: spec.Privileged,
+		createdAt:  k.eng.Now(),
+		commTo:     make(map[addr.MachineID]uint64),
+		commDelta:  make(map[addr.MachineID]uint64),
+	}
+	for _, l := range spec.Links {
+		if _, err := p.links.Insert(l); err != nil {
+			return addr.NilPID, fmt.Errorf("kernel: installing initial link: %w", err)
+		}
+	}
+	if mh, ok := body.(proc.MemoryHolder); ok && img != nil {
+		mh.SetImage(img)
+	}
+	k.memUsed += imgSize
+	k.procs[pid] = p
+	k.stats.Spawned++
+	k.relieveMemory()
+	k.trace(trace.CatProc, "spawn", fmt.Sprintf("%v kind=%s image=%dB links=%d", pid, p.kind, imgSize, p.links.Len()))
+	k.enqueueRun(p)
+	return pid, nil
+}
+
+// Process returns a snapshot of a local process (or forwarder).
+func (k *Kernel) Process(pid addr.ProcessID) (ProcInfo, bool) {
+	p, ok := k.procs[pid]
+	if !ok {
+		return ProcInfo{}, false
+	}
+	info := ProcInfo{
+		PID: p.id, State: p.state, Kind: p.kind, QueueLen: len(p.queue),
+		CPUUsed: p.cpuUsed, MsgsIn: p.msgsIn, MsgsOut: p.msgsOut,
+		FwdTo: p.fwdTo, Privileged: p.privileged,
+	}
+	if p.links != nil {
+		info.Links = p.links.Len()
+	}
+	if p.image != nil {
+		info.ImageSize = p.image.Size()
+	}
+	return info, true
+}
+
+// Processes lists local process snapshots (including forwarders) in
+// deterministic pid order.
+func (k *Kernel) Processes() []ProcInfo {
+	out := make([]ProcInfo, 0, len(k.procs))
+	for _, p := range k.sortedProcs() {
+		info, _ := k.Process(p.id)
+		out = append(out, info)
+	}
+	return out
+}
+
+// LinksOf returns a copy of a local process's link table entries.
+func (k *Kernel) LinksOf(pid addr.ProcessID) map[link.ID]link.Link {
+	p, ok := k.procs[pid]
+	if !ok || p.links == nil {
+		return nil
+	}
+	out := make(map[link.ID]link.Link, p.links.Len())
+	p.links.ForEach(func(id link.ID, l link.Link) { out[id] = l })
+	return out
+}
+
+// Console returns the lines a process printed on this machine.
+func (k *Kernel) Console(pid addr.ProcessID) []string {
+	return append([]string(nil), k.console[pid]...)
+}
+
+// Exit returns how a process ended on this machine, if it did.
+func (k *Kernel) Exit(pid addr.ProcessID) (ExitInfo, bool) {
+	e, ok := k.exits[pid]
+	return e, ok
+}
+
+// MintLinkTo fabricates a link to a process address — the trusted-system
+// path the process manager uses to get DELIVERTOKERNEL links.
+func (k *Kernel) MintLinkTo(l link.Link, owner addr.ProcessID) (link.ID, error) {
+	p, ok := k.procs[owner]
+	if !ok {
+		return link.NilID, fmt.Errorf("kernel %v: no process %v", k.machine, owner)
+	}
+	return p.links.Insert(l)
+}
+
+// ResidentBytes returns the real memory actually occupied by resident
+// pages of local process images.
+func (k *Kernel) ResidentBytes() int {
+	total := 0
+	for _, p := range k.procs {
+		if p.image != nil {
+			total += p.image.ResidentPages() * memory.PageSize
+		}
+	}
+	return total
+}
+
+// relieveMemory swaps out pages of idle (waiting or suspended) processes
+// until resident memory falls under the soft limit. Ready processes are
+// left alone; their pages would fault right back in.
+func (k *Kernel) relieveMemory() {
+	if k.cfg.SwapSoftLimit <= 0 {
+		return
+	}
+	resident := k.ResidentBytes()
+	if resident <= k.cfg.SwapSoftLimit {
+		return
+	}
+	for _, p := range k.sortedProcs() {
+		if resident <= k.cfg.SwapSoftLimit {
+			return
+		}
+		if p.image == nil || (p.state != StateWaiting && p.state != StateSuspended) {
+			continue
+		}
+		freed := p.image.ResidentPages()
+		if _, err := k.SwapOutProcess(p.id); err != nil {
+			continue // swap store full; stop trying this process
+		}
+		freed -= p.image.ResidentPages()
+		resident -= freed * memory.PageSize
+		if freed > 0 {
+			k.trace(trace.CatProc, "swapped-out",
+				fmt.Sprintf("%v: %d pages under memory pressure", p.id, freed))
+		}
+	}
+}
+
+// SwapOutProcess pushes every resident page of a process's image to the
+// swap store, freeing real memory. The pages fault back in transparently on
+// access — including during migration's program transfer, per §3.1 step 5:
+// "the kernel move data operation handles reading or writing of swapped out
+// memory". Returns the number of pages moved to swap.
+func (k *Kernel) SwapOutProcess(pid addr.ProcessID) (int, error) {
+	p, ok := k.procs[pid]
+	if !ok || p.image == nil {
+		return 0, fmt.Errorf("kernel %v: no swappable image for %v", k.machine, pid)
+	}
+	moved := 0
+	for i := 0; i < p.image.Pages(); i++ {
+		before := p.image.ResidentPages()
+		if err := p.image.SwapOut(i); err != nil {
+			return moved, err
+		}
+		if p.image.ResidentPages() < before {
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// SwappedPages reports how many of a local process's pages are in swap.
+func (k *Kernel) SwappedPages(pid addr.ProcessID) int {
+	p, ok := k.procs[pid]
+	if !ok || p.image == nil {
+		return 0
+	}
+	return p.image.SwappedPages()
+}
+
+// GiveMessage injects a user message into a local process's queue, as if it
+// had arrived from outside the cluster (used by drivers and tests).
+func (k *Kernel) GiveMessage(pid addr.ProcessID, from addr.ProcessAddr, body []byte, links ...link.Link) error {
+	m := &msg.Message{Kind: msg.KindUser, From: from, To: addr.At(pid, k.machine),
+		Body: body, Links: links, SentAt: k.eng.Now()}
+	k.deliverLocal(m)
+	return nil
+}
+
+// GiveMessageTo routes a user message from this kernel toward an explicit —
+// possibly stale — process address, exactly as a process holding an
+// un-updated link would (used to exercise forwarding paths).
+func (k *Kernel) GiveMessageTo(to, from addr.ProcessAddr, body []byte, links ...link.Link) {
+	k.route(&msg.Message{Kind: msg.KindUser, From: from, To: to,
+		Body: body, Links: links, SentAt: k.eng.Now()})
+}
+
+// SetPMLink re-points this kernel's process-manager link after boot.
+func (k *Kernel) SetPMLink(l link.Link) { k.cfg.PMLink = l }
+
+// SetAccept installs this kernel's migration acceptance policy (§3.2:
+// "The destination processor may simply refuse to accept any migrations
+// not fitting its criteria").
+func (k *Kernel) SetAccept(f func(ask msg.MigrateAsk, memFree int) bool) {
+	k.cfg.Accept = f
+}
+
+// GiveControlFrom injects a DELIVERTOKERNEL control message with an
+// explicit sender — used when a process manager's identity must appear as
+// the requester so the MigrateDone reply reaches it.
+func (k *Kernel) GiveControlFrom(from addr.ProcessAddr, pid addr.ProcessID, op msg.Op, body []byte) {
+	k.route(&msg.Message{
+		Kind: msg.KindControl, Op: op,
+		From: from, To: addr.At(pid, k.machine),
+		DTK: true, Body: body, SentAt: k.eng.Now(),
+	})
+}
+
+// BodyOf returns the live body of a local process. After a migration the
+// destination kernel holds a fresh instance restored from the snapshot —
+// callers must re-fetch from the new machine.
+func (k *Kernel) BodyOf(pid addr.ProcessID) (proc.Body, bool) {
+	p, ok := k.procs[pid]
+	if !ok || p.body == nil {
+		return nil, false
+	}
+	return p.body, true
+}
+
+// GiveControl injects a DELIVERTOKERNEL control message addressed to a
+// process (drivers and tests stand in for the process manager with it).
+func (k *Kernel) GiveControl(pid addr.ProcessID, op msg.Op, body []byte) {
+	k.route(&msg.Message{
+		Kind: msg.KindControl, Op: op,
+		From: addr.KernelAddr(k.machine), To: addr.At(pid, k.machine),
+		DTK: true, Body: body, SentAt: k.eng.Now(),
+	})
+}
+
+// RequestMigrationOf initiates a migration as if this kernel's machine ran
+// the process manager: it sends the OpMigrateRequest administrative message
+// over the normal delivery path (DELIVERTOKERNEL semantics), so the full
+// 9-message protocol is exercised. The MigrateDone reply lands in
+// DoneMigrations.
+func (k *Kernel) RequestMigrationOf(target addr.ProcessAddr, dest addr.MachineID) {
+	req := msg.MigrateRequest{PID: target.ID, Dest: dest}
+	m := &msg.Message{
+		Kind: msg.KindControl, Op: msg.OpMigrateRequest,
+		From: addr.KernelAddr(k.machine), To: target,
+		DTK: true, Body: req.Encode(), SentAt: k.eng.Now(),
+	}
+	k.stats.AdminSent[msg.OpMigrateRequest]++
+	k.stats.AdminBytes += uint64(len(m.Body))
+	k.route(m)
+}
+
+func (k *Kernel) trace(cat trace.Category, event, detail string) {
+	k.cfg.Tracer.Emit(k.machine, cat, event, detail)
+}
+
+// newXferID allocates a transfer id for an inbound stream.
+func (k *Kernel) newXferID() uint16 {
+	k.nextXfer++
+	if k.nextXfer == 0 {
+		k.nextXfer = 1
+	}
+	return k.nextXfer
+}

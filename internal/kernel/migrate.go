@@ -1,0 +1,680 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/link"
+	"demosmp/internal/memory"
+	"demosmp/internal/msg"
+	"demosmp/internal/proc"
+	"demosmp/internal/sim"
+	"demosmp/internal/trace"
+)
+
+// This file implements §3.1's eight steps. The source kernel handles steps
+// 1-2 and 6-7; the destination kernel controls steps 3-5 and 8 ("The next
+// part of the migration, up to the forwarding of messages, will be
+// controlled by the destination processor kernel").
+//
+// Administrative messages (all KindControl, payloads 6-12 bytes):
+//
+//	1. process manager -> src : OpMigrateRequest   (DELIVERTOKERNEL)
+//	2. src -> dst             : OpMigrateAsk       (sizes)
+//	3. dst -> src             : OpMigrateAccept / OpMigrateRefuse
+//	4. dst -> src             : OpMoveDataReq(resident)
+//	5. dst -> src             : OpMoveDataReq(swappable)
+//	6. dst -> src             : OpMoveDataReq(program)
+//	7. dst -> src             : OpMigrateEstablished
+//	8. src -> dst             : OpMigrateCleanup
+//	9. src -> process manager : OpMigrateDone
+//
+// — nine messages, matching the paper's administrative cost.
+
+type outMigration struct {
+	p         *Process
+	dest      addr.MachineID
+	requester addr.ProcessAddr
+	rep       MigrationReport
+	watchdog  *sim.Event
+
+	resident  []byte
+	swappable []byte
+	program   []byte
+}
+
+type inMigration struct {
+	pid      addr.ProcessID
+	src      addr.MachineID
+	ask      msg.MigrateAsk
+	p        *Process
+	stage    msg.Region
+	bufs     map[msg.Region][]byte
+	watchdog *sim.Event
+}
+
+// armOutWatchdog (re)starts the source-side progress timer. If the
+// destination goes silent — crashed mid-transfer, network partition — the
+// source gives up, discards the destination's half-built state, and
+// restores the frozen process as if the migration had been refused.
+func (k *Kernel) armOutWatchdog(om *outMigration) {
+	k.eng.Cancel(om.watchdog)
+	om.watchdog = k.eng.After(k.cfg.MigrateTimeout, "kernel:migrate-watchdog", func() {
+		if _, live := k.out[om.p.id]; !live {
+			return
+		}
+		k.sendAdmin(addr.KernelAddr(om.dest), msg.OpMigrateAbort,
+			msg.PIDMachine{PID: om.p.id, Machine: k.machine}.Encode(), nil)
+		k.abortOutMigration(om, fmt.Errorf("no progress from %v in %v", om.dest, k.cfg.MigrateTimeout))
+	})
+}
+
+// armInWatchdog (re)starts the destination-side progress timer: if the
+// source stops streaming (or never sends cleanup), discard the incoming
+// state and tell the source to restore the process.
+func (k *Kernel) armInWatchdog(im *inMigration) {
+	k.eng.Cancel(im.watchdog)
+	im.watchdog = k.eng.After(k.cfg.MigrateTimeout, "kernel:migrate-watchdog", func() {
+		if _, live := k.in[im.pid]; !live {
+			return
+		}
+		k.sendAdmin(addr.KernelAddr(im.src), msg.OpMigrateAbort,
+			msg.PIDMachine{PID: im.pid, Machine: k.machine}.Encode(), nil)
+		k.failIncoming(im, fmt.Errorf("no progress from %v in %v", im.src, k.cfg.MigrateTimeout))
+	})
+}
+
+// handleMigrateAbort discards whichever half of an in-flight migration
+// this kernel holds.
+func (k *Kernel) handleMigrateAbort(m *msg.Message) {
+	pm, err := msg.DecodePIDMachine(m.Body)
+	if err != nil {
+		return
+	}
+	if om, ok := k.out[pm.PID]; ok {
+		k.abortOutMigration(om, fmt.Errorf("aborted by %v", pm.Machine))
+		return
+	}
+	if im, ok := k.in[pm.PID]; ok {
+		k.failIncoming(im, fmt.Errorf("aborted by %v", pm.Machine))
+	}
+}
+
+// sendAdmin emits one administrative message and accounts for it both
+// globally and (if rep != nil) in the per-migration report.
+func (k *Kernel) sendAdmin(to addr.ProcessAddr, op msg.Op, body []byte, rep *MigrationReport) {
+	m := &msg.Message{
+		Kind: msg.KindControl, Op: op,
+		From: addr.KernelAddr(k.machine), To: to,
+		Body: body, SentAt: k.eng.Now(),
+	}
+	k.stats.AdminSent[op]++
+	k.stats.AdminBytes += uint64(len(body))
+	if rep != nil {
+		rep.AdminMsgs++
+		rep.AdminBytes += len(body)
+	}
+	k.route(m)
+}
+
+// --- source side -----------------------------------------------------------
+
+// handleMigrateRequest is step 1: remove the process from execution.
+func (k *Kernel) handleMigrateRequest(m *msg.Message) {
+	req, err := msg.DecodeMigrateRequest(m.Body)
+	if err != nil {
+		return
+	}
+	p, ok := k.procs[req.PID]
+	if !ok || p.state == StateForwarder || p.state == StateIncoming {
+		k.sendAdmin(m.From, msg.OpMigrateDone,
+			msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: false}.Encode(), nil)
+		return
+	}
+	if req.Dest == k.machine {
+		// Trivial migration: already here.
+		k.sendAdmin(m.From, msg.OpMigrateDone,
+			msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: true}.Encode(), nil)
+		return
+	}
+	if _, busy := k.out[req.PID]; busy || p.state == StateInMigration {
+		k.sendAdmin(m.From, msg.OpMigrateDone,
+			msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: false}.Encode(), nil)
+		return
+	}
+
+	om := &outMigration{p: p, dest: req.Dest, requester: m.From}
+	om.rep = MigrationReport{
+		PID: p.id, From: k.machine, To: req.Dest, Start: k.eng.Now(),
+	}
+	// Count the request we just received.
+	om.rep.AdminMsgs++
+	om.rep.AdminBytes += len(m.Body)
+
+	// Step 1: "The process is marked as 'in migration'. If it had been
+	// ready, it is removed from the run queue. No change is made to the
+	// recorded state of the process" — so prevState (ready, waiting, or
+	// suspended) travels in the resident record and is restored verbatim.
+	p.prevState = p.state
+	p.state = StateInMigration
+	k.removeFromRunq(p)
+	k.trace(trace.CatMigrate, "step1-remove-from-execution",
+		fmt.Sprintf("%v was %v", p.id, p.prevState))
+
+	// Freeze the three payloads at this instant.
+	var err2 error
+	om.resident = k.encodeResident(p)
+	ctl, err := p.body.Snapshot()
+	if err != nil {
+		k.abortOutMigration(om, fmt.Errorf("snapshot: %w", err))
+		return
+	}
+	om.swappable = encodeSwappable(p.links, ctl)
+	if p.image != nil {
+		om.program, err2 = p.image.Bytes()
+		if err2 != nil {
+			k.abortOutMigration(om, fmt.Errorf("program image: %w", err2))
+			return
+		}
+	}
+	om.rep.ResidentBytes = len(om.resident)
+	om.rep.SwappableBytes = len(om.swappable)
+	om.rep.ProgramBytes = len(om.program)
+	k.out[p.id] = om
+
+	// Step 2: "A message is sent to the kernel on the destination
+	// processor, asking it to migrate the process to its machine."
+	ask := msg.MigrateAsk{
+		PID:       p.id,
+		Program:   msg.ToUnits(len(om.program)),
+		Resident:  msg.ToUnits(len(om.resident)),
+		Swappable: msg.ToUnits(len(om.swappable)),
+	}
+	k.trace(trace.CatMigrate, "step2-ask-destination",
+		fmt.Sprintf("%v -> %v (program=%dB resident=%dB swappable=%dB)",
+			p.id, req.Dest, len(om.program), len(om.resident), len(om.swappable)))
+	k.sendAdmin(addr.KernelAddr(req.Dest), msg.OpMigrateAsk, ask.Encode(), &om.rep)
+	k.armOutWatchdog(om)
+}
+
+func (k *Kernel) abortOutMigration(om *outMigration, cause error) {
+	k.trace(trace.CatMigrate, "migrate-aborted", fmt.Sprintf("%v: %v", om.p.id, cause))
+	k.eng.Cancel(om.watchdog)
+	delete(k.out, om.p.id)
+	k.stats.MigrationsFailed++
+	k.restoreFrozen(om.p)
+	k.sendAdmin(om.requester, msg.OpMigrateDone,
+		msg.MigrateDone{PID: om.p.id, Machine: k.machine, OK: false}.Encode(), &om.rep)
+}
+
+// restoreFrozen puts a process back the way step 1 found it and redelivers
+// anything that was held on its queue meanwhile.
+func (k *Kernel) restoreFrozen(p *Process) {
+	held := p.queue
+	p.queue = nil
+	switch p.prevState {
+	case StateReady:
+		k.enqueueRun(p)
+	default:
+		p.state = p.prevState
+	}
+	for _, hm := range held {
+		k.deliverLocal(hm)
+	}
+}
+
+// handleMigrateAccept is informational on the source: the destination now
+// drives steps 4-5 by pulling the three regions.
+func (k *Kernel) handleMigrateAccept(m *msg.Message) {
+	pm, err := msg.DecodePIDMachine(m.Body)
+	if err != nil {
+		return
+	}
+	if om, ok := k.out[pm.PID]; ok {
+		om.rep.AdminMsgs++
+		om.rep.AdminBytes += len(m.Body)
+		k.armOutWatchdog(om)
+		k.trace(trace.CatMigrate, "accepted", fmt.Sprintf("%v by %v", pm.PID, pm.Machine))
+	}
+}
+
+func (k *Kernel) handleMigrateRefuse(m *msg.Message) {
+	pm, err := msg.DecodePIDMachine(m.Body)
+	if err != nil {
+		return
+	}
+	om, ok := k.out[pm.PID]
+	if !ok {
+		return
+	}
+	om.rep.AdminMsgs++
+	om.rep.AdminBytes += len(m.Body)
+	k.eng.Cancel(om.watchdog)
+	k.trace(trace.CatMigrate, "refused",
+		fmt.Sprintf("%v refused by %v (§3.2: the process cannot be migrated)", pm.PID, pm.Machine))
+	delete(k.out, pm.PID)
+	k.stats.MigrationsFailed++
+	k.restoreFrozen(om.p)
+	k.sendAdmin(om.requester, msg.OpMigrateDone,
+		msg.MigrateDone{PID: pm.PID, Machine: k.machine, OK: false}.Encode(), &om.rep)
+}
+
+// handleMoveDataReq serves steps 4-5 from the source: stream the requested
+// region to the destination kernel.
+func (k *Kernel) handleMoveDataReq(m *msg.Message) {
+	req, err := msg.DecodeMoveDataReq(m.Body)
+	if err != nil {
+		return
+	}
+	om, ok := k.out[req.PID]
+	if !ok {
+		return
+	}
+	om.rep.AdminMsgs++
+	om.rep.AdminBytes += len(m.Body)
+	k.armOutWatchdog(om)
+	var payload []byte
+	switch req.Region {
+	case msg.RegionResident:
+		payload = om.resident
+	case msg.RegionSwappable:
+		payload = om.swappable
+	case msg.RegionProgram:
+		payload = om.program
+	}
+	packets := k.streamOut(m.From.LastKnown, req.Xfer, payload)
+	om.rep.DataPackets += packets
+	k.trace(trace.CatData, "stream-region",
+		fmt.Sprintf("%v %v: %dB in %d packets -> %v", req.PID, req.Region, len(payload), packets, m.From.LastKnown))
+}
+
+// handleMigrateEstablished is steps 6-7 on the source, plus the final
+// report to the requester.
+func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
+	pm, err := msg.DecodePIDMachine(m.Body)
+	if err != nil {
+		return
+	}
+	om, ok := k.out[pm.PID]
+	if !ok {
+		// The migration was aborted here (watchdog) but the
+		// destination finished anyway: make it discard its copy so
+		// the process cannot run in two places.
+		k.sendAdmin(m.From, msg.OpMigrateAbort,
+			msg.PIDMachine{PID: pm.PID, Machine: k.machine}.Encode(), nil)
+		return
+	}
+	k.eng.Cancel(om.watchdog)
+	om.rep.AdminMsgs++
+	om.rep.AdminBytes += len(m.Body)
+	p := om.p
+
+	// Step 6: "the source kernel resends all messages that were in the
+	// queue when the migration started, or that have arrived since...
+	// Before giving them back to the communication system, the source
+	// kernel changes the location part of the process address."
+	pending := p.queue
+	p.queue = nil
+	for _, qm := range pending {
+		qm.To.LastKnown = om.dest
+		k.stats.ForwardedPending++
+		k.route(qm)
+	}
+	k.trace(trace.CatMigrate, "step6-forward-pending",
+		fmt.Sprintf("%v: %d queued messages to %v", p.id, len(pending), om.dest))
+	om.rep.PendingForwarded = len(pending)
+
+	// Step 7: "all state for the process is removed and space for memory
+	// and tables is reclaimed. A forwarding address is left."
+	if p.image != nil {
+		k.memUsed -= p.image.Size()
+		p.image.Discard()
+	}
+	backPtr := p.cameFrom
+	delete(k.procs, p.id)
+	if k.cfg.Mode == ModeForward {
+		fwd := &Process{
+			id:       p.id,
+			state:    StateForwarder,
+			fwdTo:    om.dest,
+			cameFrom: backPtr,
+		}
+		k.procs[p.id] = fwd
+		k.stats.ForwardersInstalled++
+		k.stats.ForwarderBytes += ForwarderWireSize
+	}
+	k.trace(trace.CatMigrate, "step7-cleanup-forwarding-address",
+		fmt.Sprintf("%v: forwarder -> %v (%d bytes)", p.id, om.dest, ForwarderWireSize))
+
+	if k.cfg.EagerUpdate {
+		k.broadcastEagerUpdate(p.id, om.dest)
+	}
+
+	// Step 8 trigger: tell the destination it may restart the process.
+	k.sendAdmin(addr.KernelAddr(om.dest), msg.OpMigrateCleanup,
+		msg.MigrateCleanup{PID: p.id, Forwarded: uint16(len(pending))}.Encode(), &om.rep)
+
+	// Message 9: report success to the requester (process manager).
+	k.sendAdmin(om.requester, msg.OpMigrateDone,
+		msg.MigrateDone{PID: p.id, Machine: om.dest, OK: true}.Encode(), &om.rep)
+
+	om.rep.End = k.eng.Now()
+	om.rep.OK = true
+	k.stats.MigrationsOut++
+	k.reports = append(k.reports, om.rep)
+	if k.cfg.OnReport != nil {
+		k.cfg.OnReport(om.rep)
+	}
+	delete(k.out, p.id)
+}
+
+func (k *Kernel) broadcastEagerUpdate(pid addr.ProcessID, dest addr.MachineID) {
+	body := msg.PIDMachine{PID: pid, Machine: dest}.Encode()
+	for _, m := range k.cfg.Machines {
+		if m == k.machine {
+			continue
+		}
+		k.stats.EagerUpdatesSent++
+		k.route(&msg.Message{
+			Kind: msg.KindControl, Op: msg.OpEagerUpdate,
+			From: addr.KernelAddr(k.machine), To: addr.KernelAddr(m),
+			Body: body,
+		})
+	}
+	// Fix local tables directly.
+	k.applyEagerUpdate(&msg.Message{Body: body})
+}
+
+// --- destination side -------------------------------------------------------
+
+// handleMigrateAsk is step 3: allocate an empty process state with the same
+// process identifier and reserve resources — or refuse (§3.2).
+func (k *Kernel) handleMigrateAsk(m *msg.Message) {
+	ask, err := msg.DecodeMigrateAsk(m.Body)
+	if err != nil {
+		return
+	}
+	src := m.From.LastKnown
+	programBytes := int(ask.Program) * msg.SizeUnit
+	memFree := -1
+	if k.cfg.MemCapacity > 0 {
+		memFree = k.cfg.MemCapacity - k.memUsed
+	}
+	accept := true
+	if existing, dup := k.procs[ask.PID]; dup && existing.state != StateForwarder {
+		accept = false // identity collision: refuse
+	}
+	if accept && k.cfg.Accept != nil {
+		accept = k.cfg.Accept(ask, memFree)
+	} else if accept && memFree >= 0 && programBytes > memFree {
+		accept = false
+	}
+	if !accept {
+		k.stats.MigrationsRefused++
+		k.sendAdmin(addr.KernelAddr(src), msg.OpMigrateRefuse,
+			msg.PIDMachine{PID: ask.PID, Machine: k.machine}.Encode(), nil)
+		return
+	}
+
+	// "An empty process state is created on the destination processor...
+	// the newly allocated process state has the same process identifier
+	// as the migrating process. Resources such as virtual memory swap
+	// space are reserved at this time."
+	if old, dup := k.procs[ask.PID]; dup && old.state == StateForwarder {
+		// The process is migrating back to a machine holding its own
+		// forwarding address; the real process supersedes it.
+		k.stats.ForwarderBytes -= ForwarderWireSize
+		delete(k.procs, ask.PID)
+	}
+	p := &Process{
+		id:        ask.PID,
+		state:     StateIncoming,
+		cameFrom:  src,
+		createdAt: k.eng.Now(),
+		commTo:    make(map[addr.MachineID]uint64),
+		commDelta: make(map[addr.MachineID]uint64),
+	}
+	k.procs[ask.PID] = p
+	im := &inMigration{
+		pid: ask.PID, src: src, ask: ask, p: p,
+		stage: msg.RegionResident,
+		bufs:  make(map[msg.Region][]byte),
+	}
+	k.in[ask.PID] = im
+	k.trace(trace.CatMigrate, "step3-allocate-state",
+		fmt.Sprintf("%v from %v (reserving %dB)", ask.PID, src, programBytes))
+	k.sendAdmin(addr.KernelAddr(src), msg.OpMigrateAccept,
+		msg.PIDMachine{PID: ask.PID, Machine: k.machine}.Encode(), nil)
+	k.armInWatchdog(im)
+	k.pullRegion(im)
+}
+
+// pullRegion requests the next region (steps 4 and 5: "Using the move data
+// facility, the destination kernel copies...").
+func (k *Kernel) pullRegion(im *inMigration) {
+	xfer := k.newXferID()
+	region := im.stage
+	k.registerInStream(xfer, func(data []byte) {
+		k.regionArrived(im, region, data)
+	})
+	step := "step4-transfer-state"
+	if region == msg.RegionProgram {
+		step = "step5-transfer-program"
+	}
+	k.trace(trace.CatMigrate, step, fmt.Sprintf("%v pull %v", im.pid, region))
+	k.sendAdmin(addr.KernelAddr(im.src), msg.OpMoveDataReq,
+		msg.MoveDataReq{PID: im.pid, Region: region, Xfer: xfer}.Encode(), nil)
+}
+
+func (k *Kernel) regionArrived(im *inMigration, region msg.Region, data []byte) {
+	if _, live := k.in[im.pid]; !live {
+		return // aborted while the stream was in flight
+	}
+	k.armInWatchdog(im)
+	im.bufs[region] = data
+	switch region {
+	case msg.RegionResident:
+		im.stage = msg.RegionSwappable
+		k.pullRegion(im)
+	case msg.RegionSwappable:
+		im.stage = msg.RegionProgram
+		k.pullRegion(im)
+	case msg.RegionProgram:
+		k.assembleProcess(im)
+	}
+}
+
+// assembleProcess decodes the three regions into a runnable process and
+// sends OpMigrateEstablished (end of step 5, message 7).
+func (k *Kernel) assembleProcess(im *inMigration) {
+	p := im.p
+	res, err := decodeResident(im.bufs[msg.RegionResident])
+	if err != nil {
+		k.failIncoming(im, fmt.Errorf("resident state: %w", err))
+		return
+	}
+	table, ctl, err := decodeSwappable(im.bufs[msg.RegionSwappable])
+	if err != nil {
+		k.failIncoming(im, fmt.Errorf("swappable state: %w", err))
+		return
+	}
+	body, err := k.cfg.Registry.New(res.kind)
+	if err != nil {
+		k.failIncoming(im, err)
+		return
+	}
+	if err := body.Restore(ctl); err != nil {
+		k.failIncoming(im, fmt.Errorf("restoring %s body: %w", res.kind, err))
+		return
+	}
+	program := im.bufs[msg.RegionProgram]
+	var img *memory.Image
+	if len(program) > 0 {
+		img = memory.NewImage(len(program), k.swap)
+		if err := img.WriteAt(program, 0); err != nil {
+			k.failIncoming(im, err)
+			return
+		}
+		if mh, ok := body.(proc.MemoryHolder); ok {
+			mh.SetImage(img)
+		}
+		k.memUsed += img.Size()
+		k.relieveMemory()
+	}
+	p.body = body
+	p.kind = res.kind
+	p.links = table
+	p.image = img
+	p.privileged = res.privileged
+	p.prevState = res.prevState
+	p.cpuUsed = res.cpuUsed
+	p.msgsIn = res.msgsIn
+	p.msgsOut = res.msgsOut
+	k.stats.MigrationsIn++
+	k.sendAdmin(addr.KernelAddr(im.src), msg.OpMigrateEstablished,
+		msg.PIDMachine{PID: im.pid, Machine: k.machine}.Encode(), nil)
+	k.armInWatchdog(im) // the cleanup message must still arrive
+}
+
+func (k *Kernel) failIncoming(im *inMigration, cause error) {
+	k.trace(trace.CatMigrate, "incoming-failed", fmt.Sprintf("%v: %v", im.pid, cause))
+	k.eng.Cancel(im.watchdog)
+	if im.p != nil && im.p.image != nil {
+		k.memUsed -= im.p.image.Size()
+		im.p.image.Discard()
+	}
+	delete(k.in, im.pid)
+	delete(k.procs, im.pid)
+	k.stats.MigrationsFailed++
+}
+
+// handleMigrateCleanup is step 8: "The process is restarted in whatever
+// state it was in before being migrated."
+func (k *Kernel) handleMigrateCleanup(m *msg.Message) {
+	c, err := msg.DecodeMigrateCleanup(m.Body)
+	if err != nil {
+		return
+	}
+	im, ok := k.in[c.PID]
+	if !ok {
+		return
+	}
+	k.eng.Cancel(im.watchdog)
+	delete(k.in, c.PID)
+	p := im.p
+
+	// Messages queued here while incoming: DELIVERTOKERNEL ones go to
+	// the kernel now; the rest stay for the process.
+	held := p.queue
+	p.queue = nil
+	var keep []*msg.Message
+	for _, hm := range held {
+		if hm.DTK {
+			k.kernelMsg(hm)
+		} else {
+			keep = append(keep, hm)
+		}
+	}
+	p.queue = keep
+
+	switch p.prevState {
+	case StateWaiting:
+		if len(p.queue) > 0 {
+			k.enqueueRun(p)
+		} else {
+			p.state = StateWaiting
+		}
+	case StateSuspended:
+		p.state = StateSuspended
+	default:
+		k.enqueueRun(p)
+	}
+	k.trace(trace.CatMigrate, "step8-restart",
+		fmt.Sprintf("%v restarted as %v (%d pending had been forwarded)", p.id, p.state, c.Forwarded))
+}
+
+// --- resident / swappable encodings ----------------------------------------
+
+// residentState is the kernel process record moved as the non-swappable
+// state (§6: "The non-swappable state uses about 250 bytes").
+type residentState struct {
+	kind       string
+	prevState  ProcState
+	privileged bool
+	imageSize  int
+	cpuUsed    sim.Time
+	msgsIn     uint64
+	msgsOut    uint64
+}
+
+func (k *Kernel) encodeResident(p *Process) []byte {
+	imgSize := 0
+	if p.image != nil {
+		imgSize = p.image.Size()
+	}
+	b := make([]byte, 0, 64+len(p.kind))
+	b = append(b, byte(len(p.kind)))
+	b = append(b, p.kind...)
+	b = append(b, byte(p.prevState))
+	if p.privileged {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(imgSize))
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.cpuUsed))
+	b = binary.LittleEndian.AppendUint64(b, p.msgsIn)
+	b = binary.LittleEndian.AppendUint64(b, p.msgsOut)
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.createdAt))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.queueHighWater))
+	return b
+}
+
+func decodeResident(b []byte) (residentState, error) {
+	var r residentState
+	if len(b) < 1 {
+		return r, fmt.Errorf("empty resident record")
+	}
+	n := int(b[0])
+	b = b[1:]
+	if len(b) < n+2+4+8+8+8+8+4 {
+		return r, fmt.Errorf("short resident record")
+	}
+	r.kind = string(b[:n])
+	b = b[n:]
+	r.prevState = ProcState(b[0])
+	r.privileged = b[1] != 0
+	r.imageSize = int(binary.LittleEndian.Uint32(b[2:]))
+	r.cpuUsed = sim.Time(binary.LittleEndian.Uint64(b[6:]))
+	r.msgsIn = binary.LittleEndian.Uint64(b[14:])
+	r.msgsOut = binary.LittleEndian.Uint64(b[22:])
+	return r, nil
+}
+
+// encodeSwappable packs the link table and the body control state —
+// the swappable state whose size "depend[s] on the size of the link table".
+func encodeSwappable(t *link.Table, ctl []byte) []byte {
+	ts := t.Snapshot()
+	b := make([]byte, 0, 4+len(ts)+len(ctl))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ts)))
+	b = append(b, ts...)
+	b = append(b, ctl...)
+	return b
+}
+
+func decodeSwappable(b []byte) (*link.Table, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("short swappable state")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < n {
+		return nil, nil, fmt.Errorf("truncated link table")
+	}
+	t, err := link.RestoreTable(b[:n])
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, b[n:], nil
+}

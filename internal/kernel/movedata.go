@@ -1,0 +1,238 @@
+package kernel
+
+import (
+	"fmt"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/sim"
+	"demosmp/internal/trace"
+)
+
+// This file implements the move-data facility (§2.2): large transfers are
+// streamed as a sequence of data packets "sent to the receiving kernel in a
+// continuous stream. The receiving kernel acknowledges each packet (but the
+// sending kernel does not have to wait for the acknowledgement to send the
+// next packet)." (§6)
+//
+// Two packet addressing modes exist:
+//
+//   - Packets addressed to a kernel (reads, migration region pulls) are
+//     reassembled into an inStream registered under the receiver-allocated
+//     transfer id.
+//   - Packets addressed to a process with DELIVERTOKERNEL (writes into a
+//     link's data area) carry absolute image offsets in Seq and are applied
+//     statelessly on arrival. Statelessness is what keeps writes correct
+//     across a concurrent migration of the area's owner: packets held on
+//     the frozen process's queue are forwarded with everything else and
+//     simply apply at the new machine. Completion, however, is decided by
+//     the *writer's* kernel from the per-packet acks — never by the owner
+//     seeing the Last packet, which can overtake earlier (bigger) packets
+//     through a forwarding address.
+
+// inStream reassembles an inbound byte stream.
+type inStream struct {
+	buf       []byte
+	bytes     int
+	total     int // -1 until the Last packet arrives
+	initiator addr.ProcessID
+	userXfer  uint16
+	complete  func(data []byte)
+	fail      func()
+}
+
+// moveOp tracks an outbound data-area write awaiting acknowledgement of
+// every packet. Completion is decided HERE, on the writer's kernel — the
+// one party guaranteed not to migrate mid-stream — because packets to a
+// migrating owner may be applied on different machines and may arrive out
+// of order through forwarding addresses (a smaller last packet can overtake
+// a bigger first one). Only when every packet has been acked from wherever
+// it was applied is the write reported complete.
+type moveOp struct {
+	initiator addr.ProcessID
+	userXfer  uint16
+	packets   int
+	acked     map[uint32]bool
+}
+
+func (k *Kernel) registerInStream(xfer uint16, complete func([]byte)) *inStream {
+	st := &inStream{total: -1, complete: complete}
+	k.xfersIn[xfer] = st
+	return st
+}
+
+// streamOut sends data to another machine's kernel as a paced packet
+// stream, returning the packet count. Used for migration region pulls and
+// data-area reads.
+func (k *Kernel) streamOut(to addr.MachineID, xfer uint16, data []byte) int {
+	return k.streamPackets(addr.KernelAddr(to), false, xfer, 0, data)
+}
+
+// streamWrite sends data addressed to a process's kernel (DELIVERTOKERNEL)
+// with absolute image offsets, for data-area writes.
+func (k *Kernel) streamWrite(owner addr.ProcessAddr, xfer uint16, imageOff uint32, data []byte) int {
+	return k.streamPackets(owner, true, xfer, imageOff, data)
+}
+
+func (k *Kernel) streamPackets(to addr.ProcessAddr, dtk bool, xfer uint16, baseOff uint32, data []byte) int {
+	pkt := k.cfg.DataPacket
+	n := (len(data) + pkt - 1) / pkt
+	if n == 0 {
+		n = 1 // empty stream still needs its Last packet
+	}
+	// Pace packets at the line's serialization rate so a big transfer
+	// occupies the network for a realistic duration.
+	gap := k.net.TransitTime(pkt+msg.HeaderWireSize) - k.net.TransitTime(0)
+	if gap == 0 {
+		gap = 1
+	}
+	for i := 0; i < n; i++ {
+		lo := i * pkt
+		hi := lo + pkt
+		if hi > len(data) {
+			hi = len(data)
+		}
+		m := &msg.Message{
+			Kind: msg.KindData,
+			From: addr.KernelAddr(k.machine),
+			To:   to,
+			DTK:  dtk,
+			Xfer: xfer,
+			Seq:  baseOff + uint32(lo),
+			Last: i == n-1,
+			Body: append([]byte(nil), data[lo:hi]...),
+		}
+		k.stats.DataPacketsSent++
+		k.stats.DataBytesSent += uint64(hi - lo)
+		k.eng.After(gap*sim.Time(i), "kernel:data-packet", func() { k.route(m) })
+	}
+	return n
+}
+
+// handleDataPacket processes an arriving KindData frame.
+func (k *Kernel) handleDataPacket(m *msg.Message) {
+	k.ack(m)
+	if !m.To.ID.IsKernel() {
+		k.applyWritePacket(m)
+		return
+	}
+	st, ok := k.xfersIn[m.Xfer]
+	if !ok {
+		k.trace(trace.CatData, "stray-packet", fmt.Sprintf("xfer=%d seq=%d", m.Xfer, m.Seq))
+		return
+	}
+	end := int(m.Seq) + len(m.Body)
+	if end > len(st.buf) {
+		grown := make([]byte, end)
+		copy(grown, st.buf)
+		st.buf = grown
+	}
+	copy(st.buf[m.Seq:], m.Body)
+	st.bytes += len(m.Body)
+	if m.Last {
+		st.total = end
+	}
+	if st.total >= 0 && st.bytes >= st.total {
+		delete(k.xfersIn, m.Xfer)
+		st.complete(st.buf[:st.total])
+	}
+}
+
+// applyWritePacket applies a data-area write statelessly to the target
+// process's image. Completion is signalled by the acks, not here: this
+// packet may be one of several applied on different machines if the owner
+// migrated mid-stream.
+func (k *Kernel) applyWritePacket(m *msg.Message) {
+	p, ok := k.procs[m.To.ID]
+	if ok && p.image != nil {
+		if err := p.image.WriteAt(m.Body, int(m.Seq)); err != nil {
+			k.trace(trace.CatData, "write-fault", err.Error())
+		}
+	}
+}
+
+// ack acknowledges one data packet to the sending kernel. The DTK flag is
+// copied so the sender can tell write-stream acks (which drive moveOp
+// completion) from read/migration-stream acks.
+func (k *Kernel) ack(m *msg.Message) {
+	k.stats.AcksSent++
+	k.route(&msg.Message{
+		Kind: msg.KindAck,
+		From: addr.KernelAddr(k.machine),
+		To:   m.From,
+		DTK:  m.DTK,
+		Xfer: m.Xfer,
+		Seq:  m.Seq,
+	})
+}
+
+// handleAck counts an acknowledgement and, for write streams, advances the
+// owning moveOp — sending the completion to the initiating process once
+// every packet of the stream has been applied somewhere.
+func (k *Kernel) handleAck(m *msg.Message) {
+	k.stats.AcksReceived++
+	if !m.DTK {
+		return
+	}
+	op, ok := k.moveOps[m.Xfer]
+	if !ok || op.acked[m.Seq] {
+		return
+	}
+	op.acked[m.Seq] = true
+	if len(op.acked) < op.packets {
+		return
+	}
+	delete(k.moveOps, m.Xfer)
+	k.route(&msg.Message{
+		Kind: msg.KindControl, Op: msg.OpMoveWriteDone,
+		From: addr.KernelAddr(k.machine),
+		To:   addr.At(op.initiator, k.machine),
+		Body: msg.XferStatus{Xfer: op.userXfer, OK: true}.Encode(),
+	})
+}
+
+// handleMoveRead serves a data-area read: stream the requested window of
+// the owner's image back to the requesting kernel.
+func (k *Kernel) handleMoveRead(m *msg.Message) {
+	req, err := msg.DecodeMoveRead(m.Body)
+	if err != nil {
+		return
+	}
+	p, ok := k.procs[req.PID]
+	if !ok || p.image == nil {
+		k.failMoveRead(m.From, req.Xfer)
+		return
+	}
+	data := make([]byte, req.Len)
+	if err := p.image.ReadAt(data, int(req.AreaOff+req.Off)); err != nil {
+		k.trace(trace.CatData, "read-fault", err.Error())
+		k.failMoveRead(m.From, req.Xfer)
+		return
+	}
+	k.streamOut(m.From.LastKnown, req.Xfer, data)
+}
+
+func (k *Kernel) failMoveRead(to addr.ProcessAddr, xfer uint16) {
+	k.route(&msg.Message{
+		Kind: msg.KindControl, Op: msg.OpMoveReadDone,
+		From: addr.KernelAddr(k.machine), To: to,
+		Body: msg.XferStatus{Xfer: xfer, OK: false}.Encode(),
+	})
+}
+
+// handleMoveReadFailed cancels a pending inbound stream (the owner refused
+// or faulted) and notifies the initiating process.
+func (k *Kernel) handleMoveReadFailed(m *msg.Message) {
+	st, err := msg.DecodeXferStatus(m.Body)
+	if err != nil {
+		return
+	}
+	in, ok := k.xfersIn[st.Xfer]
+	if !ok {
+		return
+	}
+	delete(k.xfersIn, st.Xfer)
+	if in.fail != nil {
+		in.fail()
+	}
+}

@@ -1,0 +1,217 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/proc"
+	"demosmp/internal/sim"
+	"demosmp/internal/trace"
+)
+
+// enqueueRun puts a ready process on the run queue and arms the scheduler.
+func (k *Kernel) enqueueRun(p *Process) {
+	p.state = StateReady
+	k.runq = append(k.runq, p)
+	k.maybeSchedule()
+}
+
+// removeFromRunq drops p from the run queue (suspension, migration).
+func (k *Kernel) removeFromRunq(p *Process) {
+	for i, q := range k.runq {
+		if q == p {
+			k.runq = append(k.runq[:i], k.runq[i+1:]...)
+			return
+		}
+	}
+}
+
+// maybeSchedule arms the next scheduling slice if work is pending. The CPU
+// model is one processor per machine: a slice "occupies" the CPU until
+// cpuFreeAt even though the Go code runs instantaneously.
+func (k *Kernel) maybeSchedule() {
+	if k.sliceQueued || len(k.runq) == 0 || k.crashed {
+		return
+	}
+	k.sliceQueued = true
+	at := k.eng.Now()
+	if k.cpuFreeAt > at {
+		at = k.cpuFreeAt
+	}
+	k.eng.At(at, "kernel:slice", k.runSlice)
+}
+
+func (k *Kernel) runSlice() {
+	k.sliceQueued = false
+	if len(k.runq) == 0 || k.crashed {
+		return
+	}
+	p := k.runq[0]
+	k.runq = k.runq[1:]
+	if p.state != StateReady {
+		// Suspended or migrated while queued.
+		k.maybeSchedule()
+		return
+	}
+	ctx := &procCtx{k: k, p: p}
+	cost, st := p.body.Step(ctx, k.cfg.Quantum)
+
+	busy := sim.Time(uint64(cost) * uint64(k.cfg.InstrCostNanos) / 1000)
+	if cost == 0 {
+		busy = k.cfg.NativeStepCost
+	}
+	busy += sim.Time(ctx.msgsHandled) * k.cfg.NativeMsgCost
+	if busy == 0 {
+		busy = 1
+	}
+	now := k.eng.Now()
+	if k.cpuFreeAt < now {
+		k.cpuFreeAt = now
+	}
+	k.cpuFreeAt += busy + k.cfg.CtxSwitch
+	p.cpuUsed += busy
+	p.cpuDelta += busy
+	k.stats.CPUBusy += busy
+	k.stats.Slices++
+	k.stats.CtxSwitches++
+
+	if p.state != StateReady {
+		// The body's own syscalls changed its state (e.g. a control
+		// message suspended it mid-step); honor that.
+		k.maybeSchedule()
+		return
+	}
+	switch st.State {
+	case proc.Runnable:
+		k.runq = append(k.runq, p)
+	case proc.Blocked:
+		if len(p.queue) > 0 {
+			k.runq = append(k.runq, p) // spurious block; messages waiting
+		} else {
+			p.state = StateWaiting
+			// A newly idle process is a swap candidate if memory is
+			// tight.
+			k.relieveMemory()
+		}
+	case proc.Exited:
+		k.terminate(p, st.ExitCode, nil)
+	case proc.Crashed:
+		k.terminate(p, -1, st.Err)
+	}
+	k.maybeSchedule()
+}
+
+// terminate removes a process and, when the paper's forwarding-address
+// garbage collection is enabled, sends a death notice backwards along the
+// migration path (§4).
+func (k *Kernel) terminate(p *Process, code int32, err error) {
+	p.state = StateDead
+	k.removeFromRunq(p)
+	if p.image != nil {
+		k.memUsed -= p.image.Size()
+		p.image.Discard()
+	}
+	delete(k.procs, p.id)
+	k.exits[p.id] = ExitInfo{Code: code, Err: err, At: k.eng.Now()}
+	if err != nil {
+		k.stats.Crashes++
+		k.trace(trace.CatProc, "crash", fmt.Sprintf("%v: %v", p.id, err))
+	} else {
+		k.stats.Exited++
+		k.trace(trace.CatProc, "exit", fmt.Sprintf("%v code=%d", p.id, code))
+	}
+	if k.cfg.ReclaimForwarders && p.cameFrom != addr.NoMachine {
+		k.sendDeathNoticeTo(p.id, p.cameFrom)
+	}
+}
+
+// scheduleLoadReport arms the periodic load report to the process manager.
+// Reports are weak events: they fire while the system is alive but do not
+// keep an otherwise idle simulation running.
+func (k *Kernel) scheduleLoadReport() {
+	k.eng.AfterWeak(k.cfg.LoadReportEvery, "kernel:load-report", func() {
+		if k.crashed {
+			return
+		}
+		if !k.cfg.PMLink.IsNil() {
+			k.sendLoadReport()
+		}
+		k.scheduleLoadReport()
+	})
+}
+
+func (k *Kernel) sendLoadReport() {
+	now := k.eng.Now()
+	interval := now - k.lastReportAt
+	if interval == 0 {
+		interval = 1
+	}
+	busy := k.stats.CPUBusy - k.lastReportBusy
+	pct := uint64(busy) * 100 / uint64(interval)
+	if pct > 100 {
+		pct = 100
+	}
+	rep := msg.LoadReport{
+		Machine:    k.machine,
+		Ready:      uint16(len(k.runq)),
+		ProcCount:  uint16(len(k.procs)),
+		MemUsedKB:  uint32(k.memUsed / 1024),
+		CPUPercent: uint8(pct),
+	}
+	for _, p := range k.sortedProcs() {
+		if p.state == StateForwarder || p.state == StateIncoming || p.privileged {
+			continue
+		}
+		pl := msg.ProcLoad{
+			PID:       p.id,
+			CPUMicros: uint32(p.cpuDelta),
+			MsgsOut:   uint32(p.msgsDelta),
+		}
+		for _, peer := range sortedMachines(p.commDelta) {
+			if n := p.commDelta[peer]; n > uint64(pl.TopPeerMsgs) {
+				pl.TopPeer, pl.TopPeerMsgs = peer, uint32(n)
+			}
+		}
+		rep.Procs = append(rep.Procs, pl)
+		p.cpuDelta = 0
+		p.msgsDelta = 0
+		p.commDelta = make(map[addr.MachineID]uint64)
+	}
+	k.lastReportAt = now
+	k.lastReportBusy = k.stats.CPUBusy
+	m := &msg.Message{
+		Kind: msg.KindControl, Op: msg.OpLoadReport,
+		From: addr.KernelAddr(k.machine), To: k.cfg.PMLink.Addr,
+		Body: rep.Encode(), SentAt: now,
+	}
+	k.route(m)
+}
+
+// sortedProcs returns local processes in deterministic (pid) order —
+// required because map iteration order would otherwise leak
+// nondeterminism into the simulation.
+func (k *Kernel) sortedProcs() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].id, out[j].id
+		if a.Creator != b.Creator {
+			return a.Creator < b.Creator
+		}
+		return a.Local < b.Local
+	})
+	return out
+}
+
+func sortedMachines(m map[addr.MachineID]uint64) []addr.MachineID {
+	out := make([]addr.MachineID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,120 @@
+package kernel
+
+import (
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/sim"
+)
+
+// Stats aggregates one kernel's activity. The experiment harness diffs
+// snapshots around a scenario to produce the paper's cost rows.
+type Stats struct {
+	// Process lifecycle.
+	Spawned uint64
+	Exited  uint64
+	Crashes uint64 // process faults
+	Kills   uint64
+
+	// Scheduling.
+	Slices      uint64
+	CtxSwitches uint64
+	CPUBusy     sim.Time
+
+	// Messaging.
+	MsgsRouted   uint64 // messages submitted to routing on this kernel
+	MsgsEnqueued uint64 // messages placed on local process queues
+	MsgsHeld     uint64 // messages queued while a process was in migration
+	DeadLetters  uint64 // messages for processes that no longer exist
+
+	// Forwarding (§4).
+	Forwarded           uint64 // messages re-routed via a forwarding address
+	ForwardedPending    uint64 // step-6 queue forwards
+	ForwardersInstalled uint64
+	ForwardersReclaimed uint64 // via death-notice GC
+	ForwarderBytes      uint64 // live forwarding-address storage on this kernel
+
+	// Link updating (§5).
+	LinkUpdatesSent    uint64 // special update messages emitted while forwarding
+	LinkUpdatesApplied uint64 // update messages processed for a local sender
+	LinksFixed         uint64 // individual link-table entries rewritten
+	EagerUpdatesSent   uint64 // ablation broadcasts
+
+	// Migration (§3, §6).
+	MigrationsOut     uint64 // completed as source
+	MigrationsIn      uint64 // completed as destination
+	MigrationsRefused uint64
+	MigrationsFailed  uint64
+	Revived           uint64            // processes restored from checkpoints (§1 fault recovery)
+	AdminSent         map[msg.Op]uint64 // administrative messages sent, by op
+	AdminBytes        uint64            // payload bytes of administrative messages sent
+
+	// Move-data streams.
+	DataPacketsSent uint64
+	DataBytesSent   uint64
+	AcksSent        uint64
+	AcksReceived    uint64
+
+	// Return-to-sender baseline (§4 alternative).
+	Bounced        uint64 // OpNotDeliverable sent
+	LocateRequests uint64
+	Resubmitted    uint64 // bounced messages re-sent after a locate reply
+}
+
+func newStats() Stats {
+	return Stats{AdminSent: make(map[msg.Op]uint64)}
+}
+
+// Clone returns a deep copy.
+func (s *Stats) Clone() Stats {
+	c := *s
+	c.AdminSent = make(map[msg.Op]uint64, len(s.AdminSent))
+	for k, v := range s.AdminSent {
+		c.AdminSent[k] = v
+	}
+	return c
+}
+
+// AdminTotal sums administrative messages sent across all ops.
+func (s *Stats) AdminTotal() uint64 {
+	var n uint64
+	for _, v := range s.AdminSent {
+		n += v
+	}
+	return n
+}
+
+// MigrationReport is the per-migration cost breakdown assembled by the
+// source kernel — the raw material for every row of §6.
+type MigrationReport struct {
+	PID  addr.ProcessID
+	From addr.MachineID
+	To   addr.MachineID
+
+	Start sim.Time // step 1: removed from execution
+	End   sim.Time // step 7 complete: source sent cleanup + done
+
+	// State transfer cost (§6): the three data moves.
+	ProgramBytes   int
+	ResidentBytes  int
+	SwappableBytes int
+	DataPackets    int
+
+	// Administrative cost (§6): control messages seen at the source
+	// (sent or received), and their payload bytes.
+	AdminMsgs  int
+	AdminBytes int
+
+	// Messages that were waiting in the queue and were forwarded in
+	// step 6.
+	PendingForwarded int
+
+	OK bool
+}
+
+// StateBytes returns the total bytes of the three data moves.
+func (r MigrationReport) StateBytes() int {
+	return r.ProgramBytes + r.ResidentBytes + r.SwappableBytes
+}
+
+// Latency returns the migration's duration as seen by the source kernel.
+func (r MigrationReport) Latency() sim.Time { return r.End - r.Start }

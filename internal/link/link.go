@@ -1,0 +1,137 @@
+// Package link implements DEMOS/MP links: buffered one-way message channels
+// that are "essentially protected global process addresses accessed via a
+// local name space" (paper §2.1).
+//
+// A link's most important field is the message process address (Figure 2-1).
+// Links are manipulated like capabilities — the kernel participates in all
+// link operations — and may additionally carry the DELIVERTOKERNEL attribute
+// (§2.2) or grant read/write access to a window of the owning process's
+// memory (the data area used by the move-data facility).
+package link
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"demosmp/internal/addr"
+)
+
+// Attr is a set of link attribute flags.
+type Attr uint16
+
+const (
+	// AttrDeliverToKernel causes messages sent over the link to be
+	// received by the kernel of the processor on which the addressed
+	// process currently resides (paper §2.2). Control functions are
+	// addressed to a process "without worrying about which processor the
+	// process is on (or is moving to)".
+	AttrDeliverToKernel Attr = 1 << iota
+	// AttrDataRead grants the holder read access to the link's data area
+	// in the owning process's memory (move-data reads).
+	AttrDataRead
+	// AttrDataWrite grants the holder write access to the link's data
+	// area (move-data writes).
+	AttrDataWrite
+	// AttrReply marks a single-use reply link; the kernel destroys the
+	// holder's copy after one send (paper §2.4: reply links "are used
+	// only once to respond to requests").
+	AttrReply
+)
+
+func (a Attr) String() string {
+	s := ""
+	add := func(f Attr, name string) {
+		if a&f != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add(AttrDeliverToKernel, "DTK")
+	add(AttrDataRead, "RD")
+	add(AttrDataWrite, "WR")
+	add(AttrReply, "REPLY")
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// DataArea describes the window of the link creator's memory image that the
+// link grants access to. A zero-length area grants no memory access.
+type DataArea struct {
+	Offset uint32
+	Length uint32
+}
+
+// IsZero reports whether the area grants no access.
+func (d DataArea) IsZero() bool { return d.Length == 0 }
+
+// Contains reports whether [off, off+n) falls inside the area.
+func (d DataArea) Contains(off, n uint32) bool {
+	if n == 0 {
+		return off <= d.Length
+	}
+	end := off + n
+	return end >= off && end <= d.Length
+}
+
+// Link is a message path to a process. Copies of a link may be held by many
+// processes and may travel inside messages; the address they contain can go
+// stale when the target migrates, which is exactly what the forwarding and
+// link-update machinery repairs.
+type Link struct {
+	Addr  addr.ProcessAddr
+	Attrs Attr
+	Area  DataArea
+}
+
+// WireSize is the encoded size of a Link: addr(6) + attrs(2) + area(8).
+const WireSize = addr.AddrWireSize + 2 + 8
+
+// IsNil reports whether the link is the zero value.
+func (l Link) IsNil() bool { return l.Addr.IsNil() }
+
+func (l Link) String() string {
+	if l.IsNil() {
+		return "link<nil>"
+	}
+	s := fmt.Sprintf("link(%v", l.Addr)
+	if l.Attrs != 0 {
+		s += "," + l.Attrs.String()
+	}
+	if !l.Area.IsZero() {
+		s += fmt.Sprintf(",area[%d+%d]", l.Area.Offset, l.Area.Length)
+	}
+	return s + ")"
+}
+
+// Encode appends the wire form of l to b.
+func Encode(b []byte, l Link) []byte {
+	b = addr.EncodeAddr(b, l.Addr)
+	b = binary.LittleEndian.AppendUint16(b, uint16(l.Attrs))
+	b = binary.LittleEndian.AppendUint32(b, l.Area.Offset)
+	b = binary.LittleEndian.AppendUint32(b, l.Area.Length)
+	return b
+}
+
+// Decode reads a Link from the front of b, returning the remainder.
+func Decode(b []byte) (Link, []byte, error) {
+	a, rest, err := addr.DecodeAddr(b)
+	if err != nil {
+		return Link{}, b, fmt.Errorf("link: %w", err)
+	}
+	if len(rest) < 10 {
+		return Link{}, b, fmt.Errorf("link: short encoding: %d bytes", len(rest))
+	}
+	l := Link{
+		Addr:  a,
+		Attrs: Attr(binary.LittleEndian.Uint16(rest)),
+		Area: DataArea{
+			Offset: binary.LittleEndian.Uint32(rest[2:]),
+			Length: binary.LittleEndian.Uint32(rest[6:]),
+		},
+	}
+	return l, rest[10:], nil
+}

@@ -1,0 +1,203 @@
+package memory
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestReadZeroFill(t *testing.T) {
+	img := NewImage(1000, nil)
+	b := make([]byte, 1000)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	if err := img.ReadAt(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("byte %d = %d, want zero fill", i, v)
+		}
+	}
+}
+
+func TestWriteReadAcrossPages(t *testing.T) {
+	img := NewImage(3*PageSize, nil)
+	data := make([]byte, PageSize+100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	off := PageSize - 50 // straddles two page boundaries
+	if err := img.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := img.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page write/read mismatch")
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	img := NewImage(100, nil)
+	if err := img.ReadAt(make([]byte, 101), 0); err == nil {
+		t.Fatal("read past end accepted")
+	}
+	if err := img.WriteAt([]byte{1}, 100); err == nil {
+		t.Fatal("write past end accepted")
+	}
+	if err := img.ReadAt([]byte{1}, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := img.ReadAt(make([]byte, 100), 0); err != nil {
+		t.Fatalf("exact-size read rejected: %v", err)
+	}
+}
+
+func TestSwapOutIn(t *testing.T) {
+	st := NewStore(0)
+	img := NewImage(4*PageSize, st)
+	data := []byte("the process's code, data, and stack")
+	img.WriteAt(data, 0)
+	img.WriteAt(data, 2*PageSize)
+
+	if err := img.SwapOut(0); err != nil {
+		t.Fatal(err)
+	}
+	if img.ResidentPages() != 1 || img.SwappedPages() != 1 {
+		t.Fatalf("resident=%d swapped=%d", img.ResidentPages(), img.SwappedPages())
+	}
+	if st.Used() != PageSize {
+		t.Fatalf("store used = %d", st.Used())
+	}
+	// Read transparently swaps back in.
+	got := make([]byte, len(data))
+	if err := img.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted by swap round trip")
+	}
+	if img.SwappedPages() != 0 || st.Used() != 0 {
+		t.Fatal("page not reclaimed from store")
+	}
+	if st.SwapIns() != 1 || st.SwapOuts() != 1 {
+		t.Fatalf("counters: ins=%d outs=%d", st.SwapIns(), st.SwapOuts())
+	}
+}
+
+func TestSwapUntouchedPageIsNoop(t *testing.T) {
+	st := NewStore(0)
+	img := NewImage(2*PageSize, st)
+	if err := img.SwapOut(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Used() != 0 {
+		t.Fatal("untouched page went to swap")
+	}
+}
+
+func TestSwapStoreCapacity(t *testing.T) {
+	st := NewStore(PageSize) // one page
+	img := NewImage(2*PageSize, st)
+	img.WriteAt([]byte{1}, 0)
+	img.WriteAt([]byte{2}, PageSize)
+	if err := img.SwapOut(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.SwapOut(1); err != ErrSwapFull {
+		t.Fatalf("expected ErrSwapFull, got %v", err)
+	}
+}
+
+func TestSwapWithoutStore(t *testing.T) {
+	img := NewImage(PageSize, nil)
+	img.WriteAt([]byte{1}, 0)
+	if err := img.SwapOut(0); err == nil {
+		t.Fatal("swap without store accepted")
+	}
+}
+
+func TestBytesFullCopy(t *testing.T) {
+	st := NewStore(0)
+	img := NewImage(600, st)
+	data := make([]byte, 600)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	img.WriteAt(data, 0)
+	img.SwapOut(1)
+	got, err := img.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("Bytes() mismatch")
+	}
+}
+
+func TestDiscardFreesSwap(t *testing.T) {
+	st := NewStore(0)
+	img := NewImage(2*PageSize, st)
+	img.WriteAt([]byte{1}, 0)
+	img.SwapOut(0)
+	img.Discard()
+	if st.Used() != 0 {
+		t.Fatal("Discard leaked swap space")
+	}
+	if img.ResidentPages() != 0 {
+		t.Fatal("Discard left resident pages")
+	}
+}
+
+// Property: Image matches a plain byte slice under random ops, including
+// random swap-outs.
+func TestImageMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const size = 5*PageSize + 37
+	st := NewStore(0)
+	img := NewImage(size, st)
+	ref := make([]byte, size)
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1: // write
+			off := rng.Intn(size)
+			n := rng.Intn(size - off)
+			b := make([]byte, n)
+			rng.Read(b)
+			if err := img.WriteAt(b, off); err != nil {
+				t.Fatal(err)
+			}
+			copy(ref[off:], b)
+		case 2: // read & compare
+			off := rng.Intn(size)
+			n := rng.Intn(size - off)
+			b := make([]byte, n)
+			if err := img.ReadAt(b, off); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b, ref[off:off+n]) {
+				t.Fatalf("read mismatch at [%d,%d)", off, off+n)
+			}
+		case 3: // random swap-out
+			img.SwapOut(rng.Intn(img.Pages()))
+		}
+	}
+	got, _ := img.Bytes()
+	if !bytes.Equal(got, ref) {
+		t.Fatal("final image diverged from reference")
+	}
+}
+
+func TestPageCounts(t *testing.T) {
+	img := NewImage(PageSize*2+1, nil)
+	if img.Pages() != 3 {
+		t.Fatalf("Pages = %d, want 3", img.Pages())
+	}
+	if img.Size() != PageSize*2+1 {
+		t.Fatalf("Size = %d", img.Size())
+	}
+}

@@ -1,0 +1,130 @@
+package msg
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"demosmp/internal/addr"
+)
+
+func TestCreateProcessRoundTrip(t *testing.T) {
+	in := CreateProcess{Tag: 7, Name: "hog", Args: []string{"fast", "x"}}
+	out, err := DecodeCreateProcess(in.Encode())
+	if err != nil || !reflect.DeepEqual(out, in) {
+		t.Fatalf("%+v %v", out, err)
+	}
+	// No args.
+	in2 := CreateProcess{Tag: 1, Name: "a"}
+	out2, err := DecodeCreateProcess(in2.Encode())
+	if err != nil || out2.Name != "a" || len(out2.Args) != 0 {
+		t.Fatalf("%+v %v", out2, err)
+	}
+}
+
+func TestCreateProcessRoundTripProperty(t *testing.T) {
+	f := func(tag uint16, name string, a1, a2 string) bool {
+		if len(name) > 200 {
+			name = name[:200]
+		}
+		if len(a1) > 200 {
+			a1 = a1[:200]
+		}
+		if len(a2) > 200 {
+			a2 = a2[:200]
+		}
+		in := CreateProcess{Tag: tag, Name: name, Args: []string{a1, a2}}
+		out, err := DecodeCreateProcess(in.Encode())
+		return err == nil && out.Tag == tag && out.Name == name &&
+			len(out.Args) == 2 && out.Args[0] == a1 && out.Args[1] == a2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateProcessDecodeErrors(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, {1, 2, 5, 'a'}, {1, 2, 2, 'a', 'b', 3, 1, 'x'}} {
+		if _, err := DecodeCreateProcess(b); err == nil {
+			t.Errorf("accepted %v", b)
+		}
+	}
+}
+
+func TestCreateDoneRoundTrip(t *testing.T) {
+	in := CreateDone{PID: pid(3, 9), Machine: 2, Tag: 11}
+	out, err := DecodeCreateDone(in.Encode())
+	if err != nil || out != in {
+		t.Fatalf("%+v %v", out, err)
+	}
+	if _, err := DecodeCreateDone([]byte{1, 2}); err == nil {
+		t.Fatal("accepted short input")
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	in := LoadReport{
+		Machine: 3, Ready: 4, ProcCount: 7, MemUsedKB: 1234, CPUPercent: 86,
+		Procs: []ProcLoad{
+			{PID: pid(1, 2), CPUMicros: 9999, MsgsOut: 4, TopPeer: 2, TopPeerMsgs: 3},
+			{PID: pid(3, 4), CPUMicros: 1},
+		},
+	}
+	out, err := DecodeLoadReport(in.Encode())
+	if err != nil || !reflect.DeepEqual(out, in) {
+		t.Fatalf("%+v %v", out, err)
+	}
+	// Empty proc list.
+	in2 := LoadReport{Machine: 1}
+	out2, err := DecodeLoadReport(in2.Encode())
+	if err != nil || out2.Machine != 1 || len(out2.Procs) != 0 {
+		t.Fatalf("%+v %v", out2, err)
+	}
+}
+
+func TestLoadReportDecodeErrors(t *testing.T) {
+	in := LoadReport{Machine: 1, Procs: []ProcLoad{{PID: pid(1, 1)}}}
+	b := in.Encode()
+	for _, cut := range []int{0, 5, 12, len(b) - 2} {
+		if _, err := DecodeLoadReport(b[:cut]); err == nil {
+			t.Errorf("accepted %d-byte truncation", cut)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for r, want := range map[Region]string{
+		RegionResident: "resident", RegionSwappable: "swappable",
+		RegionProgram: "program", Region(9): "region(9)",
+	} {
+		if r.String() != want {
+			t.Errorf("%v", r)
+		}
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{
+		Kind: KindControl, Op: OpMigrateAsk, DTK: true,
+		From: addr.At(pid(1, 2), 1), To: addr.At(pid(3, 4), 5),
+		Body: []byte{1, 2, 3}, Forwards: 2,
+	}
+	s := m.String()
+	for _, want := range []string{"control:migrate-ask", "p1.2@m1", "p3.4@m5", "DTK", "3B", "fwd=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestWireSizeWithBouncedOriginal(t *testing.T) {
+	orig := &Message{Kind: KindUser, From: addr.At(pid(1, 1), 1), To: addr.At(pid(2, 2), 2), Body: make([]byte, 40)}
+	nd := &Message{Kind: KindControl, Op: OpNotDeliverable,
+		From: addr.KernelAddr(2), To: addr.KernelAddr(1), Orig: orig}
+	if nd.WireSize() <= orig.WireSize() {
+		t.Fatalf("bounce must account for the carried original: %d vs %d",
+			nd.WireSize(), orig.WireSize())
+	}
+}

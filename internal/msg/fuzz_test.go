@@ -1,0 +1,64 @@
+package msg
+
+import (
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/link"
+)
+
+// FuzzDecode: the message decoder must reject or accept arbitrary bytes
+// without ever panicking — kernels parse frames from other kernels.
+func FuzzDecode(f *testing.F) {
+	good := Encode(nil, &Message{
+		Kind: KindUser,
+		From: addr.At(addr.ProcessID{Creator: 1, Local: 2}, 1),
+		To:   addr.At(addr.ProcessID{Creator: 2, Local: 3}, 2),
+		Body: []byte("hello"),
+		Links: []link.Link{
+			{Addr: addr.At(addr.ProcessID{Creator: 1, Local: 2}, 1), Attrs: link.AttrReply},
+		},
+	})
+	f.Add(good)
+	f.Add(good[:7])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	data := Encode(nil, &Message{Kind: KindData, From: addr.KernelAddr(1),
+		To: addr.KernelAddr(2), Xfer: 7, Seq: 99, Last: true, Body: []byte{1, 2, 3}})
+	f.Add(data)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, rest, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode to the bytes consumed.
+		re := Encode(nil, m)
+		consumed := b[:len(b)-len(rest)]
+		if len(re) != len(consumed) {
+			t.Fatalf("re-encode length %d, consumed %d", len(re), len(consumed))
+		}
+	})
+}
+
+// FuzzControlDecoders: every control payload decoder on arbitrary input.
+func FuzzControlDecoders(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MigrateRequest{PID: addr.ProcessID{Creator: 1, Local: 2}, Dest: 3}.Encode())
+	f.Add(MigrateAsk{PID: addr.ProcessID{Creator: 1, Local: 2}, Program: 9}.Encode())
+	f.Add(LoadReport{Machine: 2, Procs: []ProcLoad{{PID: addr.ProcessID{Creator: 1, Local: 1}}}}.Encode())
+	f.Add(CreateProcess{Tag: 1, Name: "x", Args: []string{"y"}}.Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		DecodeMigrateRequest(b)
+		DecodeMigrateAsk(b)
+		DecodePIDMachine(b)
+		DecodeMoveDataReq(b)
+		DecodeMigrateCleanup(b)
+		DecodeMigrateDone(b)
+		DecodeLinkUpdate(b)
+		DecodeMoveRead(b)
+		DecodeXferStatus(b)
+		DecodeCreateProcess(b)
+		DecodeCreateDone(b)
+		DecodeLoadReport(b)
+	})
+}

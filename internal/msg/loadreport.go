@@ -1,0 +1,86 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"demosmp/internal/addr"
+)
+
+// OpLoadReport is the periodic kernel -> process-manager load report.
+// The paper (§3.1) notes migration decisions need "the state of [the]
+// machine on which the process currently resides, and machines to where the
+// process could move. Processor loading and memory demand for each machine
+// is required" plus per-process communication data, which "is beyond the
+// ability of most current systems" — here the kernels simply include it.
+const OpLoadReport Op = 200
+
+// ProcLoad is one process's share of a load report.
+type ProcLoad struct {
+	PID         addr.ProcessID
+	CPUMicros   uint32 // CPU consumed since the last report
+	MsgsOut     uint32 // messages sent since the last report
+	TopPeer     addr.MachineID
+	TopPeerMsgs uint32 // messages to TopPeer since the last report
+}
+
+// LoadReport summarizes one machine for the process manager.
+type LoadReport struct {
+	Machine    addr.MachineID
+	Ready      uint16 // run queue length
+	ProcCount  uint16
+	MemUsedKB  uint32
+	CPUPercent uint8 // utilization since the last report
+	Procs      []ProcLoad
+}
+
+// Encode serializes the report.
+func (r LoadReport) Encode() []byte {
+	b := make([]byte, 0, 12+len(r.Procs)*16)
+	b = binary.LittleEndian.AppendUint16(b, uint16(r.Machine))
+	b = binary.LittleEndian.AppendUint16(b, r.Ready)
+	b = binary.LittleEndian.AppendUint16(b, r.ProcCount)
+	b = binary.LittleEndian.AppendUint32(b, r.MemUsedKB)
+	b = append(b, r.CPUPercent)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Procs)))
+	for _, p := range r.Procs {
+		b = addr.EncodePID(b, p.PID)
+		b = binary.LittleEndian.AppendUint32(b, p.CPUMicros)
+		b = binary.LittleEndian.AppendUint32(b, p.MsgsOut)
+		b = binary.LittleEndian.AppendUint16(b, uint16(p.TopPeer))
+		b = binary.LittleEndian.AppendUint32(b, p.TopPeerMsgs)
+	}
+	return b
+}
+
+// DecodeLoadReport parses a load report.
+func DecodeLoadReport(b []byte) (LoadReport, error) {
+	var r LoadReport
+	if len(b) < 13 {
+		return r, fmt.Errorf("msg: short LoadReport")
+	}
+	r.Machine = addr.MachineID(binary.LittleEndian.Uint16(b))
+	r.Ready = binary.LittleEndian.Uint16(b[2:])
+	r.ProcCount = binary.LittleEndian.Uint16(b[4:])
+	r.MemUsedKB = binary.LittleEndian.Uint32(b[6:])
+	r.CPUPercent = b[10]
+	n := int(binary.LittleEndian.Uint16(b[11:]))
+	b = b[13:]
+	for i := 0; i < n; i++ {
+		var p ProcLoad
+		var err error
+		if p.PID, b, err = addr.DecodePID(b); err != nil {
+			return r, fmt.Errorf("msg: LoadReport proc %d: %w", i, err)
+		}
+		if len(b) < 14 {
+			return r, fmt.Errorf("msg: LoadReport proc %d truncated", i)
+		}
+		p.CPUMicros = binary.LittleEndian.Uint32(b)
+		p.MsgsOut = binary.LittleEndian.Uint32(b[4:])
+		p.TopPeer = addr.MachineID(binary.LittleEndian.Uint16(b[8:]))
+		p.TopPeerMsgs = binary.LittleEndian.Uint32(b[10:])
+		b = b[14:]
+		r.Procs = append(r.Procs, p)
+	}
+	return r, nil
+}

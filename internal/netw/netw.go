@@ -1,0 +1,297 @@
+// Package netw simulates the inter-machine communication of DEMOS/MP.
+//
+// The paper assumes that "reliable message delivery is provided by some
+// lower level mechanism, for example, published communications". This
+// package is that lower level: frames between kernels experience a base
+// latency plus a per-byte transmission cost, may be lost (when a loss rate
+// is configured), and are recovered by a per-frame acknowledge/retransmit
+// scheme with receiver-side deduplication, so the guarantee the kernels see
+// is the paper's: "any message sent will eventually be delivered".
+package netw
+
+import (
+	"fmt"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/sim"
+)
+
+// Config sets the network model parameters. Defaults approximate the
+// paper's era: a few-Mbit LAN between Z8000-class machines.
+type Config struct {
+	// Latency is the fixed per-frame propagation+processing delay.
+	Latency sim.Time
+	// PerByteNanos is the transmission cost per byte, in nanoseconds.
+	PerByteNanos uint32
+	// LossRate is the probability a frame (or its network-level ack) is
+	// dropped. Zero disables the ARQ machinery entirely.
+	LossRate float64
+	// RetransTimeout is how long the sender waits for a network-level
+	// ack before retransmitting.
+	RetransTimeout sim.Time
+	// MaxRetries bounds retransmissions; afterwards the frame is handed
+	// to the undeliverable callback (e.g. the destination crashed).
+	MaxRetries int
+	// PairLatency, when set, replaces the uniform Latency with a
+	// per-machine-pair propagation delay — a heterogeneous topology
+	// (the per-byte transmission cost still applies on top). It must be
+	// symmetric if the experiment assumes it.
+	PairLatency func(a, b addr.MachineID) sim.Time
+}
+
+// DefaultConfig returns the standard parameters: 500µs latency,
+// ~2.7µs/byte (≈3 Mbit/s), lossless.
+func DefaultConfig() Config {
+	return Config{
+		Latency:        500,
+		PerByteNanos:   2700,
+		RetransTimeout: 20000,
+		MaxRetries:     30,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Latency == 0 {
+		c.Latency = d.Latency
+	}
+	if c.PerByteNanos == 0 {
+		c.PerByteNanos = d.PerByteNanos
+	}
+	if c.RetransTimeout == 0 {
+		c.RetransTimeout = d.RetransTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+}
+
+// Endpoint receives frames addressed to a machine; kernels implement it.
+type Endpoint interface {
+	DeliverFrame(m *msg.Message)
+}
+
+// Stats aggregates network activity. Per-kind counters let the experiments
+// separate administrative traffic from data streams and link updates.
+type Stats struct {
+	Frames      uint64
+	Bytes       uint64
+	Delivered   uint64
+	Dropped     uint64 // frames lost to the configured loss rate
+	Retransmits uint64
+	Duplicates  uint64 // retransmissions suppressed at the receiver
+	Dead        uint64 // frames abandoned after MaxRetries
+	ByKind      map[msg.Kind]uint64
+	BytesByKind map[msg.Kind]uint64
+	PerMachine  map[addr.MachineID]MachineStats
+}
+
+// MachineStats counts a single machine's network activity.
+type MachineStats struct {
+	FramesOut, FramesIn uint64
+	BytesOut, BytesIn   uint64
+}
+
+func newStats() Stats {
+	return Stats{
+		ByKind:      make(map[msg.Kind]uint64),
+		BytesByKind: make(map[msg.Kind]uint64),
+		PerMachine:  make(map[addr.MachineID]MachineStats),
+	}
+}
+
+// Clone returns a deep copy of the stats (for before/after comparisons).
+func (s *Stats) Clone() Stats {
+	c := *s
+	c.ByKind = make(map[msg.Kind]uint64, len(s.ByKind))
+	for k, v := range s.ByKind {
+		c.ByKind[k] = v
+	}
+	c.BytesByKind = make(map[msg.Kind]uint64, len(s.BytesByKind))
+	for k, v := range s.BytesByKind {
+		c.BytesByKind[k] = v
+	}
+	c.PerMachine = make(map[addr.MachineID]MachineStats, len(s.PerMachine))
+	for k, v := range s.PerMachine {
+		c.PerMachine[k] = v
+	}
+	return c
+}
+
+// Network connects the machines of a cluster.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	eps   map[addr.MachineID]Endpoint
+	down  map[addr.MachineID]bool
+	stats Stats
+
+	// ARQ state, only used when LossRate > 0.
+	nextFrameID uint64
+	delivered   map[pair]map[uint64]struct{}
+
+	// OnDead receives frames abandoned after MaxRetries (typically
+	// because the destination machine is down). May be nil.
+	OnDead func(to addr.MachineID, m *msg.Message)
+}
+
+type pair struct{ from, to addr.MachineID }
+
+// New creates a network driven by eng.
+func New(eng *sim.Engine, cfg Config) *Network {
+	cfg.fillDefaults()
+	return &Network{
+		eng:       eng,
+		cfg:       cfg,
+		eps:       make(map[addr.MachineID]Endpoint),
+		down:      make(map[addr.MachineID]bool),
+		stats:     newStats(),
+		delivered: make(map[pair]map[uint64]struct{}),
+	}
+}
+
+// Config returns the active configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Attach registers the endpoint for machine m.
+func (n *Network) Attach(m addr.MachineID, ep Endpoint) {
+	if _, dup := n.eps[m]; dup {
+		panic(fmt.Sprintf("netw: machine %v attached twice", m))
+	}
+	n.eps[m] = ep
+}
+
+// SetDown marks a machine as crashed (true) or recovered (false). Frames to
+// a down machine are lost; the ARQ keeps retrying until MaxRetries.
+func (n *Network) SetDown(m addr.MachineID, down bool) { n.down[m] = down }
+
+// Down reports whether machine m is marked crashed.
+func (n *Network) Down(m addr.MachineID) bool { return n.down[m] }
+
+// Stats returns a snapshot of the accumulated counters.
+func (n *Network) Stats() Stats { return n.stats.Clone() }
+
+// TransitTime returns the modeled one-way time for a frame of size bytes
+// over a default-latency hop (pair-specific latency, if configured, is
+// applied at Send time).
+func (n *Network) TransitTime(size int) sim.Time {
+	return n.cfg.Latency + sim.Time(uint64(size)*uint64(n.cfg.PerByteNanos)/1000)
+}
+
+// transit returns the one-way time between a specific pair.
+func (n *Network) transit(from, to addr.MachineID, size int) sim.Time {
+	lat := n.cfg.Latency
+	if n.cfg.PairLatency != nil {
+		lat = n.cfg.PairLatency(from, to)
+	}
+	return lat + sim.Time(uint64(size)*uint64(n.cfg.PerByteNanos)/1000)
+}
+
+// Send transmits m from machine 'from' to machine 'to'. Delivery is
+// asynchronous; with a configured loss rate the frame is retransmitted
+// until acknowledged. Sending from a down machine silently drops (a crashed
+// kernel cannot transmit).
+func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
+	if from == to {
+		panic(fmt.Sprintf("netw: local send %v->%v must not use the network", from, to))
+	}
+	if _, ok := n.eps[to]; !ok {
+		panic(fmt.Sprintf("netw: no endpoint for machine %v", to))
+	}
+	if n.down[from] {
+		return
+	}
+	size := m.WireSize()
+	n.account(from, to, m, size)
+	if n.cfg.LossRate <= 0 {
+		m.Hops++
+		n.eng.After(n.transit(from, to, size), "netw:deliver", func() {
+			n.deliver(to, m)
+		})
+		return
+	}
+	id := n.nextFrameID
+	n.nextFrameID++
+	n.transmit(from, to, m, size, id, 0)
+}
+
+func (n *Network) account(from, to addr.MachineID, m *msg.Message, size int) {
+	n.stats.Frames++
+	n.stats.Bytes += uint64(size)
+	n.stats.ByKind[m.Kind]++
+	n.stats.BytesByKind[m.Kind] += uint64(size)
+	fs := n.stats.PerMachine[from]
+	fs.FramesOut++
+	fs.BytesOut += uint64(size)
+	n.stats.PerMachine[from] = fs
+	ts := n.stats.PerMachine[to]
+	ts.FramesIn++
+	ts.BytesIn += uint64(size)
+	n.stats.PerMachine[to] = ts
+}
+
+func (n *Network) deliver(to addr.MachineID, m *msg.Message) {
+	if n.down[to] {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.Delivered++
+	n.eps[to].DeliverFrame(m)
+}
+
+// transmit is one ARQ attempt. The ack travels as a zero-cost event (the
+// real ack bytes are negligible and not part of the paper's accounting).
+func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id uint64, attempt int) {
+	if attempt > 0 {
+		n.stats.Retransmits++
+	}
+	lostFrame := n.eng.Rand().Float64() < n.cfg.LossRate || n.down[to]
+	lostAck := n.eng.Rand().Float64() < n.cfg.LossRate
+	acked := false
+
+	if !lostFrame {
+		m.Hops++
+		n.eng.After(n.transit(from, to, size), "netw:deliver", func() {
+			key := pair{from, to}
+			seen := n.delivered[key]
+			if seen == nil {
+				seen = make(map[uint64]struct{})
+				n.delivered[key] = seen
+			}
+			if _, dup := seen[id]; dup {
+				n.stats.Duplicates++
+			} else {
+				seen[id] = struct{}{}
+				if len(seen) > 4096 {
+					// Prune old ids; retransmits never lag this far.
+					for k := range seen {
+						if k+2048 < id {
+							delete(seen, k)
+						}
+					}
+				}
+				n.deliver(to, m)
+			}
+			if !lostAck {
+				n.eng.After(n.cfg.Latency, "netw:ack", func() { acked = true })
+			}
+		})
+	} else {
+		n.stats.Dropped++
+	}
+
+	n.eng.After(n.cfg.RetransTimeout, "netw:retrans-check", func() {
+		if acked {
+			return
+		}
+		if attempt+1 >= n.cfg.MaxRetries {
+			n.stats.Dead++
+			if n.OnDead != nil {
+				n.OnDead(to, m)
+			}
+			return
+		}
+		n.transmit(from, to, m, size, id, attempt+1)
+	})
+}

@@ -1,0 +1,207 @@
+// Package policy implements migration decision rules for the process
+// manager.
+//
+// The paper left this open: "The mechanism for moving a process has been
+// implemented, but there is not yet a strategy routine that actually
+// decides when to move a process" (§7). It does, however, enumerate what a
+// rule needs (§3.1): resource-use evaluation, per-machine load assessment,
+// a way to collect the information in one place, an improvement strategy,
+// and "a hysteresis mechanism to keep from incurring the cost of migration
+// more often than justified by the gains". The policies here implement
+// those features over the kernels' load reports.
+package policy
+
+import (
+	"fmt"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/sim"
+)
+
+// Decision is one migration order.
+type Decision struct {
+	PID    addr.ProcessID
+	From   addr.MachineID
+	Dest   addr.MachineID
+	Reason string
+}
+
+// Policy examines the latest load reports and proposes migrations.
+type Policy interface {
+	Name() string
+	Decide(now sim.Time, loads []msg.LoadReport) []Decision
+}
+
+// Manual never proposes anything; migrations happen only on explicit
+// command — the paper's own deployment state ("the decision to move a
+// particular process and the choice of destination were arbitrary").
+type Manual struct{}
+
+func (Manual) Name() string                                 { return "manual" }
+func (Manual) Decide(sim.Time, []msg.LoadReport) []Decision { return nil }
+
+// Threshold moves a process from an overloaded machine to the least loaded
+// one. Hysteresis comes from three guards: the high/low water gap, a
+// per-process cooldown, and a minimum CPU share for the moved process (no
+// point paying migration cost for an idle process).
+type Threshold struct {
+	HighWater uint8    // source CPU% at or above this is overloaded
+	LowWater  uint8    // destination CPU% at or below this is a target
+	Cooldown  sim.Time // minimum time between moves of the same process
+	MinCPU    uint32   // minimum CPUMicros in the last report period
+
+	lastMove map[addr.ProcessID]sim.Time
+}
+
+// NewThreshold returns a load-balancing policy with the given waters.
+func NewThreshold(high, low uint8, cooldown sim.Time) *Threshold {
+	return &Threshold{
+		HighWater: high, LowWater: low, Cooldown: cooldown,
+		MinCPU:   1000,
+		lastMove: make(map[addr.ProcessID]sim.Time),
+	}
+}
+
+func (p *Threshold) Name() string { return "threshold" }
+
+func (p *Threshold) Decide(now sim.Time, loads []msg.LoadReport) []Decision {
+	if len(loads) < 2 {
+		return nil
+	}
+	var busiest, idlest *msg.LoadReport
+	for i := range loads {
+		l := &loads[i]
+		if busiest == nil || l.CPUPercent > busiest.CPUPercent ||
+			(l.CPUPercent == busiest.CPUPercent && l.Ready > busiest.Ready) {
+			busiest = l
+		}
+		if idlest == nil || l.CPUPercent < idlest.CPUPercent {
+			idlest = l
+		}
+	}
+	if busiest.Machine == idlest.Machine {
+		return nil
+	}
+	if busiest.CPUPercent < p.HighWater || idlest.CPUPercent > p.LowWater {
+		return nil // the gap is not worth a migration (hysteresis)
+	}
+	if len(busiest.Procs) < 2 {
+		return nil // moving the only process just moves the problem
+	}
+	// Pick the hungriest recently-movable process.
+	var best *msg.ProcLoad
+	for i := range busiest.Procs {
+		pl := &busiest.Procs[i]
+		if pl.CPUMicros < p.MinCPU {
+			continue
+		}
+		if last, ok := p.lastMove[pl.PID]; ok && now-last < p.Cooldown {
+			continue
+		}
+		if best == nil || pl.CPUMicros > best.CPUMicros {
+			best = pl
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	p.lastMove[best.PID] = now
+	return []Decision{{
+		PID: best.PID, From: busiest.Machine, Dest: idlest.Machine,
+		Reason: fmt.Sprintf("cpu %d%% -> %d%%", busiest.CPUPercent, idlest.CPUPercent),
+	}}
+}
+
+// CommAffinity moves a process toward the machine it talks to most,
+// reducing inter-machine traffic (§1: "Moving a process closer to the
+// resource it is using most heavily may reduce system-wide communication
+// traffic").
+type CommAffinity struct {
+	MinMsgs  uint32 // messages per report period to justify a move
+	Cooldown sim.Time
+
+	lastMove map[addr.ProcessID]sim.Time
+}
+
+// NewCommAffinity returns an affinity policy.
+func NewCommAffinity(minMsgs uint32, cooldown sim.Time) *CommAffinity {
+	return &CommAffinity{MinMsgs: minMsgs, Cooldown: cooldown,
+		lastMove: make(map[addr.ProcessID]sim.Time)}
+}
+
+func (p *CommAffinity) Name() string { return "comm-affinity" }
+
+func (p *CommAffinity) Decide(now sim.Time, loads []msg.LoadReport) []Decision {
+	var out []Decision
+	for i := range loads {
+		l := &loads[i]
+		for j := range l.Procs {
+			pl := &l.Procs[j]
+			if pl.TopPeer == addr.NoMachine || pl.TopPeer == l.Machine {
+				continue
+			}
+			if pl.TopPeerMsgs < p.MinMsgs {
+				continue
+			}
+			if last, ok := p.lastMove[pl.PID]; ok && now-last < p.Cooldown {
+				continue
+			}
+			p.lastMove[pl.PID] = now
+			out = append(out, Decision{
+				PID: pl.PID, From: l.Machine, Dest: pl.TopPeer,
+				Reason: fmt.Sprintf("%d msgs/period to m%d", pl.TopPeerMsgs, uint16(pl.TopPeer)),
+			})
+		}
+	}
+	return out
+}
+
+// Drain evacuates every process from one machine — the fault-recovery use
+// of migration (§1: "working processes may be migrated from a dying
+// processor (like rats leaving a sinking ship) before it completely
+// fails").
+type Drain struct {
+	Dying addr.MachineID
+
+	ordered map[addr.ProcessID]bool
+}
+
+// NewDrain returns a policy that empties machine m.
+func NewDrain(m addr.MachineID) *Drain {
+	return &Drain{Dying: m, ordered: make(map[addr.ProcessID]bool)}
+}
+
+func (p *Drain) Name() string { return "drain" }
+
+func (p *Drain) Decide(now sim.Time, loads []msg.LoadReport) []Decision {
+	var dying *msg.LoadReport
+	var calmest *msg.LoadReport
+	for i := range loads {
+		l := &loads[i]
+		if l.Machine == p.Dying {
+			dying = l
+			continue
+		}
+		if calmest == nil || l.CPUPercent < calmest.CPUPercent {
+			calmest = l
+		}
+	}
+	if dying == nil || calmest == nil {
+		return nil
+	}
+	var out []Decision
+	dest := calmest.Machine
+	for i := range dying.Procs {
+		pl := &dying.Procs[i]
+		if p.ordered[pl.PID] {
+			continue
+		}
+		p.ordered[pl.PID] = true
+		out = append(out, Decision{
+			PID: pl.PID, From: p.Dying, Dest: dest,
+			Reason: "evacuating dying processor",
+		})
+	}
+	return out
+}

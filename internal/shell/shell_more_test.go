@@ -1,0 +1,113 @@
+package shell_test
+
+import (
+	"strings"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/link"
+	"demosmp/internal/procmgr"
+	"demosmp/internal/shell"
+	"demosmp/internal/switchboard"
+)
+
+func TestSignalCommands(t *testing.T) {
+	s, ctx := newShellCtx()
+	cmd(ctx, "suspend p2.7")
+	cmd(ctx, "resume p2.7")
+	cmd(ctx, "kill p2.7")
+	step(t, s, ctx)
+	if len(ctx.Sends) != 3 {
+		t.Fatalf("sends: %v", ctx.Sends)
+	}
+	wantSigs := []byte{procmgr.SigSuspend, procmgr.SigResume, procmgr.SigKill}
+	for i, sent := range ctx.Sends {
+		if sent.On != 2 {
+			t.Fatalf("signal %d went to link %v", i, sent.On)
+		}
+		want := procmgr.CmdSignal(addr.ProcessID{Creator: 2, Local: 7}, wantSigs[i])
+		if string(sent.Body) != string(want) {
+			t.Fatalf("signal %d body %x, want %x", i, sent.Body, want)
+		}
+	}
+	// Usage errors print, don't send.
+	cmd(ctx, "suspend")
+	cmd(ctx, "kill notapid")
+	step(t, s, ctx)
+	if len(ctx.Sends) != 3 {
+		t.Fatalf("bad signal commands sent: %v", ctx.Sends)
+	}
+}
+
+func TestRunAny(t *testing.T) {
+	s, ctx := newShellCtx()
+	cmd(ctx, "run any hog")
+	step(t, s, ctx)
+	sent, ok := ctx.LastSend()
+	if !ok || sent.Body[0] != 'S' {
+		t.Fatalf("run any: %+v", sent)
+	}
+	// Machine field must be AnyMachine (0).
+	if sent.Body[1] != 0 || sent.Body[2] != 0 {
+		t.Fatalf("machine field: %v", sent.Body[1:3])
+	}
+}
+
+func TestLookupCommandAndReplies(t *testing.T) {
+	s, ctx := newShellCtx()
+	cmd(ctx, "lookup fs.dir")
+	step(t, s, ctx)
+	sent, _ := ctx.LastSend()
+	if sent.On != 1 || string(sent.Body) != string(switchboard.LookupMsg("fs.dir")) {
+		t.Fatalf("lookup request: %+v", sent)
+	}
+	// Successful reply carries the found link.
+	carried, _ := ctx.MintLink(link.Link{Addr: addr.At(addr.ProcessID{Creator: 1, Local: 9}, 1)})
+	ctx.PushBody(addr.ProcessAddr{}, []byte{switchboard.ReplyOK}, carried)
+	// Failed reply.
+	ctx.PushBody(addr.ProcessAddr{}, []byte{switchboard.ReplyErr})
+	step(t, s, ctx)
+	out := strings.Join(ctx.Prints, "\n")
+	if !strings.Contains(out, "lookup: link to p1.9") {
+		t.Fatalf("ok reply: %q", out)
+	}
+	if !strings.Contains(out, "not found") {
+		t.Fatalf("err reply: %q", out)
+	}
+	// The carried link was cleaned up.
+	if _, still := ctx.Links[carried]; still {
+		t.Fatal("looked-up link leaked in the shell's table")
+	}
+}
+
+func TestUsageLines(t *testing.T) {
+	s, ctx := newShellCtx()
+	for _, line := range []string{"lookup", "migrate", "migrate p1.1", "run 2"} {
+		cmd(ctx, line)
+	}
+	step(t, s, ctx)
+	if len(ctx.Prints) != 4 {
+		t.Fatalf("prints: %q", ctx.Prints)
+	}
+	for _, p := range ctx.Prints {
+		if !strings.Contains(p, "usage:") {
+			t.Fatalf("not a usage line: %q", p)
+		}
+	}
+}
+
+func TestEmptyAndWhitespaceCommands(t *testing.T) {
+	s, ctx := newShellCtx()
+	cmd(ctx, "")
+	cmd(ctx, "   ")
+	step(t, s, ctx)
+	if len(ctx.Sends) != 0 || len(ctx.Prints) != 0 {
+		t.Fatal("empty commands had effects")
+	}
+}
+
+func TestKindSurface(t *testing.T) {
+	if shell.New().Kind() != shell.Kind {
+		t.Fatal("kind")
+	}
+}

@@ -1,0 +1,214 @@
+// Package sim provides the deterministic discrete-event engine that drives
+// the simulated DEMOS/MP cluster.
+//
+// All kernels, the network, and every workload share a single Engine. Time
+// is a simulated microsecond counter; events fire in (time, sequence) order,
+// so two runs with the same seed produce byte-identical traces. This is what
+// lets the test suite assert exact protocol costs (e.g. the paper's "9
+// administrative messages" per migration).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is simulated time in microseconds since boot.
+type Time uint64
+
+// String formats a Time as seconds with microsecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%06ds", uint64(t)/1e6, uint64(t)%1e6)
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	At   Time
+	Name string // for traces and debugging
+	Fn   func()
+
+	weak  bool   // weak events do not keep Run alive
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	index int    // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.Fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+	strong int // pending non-weak events
+}
+
+// NewEngine returns an engine at time zero with a PRNG seeded by seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's seeded PRNG. All simulation randomness must come
+// from here to preserve determinism.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.Cancelled() {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn at absolute time t. Scheduling in the past fires at the
+// current time (events never run retroactively).
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	return e.schedule(t, name, fn, false)
+}
+
+// After schedules fn d microseconds from now.
+func (e *Engine) After(d Time, name string, fn func()) *Event {
+	return e.At(e.now+d, name, fn)
+}
+
+// AfterWeak schedules a weak event: it fires like any other while the
+// simulation is alive, but does not by itself keep Run going. Periodic
+// housekeeping (load reports) uses weak events so "run until idle" still
+// terminates.
+func (e *Engine) AfterWeak(d Time, name string, fn func()) *Event {
+	return e.schedule(e.now+d, name, fn, true)
+}
+
+func (e *Engine) schedule(t Time, name string, fn func(), weak bool) *Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{At: t, Name: name, Fn: fn, weak: weak, seq: e.seq}
+	e.seq++
+	if !weak {
+		e.strong++
+	}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel prevents a scheduled event from firing. Safe to call twice or on
+// an already-fired event.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.Fn == nil {
+		return
+	}
+	ev.Fn = nil // leave in heap; skipped when popped
+	if !ev.weak {
+		e.strong--
+	}
+}
+
+// Step fires the single next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.Cancelled() {
+			continue
+		}
+		e.now = ev.At
+		fn := ev.Fn
+		ev.Fn = nil
+		if !ev.weak {
+			e.strong--
+		}
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until only weak events (periodic housekeeping) remain.
+// It returns the number of events fired by this call.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	e.halted = false
+	for !e.halted && e.strong > 0 && e.Step() {
+	}
+	return e.fired - start
+}
+
+// RunUntil fires events with timestamps <= deadline. The clock is left at
+// min(deadline, time of last event) — it does not jump past pending events.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.fired
+	e.halted = false
+	for !e.halted {
+		// Peek next runnable event.
+		var next *Event
+		for len(e.queue) > 0 {
+			if e.queue[0].Cancelled() {
+				heap.Pop(&e.queue)
+				continue
+			}
+			next = e.queue[0]
+			break
+		}
+		if next == nil || next.At > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline && len(e.queue) == 0 {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// RunFor advances the simulation by d microseconds of simulated time.
+func (e *Engine) RunFor(d Time) uint64 { return e.RunUntil(e.now + d) }
+
+// Halt stops Run/RunUntil after the current event returns.
+func (e *Engine) Halt() { e.halted = true }

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, "c", func() { got = append(got, 3) })
+	e.At(10, "a", func() { got = append(got, 1) })
+	e.At(20, "b", func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, "tie", func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order wrong at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.After(100, "x", func() {
+		at = e.Now()
+		e.After(50, "y", func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, "x", func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is safe
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("fired count = %d, want 0", e.Fired())
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = 999
+	e.At(100, "x", func() {
+		e.At(1, "past", func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want clamp to 100", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, tm := range []Time{10, 20, 30, 40} {
+		tm := tm
+		e.At(tm, "x", func() { got = append(got, tm) })
+	}
+	n := e.RunUntil(25)
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events (%v), want 2", n, got)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v after RunUntil, want 20 (last event)", e.Now())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("remaining events not fired: %v", got)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("idle clock = %v, want 500", e.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), "x", func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Halt did not stop Run: %d events fired", count)
+	}
+	// Run again resumes.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("resume after Halt fired %d total, want 10", count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(42)
+		var log []Time
+		var rec func(depth int)
+		rec = func(depth int) {
+			log = append(log, e.Now())
+			if depth < 3 {
+				d := Time(e.Rand().Intn(100))
+				e.After(d, "r", func() { rec(depth + 1) })
+				e.After(d+1, "r2", func() { rec(depth + 1) })
+			}
+		}
+		e.At(0, "root", func() { rec(0) })
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: any set of scheduled times fires in sorted order.
+func TestFiringOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine(7)
+		var fired []Time
+		for _, tm := range times {
+			tm := Time(tm)
+			e.At(tm, "p", func() { fired = append(fired, tm) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine(1)
+	a := e.At(1, "a", func() {})
+	e.At(2, "b", func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := Time(1500000).String(); s != "1.500000s" {
+		t.Fatalf("Time.String = %q", s)
+	}
+}
+
+func TestWeakEventsDoNotKeepRunAlive(t *testing.T) {
+	e := NewEngine(1)
+	weakFired := 0
+	var arm func()
+	arm = func() {
+		e.AfterWeak(10, "tick", func() { weakFired++; arm() })
+	}
+	arm()
+	e.At(35, "strong", func() {})
+	e.Run()
+	// Weak ticks at 10, 20, 30 fire while the strong event keeps the
+	// run alive; the tick at 40+ must not.
+	if weakFired != 3 {
+		t.Fatalf("weak fired %d times, want 3", weakFired)
+	}
+	if e.Now() != 35 {
+		t.Fatalf("clock %v, want 35", e.Now())
+	}
+	// RunUntil still fires weak events on its own.
+	e.RunUntil(65)
+	if weakFired != 6 {
+		t.Fatalf("RunUntil fired weak %d total, want 6", weakFired)
+	}
+}
+
+func TestCancelWeakAndStrongAccounting(t *testing.T) {
+	e := NewEngine(1)
+	s := e.At(10, "s", func() {})
+	e.AfterWeak(5, "w", func() {})
+	e.Cancel(s)
+	// With the strong event cancelled, Run must return immediately
+	// without firing the weak one.
+	if n := e.Run(); n != 0 {
+		t.Fatalf("Run fired %d events", n)
+	}
+}

@@ -1,0 +1,191 @@
+// Hot-path micro-benchmarks and allocation guards for the simulator core:
+// event scheduling/dispatch, lossless network send/deliver, and message
+// encode/decode. Unlike bench_test.go (which reports simulated-cost
+// metrics), these measure real ns/op and — via TestHotPathZeroAlloc —
+// lock in the zero-allocation invariants of the steady-state path.
+//
+// Run: go test -bench 'EngineSchedule|EngineDispatch|NetwSend|MsgEncode|MsgDecode|TimeString' -benchmem
+// The same numbers feed BENCH_hotpath.json via: go run ./cmd/experiments -bench-json BENCH_hotpath.json
+package demosmp_test
+
+import (
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/netw"
+	"demosmp/internal/sim"
+)
+
+// BenchmarkEngineSchedule is the tightest event-engine cycle: schedule one
+// event, fire it. Steady state must be allocation-free (arena slot reuse).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, "bench", fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineDispatchDepth64 keeps 64 events pending, the typical
+// working depth of a busy multi-machine cluster, so the 4-ary heap actually
+// sifts. This is the event-dispatch number tracked in BENCH_hotpath.json.
+func BenchmarkEngineDispatchDepth64(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.At(sim.Time(i), "fill", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+64, "bench", fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancel measures schedule+cancel+drain, the watchdog
+// pattern of kernel migrations.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.At(e.Now()+5, "watchdog", fn)
+		e.Cancel(ev)
+		e.At(e.Now()+1, "bench", fn)
+		e.Step()
+	}
+}
+
+type benchSink struct{ n int }
+
+func (s *benchSink) DeliverFrame(m *msg.Message) { s.n++ }
+
+func benchMessage() *msg.Message {
+	return &msg.Message{
+		Kind: msg.KindUser,
+		From: addr.At(addr.ProcessID{Creator: 1, Local: 1}, 1),
+		To:   addr.At(addr.ProcessID{Creator: 2, Local: 1}, 2),
+		Body: make([]byte, 32),
+	}
+}
+
+// BenchmarkNetwSend is one lossless frame: Send, transit, DeliverFrame.
+// Steady state must be allocation-free (pooled delivery records, flat
+// counters, cached WireSize).
+func BenchmarkNetwSend(b *testing.B) {
+	e := sim.NewEngine(1)
+	n := netw.New(e, netw.Config{})
+	n.Attach(1, &benchSink{})
+	sink := &benchSink{}
+	n.Attach(2, sink)
+	m := benchMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(1, 2, m)
+		for e.Step() {
+		}
+	}
+	if sink.n != b.N {
+		b.Fatalf("delivered %d of %d frames", sink.n, b.N)
+	}
+}
+
+// BenchmarkMsgEncode appends the wire form into a reused buffer and reads
+// the (cached) wire size — the per-frame encode work of the send path.
+func BenchmarkMsgEncode(b *testing.B) {
+	m := benchMessage()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.AppendWire(buf[:0])
+		_ = m.WireSize()
+	}
+	if len(buf) != m.WireSize() {
+		b.Fatal("encode size mismatch")
+	}
+}
+
+// BenchmarkMsgDecode parses one message from a prebuilt wire buffer.
+// (Decode inherently allocates the Message and its body copy.)
+func BenchmarkMsgDecode(b *testing.B) {
+	wire := benchMessage().AppendWire(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := msg.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeString formats a representative timestamp (trace-heavy runs
+// call this per record).
+func BenchmarkTimeString(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sim.Time(1234567).String()
+	}
+}
+
+// TestHotPathZeroAlloc locks in the zero-allocation invariants. It uses
+// testing.AllocsPerRun after a warm-up pass, so arena/heap/pool growth is
+// excluded and only the steady state is measured.
+func TestHotPathZeroAlloc(t *testing.T) {
+	t.Run("engine-schedule", func(t *testing.T) {
+		e := sim.NewEngine(1)
+		fn := func() {}
+		for i := 0; i < 256; i++ { // warm the arena and heap
+			e.At(e.Now()+1, "warm", fn)
+		}
+		for e.Step() {
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			e.At(e.Now()+1, "bench", fn)
+			e.Step()
+		}); n != 0 {
+			t.Fatalf("engine schedule+step allocates %.1f/op, want 0", n)
+		}
+	})
+	t.Run("engine-cancel", func(t *testing.T) {
+		e := sim.NewEngine(1)
+		fn := func() {}
+		if n := testing.AllocsPerRun(200, func() {
+			e.Cancel(e.At(e.Now()+5, "watchdog", fn))
+			e.At(e.Now()+1, "bench", fn)
+			e.Step()
+		}); n != 0 {
+			t.Fatalf("engine cancel cycle allocates %.1f/op, want 0", n)
+		}
+	})
+	t.Run("netw-send", func(t *testing.T) {
+		e := sim.NewEngine(1)
+		nw := netw.New(e, netw.Config{})
+		nw.Attach(1, &benchSink{})
+		nw.Attach(2, &benchSink{})
+		m := benchMessage()
+		nw.Send(1, 2, m) // warm the delivery pool and counters
+		for e.Step() {
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			nw.Send(1, 2, m)
+			for e.Step() {
+			}
+		}); n != 0 {
+			t.Fatalf("lossless send+deliver allocates %.1f/op, want 0", n)
+		}
+	})
+	t.Run("msg-encode", func(t *testing.T) {
+		m := benchMessage()
+		buf := make([]byte, 0, 256)
+		if n := testing.AllocsPerRun(200, func() {
+			buf = m.AppendWire(buf[:0])
+			_ = m.WireSize()
+		}); n != 0 {
+			t.Fatalf("AppendWire+WireSize allocates %.1f/op, want 0", n)
+		}
+	})
+}

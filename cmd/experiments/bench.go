@@ -1,0 +1,210 @@
+// Hot-path benchmark trajectory: -bench-json re-measures the simulator
+// core's real (wall-clock) hot-path costs and appends them to a JSON file,
+// so performance regressions across PRs are visible in version control.
+// The seed_baseline block holds the numbers measured on the pre-rewrite
+// engine (container/heap, per-event allocation, map-based netw counters)
+// and is never overwritten; every run records its speedup against it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/netw"
+	"demosmp/internal/sim"
+)
+
+// seedBaseline is the seed-repo measurement (Intel Xeon @ 2.10GHz,
+// go test -bench -benchtime 2s, before the zero-allocation overhaul).
+var seedBaseline = benchSample{
+	EngineScheduleNsOp:        112.9,
+	EngineDispatchDepth64NsOp: 296.7,
+	NetwSendNsOp:              422.9,
+	MsgEncodeNsOp:             14.95,
+	TimeStringNsOp:            226.8,
+	EngineScheduleAllocsOp:    1,
+	NetwSendAllocsOp:          2,
+}
+
+type benchSample struct {
+	Timestamp                 string  `json:"timestamp,omitempty"`
+	EngineScheduleNsOp        float64 `json:"engine_schedule_ns_op"`
+	EngineDispatchDepth64NsOp float64 `json:"engine_dispatch_depth64_ns_op"`
+	NetwSendNsOp              float64 `json:"netw_send_ns_op"`
+	MsgEncodeNsOp             float64 `json:"msg_encode_ns_op"`
+	TimeStringNsOp            float64 `json:"time_string_ns_op"`
+	EngineScheduleAllocsOp    float64 `json:"engine_schedule_allocs_op"`
+	NetwSendAllocsOp          float64 `json:"netw_send_allocs_op"`
+	DispatchSpeedupVsSeed     float64 `json:"dispatch_speedup_vs_seed,omitempty"`
+}
+
+type benchFile struct {
+	Benchmark    string        `json:"benchmark"`
+	SeedBaseline benchSample   `json:"seed_baseline"`
+	Runs         []benchSample `json:"runs"`
+}
+
+// timeIt runs fn(iters) reps times and returns the best ns/op (the standard
+// microbenchmark min-of-N to shed scheduler noise).
+func timeIt(reps int, iters int, fn func(iters int)) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn(iters)
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func measureHotpath() benchSample {
+	var s benchSample
+	nop := func() {}
+
+	// Event engine: schedule+fire with an empty queue.
+	{
+		e := sim.NewEngine(1)
+		s.EngineScheduleNsOp = timeIt(3, 2_000_000, func(n int) {
+			for i := 0; i < n; i++ {
+				e.At(e.Now()+1, "bench", nop)
+				e.Step()
+			}
+		})
+	}
+	// Event engine: schedule+fire with 64 events pending (heap actually
+	// sifts) — the tracked event-dispatch number.
+	{
+		e := sim.NewEngine(1)
+		for i := 0; i < 64; i++ {
+			e.At(sim.Time(i), "fill", nop)
+		}
+		s.EngineDispatchDepth64NsOp = timeIt(3, 2_000_000, func(n int) {
+			for i := 0; i < n; i++ {
+				e.At(e.Now()+64, "bench", nop)
+				e.Step()
+			}
+		})
+	}
+	// Lossless network send+deliver.
+	{
+		e := sim.NewEngine(1)
+		nw := netw.New(e, netw.Config{})
+		nw.Attach(1, benchEP{})
+		nw.Attach(2, benchEP{})
+		m := &msg.Message{
+			Kind: msg.KindUser,
+			From: addr.At(addr.ProcessID{Creator: 1, Local: 1}, 1),
+			To:   addr.At(addr.ProcessID{Creator: 2, Local: 1}, 2),
+			Body: make([]byte, 32),
+		}
+		s.NetwSendNsOp = timeIt(3, 1_000_000, func(n int) {
+			for i := 0; i < n; i++ {
+				nw.Send(1, 2, m)
+				for e.Step() {
+				}
+			}
+		})
+		s.NetwSendAllocsOp = allocsPerOp(100_000, func(n int) {
+			for i := 0; i < n; i++ {
+				nw.Send(1, 2, m)
+				for e.Step() {
+				}
+			}
+		})
+	}
+	// Wire encode into a reused buffer + cached size.
+	{
+		m := &msg.Message{
+			Kind: msg.KindUser,
+			From: addr.At(addr.ProcessID{Creator: 1, Local: 1}, 1),
+			To:   addr.At(addr.ProcessID{Creator: 2, Local: 1}, 2),
+			Body: make([]byte, 32),
+		}
+		buf := make([]byte, 0, 256)
+		s.MsgEncodeNsOp = timeIt(3, 5_000_000, func(n int) {
+			for i := 0; i < n; i++ {
+				buf = m.AppendWire(buf[:0])
+				_ = m.WireSize()
+			}
+		})
+	}
+	// Time formatting (per trace record).
+	s.TimeStringNsOp = timeIt(3, 2_000_000, func(n int) {
+		for i := 0; i < n; i++ {
+			_ = sim.Time(1234567).String()
+		}
+	})
+	// Engine allocation rate.
+	{
+		e := sim.NewEngine(1)
+		for i := 0; i < 256; i++ {
+			e.At(e.Now()+1, "warm", nop)
+		}
+		for e.Step() {
+		}
+		s.EngineScheduleAllocsOp = allocsPerOp(200_000, func(n int) {
+			for i := 0; i < n; i++ {
+				e.At(e.Now()+1, "bench", nop)
+				e.Step()
+			}
+		})
+	}
+	s.DispatchSpeedupVsSeed = seedBaseline.EngineDispatchDepth64NsOp / s.EngineDispatchDepth64NsOp
+	return s
+}
+
+type benchEP struct{}
+
+func (benchEP) DeliverFrame(m *msg.Message) {}
+
+// allocsPerOp measures heap allocations per iteration of fn.
+func allocsPerOp(iters int, fn func(n int)) float64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn(iters)
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// benchJSON runs the hot-path measurements and appends them to path.
+func benchJSON(path string) {
+	var f benchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			die(fmt.Errorf("bench-json: corrupt %s: %w", path, err))
+		}
+	}
+	f.Benchmark = "hotpath"
+	f.SeedBaseline = seedBaseline // authoritative: never drifts with the file
+
+	run := measureHotpath()
+	run.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	f.Runs = append(f.Runs, run)
+
+	out, err := json.MarshalIndent(&f, "", "  ")
+	die(err)
+	die(os.WriteFile(path, append(out, '\n'), 0o644))
+
+	fmt.Printf("hot-path benchmark appended to %s\n\n", path)
+	fmt.Println("| metric | seed baseline | this run | speedup |")
+	fmt.Println("|--------|--------------:|---------:|--------:|")
+	row := func(name string, base, cur float64) {
+		fmt.Printf("| %s | %.1f ns/op | %.1f ns/op | %.1fx |\n", name, base, cur, base/cur)
+	}
+	row("engine schedule (empty queue)", seedBaseline.EngineScheduleNsOp, run.EngineScheduleNsOp)
+	row("event dispatch (depth 64)", seedBaseline.EngineDispatchDepth64NsOp, run.EngineDispatchDepth64NsOp)
+	row("netw lossless send+deliver", seedBaseline.NetwSendNsOp, run.NetwSendNsOp)
+	row("msg encode (reused buffer)", seedBaseline.MsgEncodeNsOp, run.MsgEncodeNsOp)
+	row("sim.Time.String", seedBaseline.TimeStringNsOp, run.TimeStringNsOp)
+	fmt.Printf("| engine allocs/op | %.0f | %.0f | |\n",
+		seedBaseline.EngineScheduleAllocsOp, run.EngineScheduleAllocsOp)
+	fmt.Printf("| netw send allocs/op | %.0f | %.0f | |\n",
+		seedBaseline.NetwSendAllocsOp, run.NetwSendAllocsOp)
+}

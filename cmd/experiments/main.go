@@ -6,6 +6,9 @@
 //
 //	experiments            # run everything
 //	experiments -run E1,E4 # run selected experiments
+//	experiments -bench-json BENCH_hotpath.json
+//	                       # append hot-path benchmark numbers to the
+//	                       # regression trajectory file instead
 package main
 
 import (
@@ -26,7 +29,10 @@ import (
 	"demosmp/internal/workload"
 )
 
-var runFlag = flag.String("run", "", "comma-separated experiment ids (default: all)")
+var (
+	runFlag       = flag.String("run", "", "comma-separated experiment ids (default: all)")
+	benchJSONFlag = flag.String("bench-json", "", "measure the simulator hot paths and append to this JSON trajectory file, then exit")
+)
 
 type experiment struct {
 	id    string
@@ -36,6 +42,10 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	if *benchJSONFlag != "" {
+		benchJSON(*benchJSONFlag)
+		return
+	}
 	exps := []experiment{
 		{"E1", "State transfer cost vs process size (§6)", e1},
 		{"E2", "Administrative cost: 9 messages of 6-12 bytes (§6)", e2},

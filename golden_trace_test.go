@@ -1,0 +1,95 @@
+// Golden-trace determinism test: the exact (time, seq) firing order of the
+// event engine is part of this repo's contract — the protocol tests assert
+// exact message counts, and EXPERIMENTS.md claims bit-identical reruns. The
+// golden file under testdata/ was captured on the original container/heap
+// engine; any engine rewrite must reproduce it byte for byte.
+//
+// Regenerate (only when the *workload* changes, never to paper over an
+// ordering change): go test -run TestGoldenTrace -update-golden
+package demosmp_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"demosmp"
+	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+	"demosmp/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_trace.txt")
+
+const goldenPath = "testdata/golden_trace.txt"
+
+// goldenTrace runs a seeded 4-machine migration workload — an echo server
+// with clients on three machines, migrated twice mid-conversation — and
+// returns one line per fired engine event: "<time-µs> <event-name>".
+func goldenTrace(t *testing.T) []string {
+	t.Helper()
+	c, err := demosmp.New(demosmp.Options{Machines: 4, Seed: 1983})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	c.Engine().OnFire = func(name string, at demosmp.Time) {
+		lines = append(lines, fmt.Sprintf("%d %s", uint64(at), name))
+	}
+	server, err := c.Spawn(1, kernel.SpawnSpec{Program: workload.EchoServer(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, err := c.Spawn(2+i, kernel.SpawnSpec{
+			Program: workload.RequestClient(20),
+			Links:   []link.Link{{Addr: addr.At(server, 1)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunFor(5000)
+	if err := c.Migrate(server, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(6000)
+	if err := c.Migrate(server, 4); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	return lines
+}
+
+// TestGoldenTrace asserts the exact event firing sequence (names and
+// timestamps) against the trace captured before the event-engine rewrite.
+func TestGoldenTrace(t *testing.T) {
+	got := goldenTrace(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data := strings.Join(got, "\n") + "\n"
+		if err := os.WriteFile(goldenPath, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d events)", goldenPath, len(got))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("event count changed: got %d events, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverges at event %d:\n  got:  %q\n  want: %q", i, got[i], want[i])
+		}
+	}
+}

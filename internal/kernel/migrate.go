@@ -37,7 +37,7 @@ type outMigration struct {
 	dest      addr.MachineID
 	requester addr.ProcessAddr
 	rep       MigrationReport
-	watchdog  *sim.Event
+	watchdog  sim.Event
 
 	resident  []byte
 	swappable []byte
@@ -51,7 +51,7 @@ type inMigration struct {
 	p        *Process
 	stage    msg.Region
 	bufs     map[msg.Region][]byte
-	watchdog *sim.Event
+	watchdog sim.Event
 }
 
 // armOutWatchdog (re)starts the source-side progress timer. If the

@@ -48,10 +48,13 @@ type MigrateRequest struct {
 	Dest addr.MachineID
 }
 
-func (r MigrateRequest) Encode() []byte {
-	b := putPID(make([]byte, 0, 6), r.PID)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (r MigrateRequest) AppendTo(b []byte) []byte {
+	b = putPID(b, r.PID)
 	return binary.LittleEndian.AppendUint16(b, uint16(r.Dest))
 }
+
+func (r MigrateRequest) Encode() []byte { return r.AppendTo(make([]byte, 0, 6)) }
 
 func DecodeMigrateRequest(b []byte) (MigrateRequest, error) {
 	var r MigrateRequest
@@ -87,13 +90,15 @@ func ToUnits(n int) uint16 {
 	return uint16(u)
 }
 
-func (a MigrateAsk) Encode() []byte {
-	b := putPID(make([]byte, 0, 10), a.PID)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (a MigrateAsk) AppendTo(b []byte) []byte {
+	b = putPID(b, a.PID)
 	b = binary.LittleEndian.AppendUint16(b, a.Program)
 	b = binary.LittleEndian.AppendUint16(b, a.Resident)
-	b = binary.LittleEndian.AppendUint16(b, a.Swappable)
-	return b
+	return binary.LittleEndian.AppendUint16(b, a.Swappable)
 }
+
+func (a MigrateAsk) Encode() []byte { return a.AppendTo(make([]byte, 0, 10)) }
 
 func DecodeMigrateAsk(b []byte) (MigrateAsk, error) {
 	var a MigrateAsk
@@ -115,10 +120,13 @@ type PIDMachine struct {
 	Machine addr.MachineID
 }
 
-func (p PIDMachine) Encode() []byte {
-	b := putPID(make([]byte, 0, 6), p.PID)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (p PIDMachine) AppendTo(b []byte) []byte {
+	b = putPID(b, p.PID)
 	return binary.LittleEndian.AppendUint16(b, uint16(p.Machine))
 }
+
+func (p PIDMachine) Encode() []byte { return p.AppendTo(make([]byte, 0, 6)) }
 
 func DecodePIDMachine(b []byte) (PIDMachine, error) {
 	var p PIDMachine
@@ -140,11 +148,14 @@ type MoveDataReq struct {
 	Xfer   uint16 // stream id the data packets will carry
 }
 
-func (r MoveDataReq) Encode() []byte {
-	b := putPID(make([]byte, 0, 7), r.PID)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (r MoveDataReq) AppendTo(b []byte) []byte {
+	b = putPID(b, r.PID)
 	b = append(b, byte(r.Region))
 	return binary.LittleEndian.AppendUint16(b, r.Xfer)
 }
+
+func (r MoveDataReq) Encode() []byte { return r.AppendTo(make([]byte, 0, 7)) }
 
 func DecodeMoveDataReq(b []byte) (MoveDataReq, error) {
 	var r MoveDataReq
@@ -166,10 +177,13 @@ type MigrateCleanup struct {
 	Forwarded uint16 // messages that were waiting in the queue
 }
 
-func (c MigrateCleanup) Encode() []byte {
-	b := putPID(make([]byte, 0, 6), c.PID)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (c MigrateCleanup) AppendTo(b []byte) []byte {
+	b = putPID(b, c.PID)
 	return binary.LittleEndian.AppendUint16(b, c.Forwarded)
 }
+
+func (c MigrateCleanup) Encode() []byte { return c.AppendTo(make([]byte, 0, 6)) }
 
 func DecodeMigrateCleanup(b []byte) (MigrateCleanup, error) {
 	var c MigrateCleanup
@@ -190,14 +204,17 @@ type MigrateDone struct {
 	OK      bool
 }
 
-func (d MigrateDone) Encode() []byte {
-	b := putPID(make([]byte, 0, 7), d.PID)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (d MigrateDone) AppendTo(b []byte) []byte {
+	b = putPID(b, d.PID)
 	b = binary.LittleEndian.AppendUint16(b, uint16(d.Machine))
 	if d.OK {
 		return append(b, 1)
 	}
 	return append(b, 0)
 }
+
+func (d MigrateDone) Encode() []byte { return d.AppendTo(make([]byte, 0, 7)) }
 
 func DecodeMigrateDone(b []byte) (MigrateDone, error) {
 	var d MigrateDone
@@ -222,11 +239,14 @@ type LinkUpdate struct {
 	Machine  addr.MachineID // its new location
 }
 
-func (u LinkUpdate) Encode() []byte {
-	b := putPID(make([]byte, 0, 10), u.Sender)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (u LinkUpdate) AppendTo(b []byte) []byte {
+	b = putPID(b, u.Sender)
 	b = putPID(b, u.Migrated)
 	return binary.LittleEndian.AppendUint16(b, uint16(u.Machine))
 }
+
+func (u LinkUpdate) Encode() []byte { return u.AppendTo(make([]byte, 0, 10)) }
 
 func DecodeLinkUpdate(b []byte) (LinkUpdate, error) {
 	var u LinkUpdate
@@ -251,8 +271,9 @@ type CreateProcess struct {
 	Args []string
 }
 
-func (c CreateProcess) Encode() []byte {
-	b := binary.LittleEndian.AppendUint16(make([]byte, 0, 16), c.Tag)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (c CreateProcess) AppendTo(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint16(b, c.Tag)
 	b = append(b, byte(len(c.Name)))
 	b = append(b, c.Name...)
 	b = append(b, byte(len(c.Args)))
@@ -262,6 +283,8 @@ func (c CreateProcess) Encode() []byte {
 	}
 	return b
 }
+
+func (c CreateProcess) Encode() []byte { return c.AppendTo(make([]byte, 0, 16)) }
 
 func DecodeCreateProcess(b []byte) (CreateProcess, error) {
 	var c CreateProcess
@@ -302,11 +325,14 @@ type CreateDone struct {
 	Tag     uint16
 }
 
-func (d CreateDone) Encode() []byte {
-	b := putPID(make([]byte, 0, 8), d.PID)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (d CreateDone) AppendTo(b []byte) []byte {
+	b = putPID(b, d.PID)
 	b = binary.LittleEndian.AppendUint16(b, uint16(d.Machine))
 	return binary.LittleEndian.AppendUint16(b, d.Tag)
 }
+
+func (d CreateDone) Encode() []byte { return d.AppendTo(make([]byte, 0, 8)) }
 
 func DecodeCreateDone(b []byte) (CreateDone, error) {
 	var d CreateDone
@@ -331,13 +357,16 @@ type MoveRead struct {
 	Xfer    uint16
 }
 
-func (r MoveRead) Encode() []byte {
-	b := putPID(make([]byte, 0, 18), r.PID)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (r MoveRead) AppendTo(b []byte) []byte {
+	b = putPID(b, r.PID)
 	b = binary.LittleEndian.AppendUint32(b, r.AreaOff)
 	b = binary.LittleEndian.AppendUint32(b, r.Off)
 	b = binary.LittleEndian.AppendUint32(b, r.Len)
 	return binary.LittleEndian.AppendUint16(b, r.Xfer)
 }
+
+func (r MoveRead) Encode() []byte { return r.AppendTo(make([]byte, 0, 18)) }
 
 func DecodeMoveRead(b []byte) (MoveRead, error) {
 	var r MoveRead
@@ -360,13 +389,16 @@ type XferStatus struct {
 	OK   bool
 }
 
-func (s XferStatus) Encode() []byte {
-	b := binary.LittleEndian.AppendUint16(make([]byte, 0, 3), s.Xfer)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (s XferStatus) AppendTo(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint16(b, s.Xfer)
 	if s.OK {
 		return append(b, 1)
 	}
 	return append(b, 0)
 }
+
+func (s XferStatus) Encode() []byte { return s.AppendTo(make([]byte, 0, 3)) }
 
 func DecodeXferStatus(b []byte) (XferStatus, error) {
 	if len(b) < 3 {

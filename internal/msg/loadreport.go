@@ -34,9 +34,8 @@ type LoadReport struct {
 	Procs      []ProcLoad
 }
 
-// Encode serializes the report.
-func (r LoadReport) Encode() []byte {
-	b := make([]byte, 0, 12+len(r.Procs)*16)
+// AppendTo appends the wire form to b (reusable-buffer encode).
+func (r LoadReport) AppendTo(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint16(b, uint16(r.Machine))
 	b = binary.LittleEndian.AppendUint16(b, r.Ready)
 	b = binary.LittleEndian.AppendUint16(b, r.ProcCount)
@@ -51,6 +50,11 @@ func (r LoadReport) Encode() []byte {
 		b = binary.LittleEndian.AppendUint32(b, p.TopPeerMsgs)
 	}
 	return b
+}
+
+// Encode serializes the report.
+func (r LoadReport) Encode() []byte {
+	return r.AppendTo(make([]byte, 0, 12+len(r.Procs)*16))
 }
 
 // DecodeLoadReport parses a load report.

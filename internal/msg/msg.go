@@ -37,6 +37,10 @@ const (
 	KindLinkUpdate
 )
 
+// KindCount is one past the highest defined Kind; flat per-kind counter
+// arrays (e.g. in internal/netw) are sized by it.
+const KindCount = int(KindLinkUpdate) + 1
+
 func (k Kind) String() string {
 	switch k {
 	case KindUser:
@@ -170,10 +174,20 @@ type Message struct {
 	// control message (the return-to-sender baseline of §4). Its wire
 	// size counts toward this message's size.
 	Orig *Message
+
+	// wire caches WireSize. Size-affecting fields (Body, Links, Kind,
+	// Orig) are fixed once a message is submitted, which is when the
+	// first WireSize call happens.
+	wire int32
 }
 
 // WireSize returns the number of bytes the message occupies on the wire.
+// The result is cached: Body/Links/Kind/Orig must not change size after
+// the first call (routing fields like To, Hops, Forwards may).
 func (m *Message) WireSize() int {
+	if m.wire > 0 {
+		return int(m.wire)
+	}
 	n := HeaderWireSize + len(m.Body) + len(m.Links)*link.WireSize
 	if m.Kind == KindData || m.Kind == KindAck {
 		n += streamWireSize
@@ -181,8 +195,14 @@ func (m *Message) WireSize() int {
 	if m.Orig != nil {
 		n += m.Orig.WireSize()
 	}
+	m.wire = int32(n)
 	return n
 }
+
+// AppendWire appends the full wire form of m to b and returns the extended
+// buffer — the reusable-buffer counterpart of the allocating encode path,
+// for callers that amortize one scratch buffer across many messages.
+func (m *Message) AppendWire(b []byte) []byte { return Encode(b, m) }
 
 // Clone returns a deep copy of m. Forwarding resubmits the original message
 // object; Clone exists for tests and for the return-to-sender baseline,

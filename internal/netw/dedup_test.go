@@ -1,0 +1,85 @@
+package netw
+
+import (
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/sim"
+)
+
+// TestDedupStateBounded drives far more frames through a lossy pair than
+// the dedup window holds and asserts (a) reliability still holds with no
+// duplicate deliveries and (b) the receiver-side dedup state stays bounded.
+// The old implementation pruned only past 4096 entries per pair and could
+// still grow without bound under sustained loss.
+func TestDedupStateBounded(t *testing.T) {
+	eng := sim.NewEngine(5)
+	n := New(eng, Config{
+		LossRate:       0.3,
+		RetransTimeout: 2000,
+		MaxRetries:     200,
+		PerByteNanos:   1,
+	})
+	r1 := &recorder{eng: eng}
+	r2 := &recorder{eng: eng}
+	n.Attach(1, r1)
+	n.Attach(2, r2)
+
+	const frames = 3 * dedupWindow
+	from := addr.At(addr.ProcessID{Creator: 1, Local: 1}, 1)
+	to := addr.At(addr.ProcessID{Creator: 2, Local: 1}, 2)
+	for i := 0; i < frames; i++ {
+		n.Send(1, 2, &msg.Message{Kind: msg.KindUser, From: from, To: to})
+		// Alternate direction so two pairs accumulate state.
+		n.Send(2, 1, &msg.Message{Kind: msg.KindUser, From: to, To: from})
+		eng.Run()
+	}
+
+	if len(r2.got) != frames || len(r1.got) != frames {
+		t.Fatalf("reliability violated: delivered %d/%d and %d/%d",
+			len(r2.got), frames, len(r1.got), frames)
+	}
+	for _, p := range []struct{ f, t addr.MachineID }{{1, 2}, {2, 1}} {
+		if sz := n.dedupSize(p.f, p.t); sz == 0 || sz > dedupWindow {
+			t.Fatalf("dedup state for %v->%v is %d entries, want (0, %d]",
+				p.f, p.t, sz, dedupWindow)
+		}
+	}
+}
+
+// TestDedupSuppressesRetransmitDuplicates keeps the receiver-side guarantee
+// concrete: under loss, retransmissions arrive but each unique frame is
+// delivered exactly once, with the surplus counted as duplicates.
+func TestDedupSuppressesRetransmitDuplicates(t *testing.T) {
+	eng := sim.NewEngine(11)
+	n := New(eng, Config{
+		LossRate:       0.4,
+		RetransTimeout: 1500,
+		MaxRetries:     300,
+		PerByteNanos:   1,
+	})
+	r1 := &recorder{eng: eng}
+	r2 := &recorder{eng: eng}
+	n.Attach(1, r1)
+	n.Attach(2, r2)
+
+	const frames = 500
+	from := addr.At(addr.ProcessID{Creator: 1, Local: 1}, 1)
+	to := addr.At(addr.ProcessID{Creator: 2, Local: 1}, 2)
+	for i := 0; i < frames; i++ {
+		n.Send(1, 2, &msg.Message{Kind: msg.KindUser, From: from, To: to})
+	}
+	eng.Run()
+
+	if len(r2.got) != frames {
+		t.Fatalf("delivered %d frames, want exactly %d", len(r2.got), frames)
+	}
+	s := n.Stats()
+	if s.Retransmits == 0 {
+		t.Fatal("expected retransmissions under 40% loss")
+	}
+	if s.Duplicates == 0 {
+		t.Fatal("expected suppressed duplicates under lossy acks")
+	}
+}

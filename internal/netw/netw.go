@@ -7,6 +7,12 @@
 // is configured), and are recovered by a per-frame acknowledge/retransmit
 // scheme with receiver-side deduplication, so the guarantee the kernels see
 // is the paper's: "any message sent will eventually be delivered".
+//
+// The lossless send path is allocation-free in steady state: per-kind and
+// per-machine counters are fixed-size arrays and a dense slice (the map
+// form of Stats is rebuilt only in Stats() snapshots), and delivery is
+// scheduled through a pooled record whose callback closure is built once
+// and reused — see bench_hotpath_test.go for the zero-alloc guards.
 package netw
 
 import (
@@ -74,6 +80,8 @@ type Endpoint interface {
 
 // Stats aggregates network activity. Per-kind counters let the experiments
 // separate administrative traffic from data streams and link updates.
+// A Stats value is a point-in-time snapshot built by Network.Stats(); the
+// live counters behind it are flat arrays, not these maps.
 type Stats struct {
 	Frames      uint64
 	Bytes       uint64
@@ -91,14 +99,6 @@ type Stats struct {
 type MachineStats struct {
 	FramesOut, FramesIn uint64
 	BytesOut, BytesIn   uint64
-}
-
-func newStats() Stats {
-	return Stats{
-		ByKind:      make(map[msg.Kind]uint64),
-		BytesByKind: make(map[msg.Kind]uint64),
-		PerMachine:  make(map[addr.MachineID]MachineStats),
-	}
 }
 
 // Clone returns a deep copy of the stats (for before/after comparisons).
@@ -119,17 +119,127 @@ func (s *Stats) Clone() Stats {
 	return c
 }
 
+// counters is the live, allocation-free form of Stats: per-kind tallies in
+// fixed arrays indexed by msg.Kind, per-machine tallies in a dense slice
+// indexed by machine id.
+type counters struct {
+	frames      uint64
+	bytes       uint64
+	delivered   uint64
+	dropped     uint64
+	retransmits uint64
+	duplicates  uint64
+	dead        uint64
+	byKind      [msg.KindCount]uint64
+	bytesByKind [msg.KindCount]uint64
+	perMachine  []MachineStats // indexed by uint16(MachineID)
+}
+
+// machine returns the dense slot for m, growing the slice on first sight.
+func (c *counters) machine(m addr.MachineID) *MachineStats {
+	if int(m) >= len(c.perMachine) {
+		grown := make([]MachineStats, int(m)+1)
+		copy(grown, c.perMachine)
+		c.perMachine = grown
+	}
+	return &c.perMachine[m]
+}
+
+// snapshot rebuilds the public map-based Stats view.
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Frames: c.frames, Bytes: c.bytes, Delivered: c.delivered,
+		Dropped: c.dropped, Retransmits: c.retransmits,
+		Duplicates: c.duplicates, Dead: c.dead,
+		ByKind:      make(map[msg.Kind]uint64),
+		BytesByKind: make(map[msg.Kind]uint64),
+		PerMachine:  make(map[addr.MachineID]MachineStats),
+	}
+	for k, v := range c.byKind {
+		if v > 0 {
+			s.ByKind[msg.Kind(k)] = v
+		}
+	}
+	for k, v := range c.bytesByKind {
+		if v > 0 {
+			s.BytesByKind[msg.Kind(k)] = v
+		}
+	}
+	for m, ms := range c.perMachine {
+		if ms != (MachineStats{}) {
+			s.PerMachine[addr.MachineID(m)] = ms
+		}
+	}
+	return s
+}
+
+// delivery is a pooled record standing in for the two closures the lossless
+// send path used to allocate per frame: its fn is bound once when the record
+// is created and reused for every subsequent frame it carries.
+type delivery struct {
+	n    *Network
+	to   addr.MachineID
+	m    *msg.Message
+	fn   func()
+	next *delivery
+}
+
+// dedupWindow bounds the per-pair receiver dedup state. A duplicate can
+// only arrive within MaxRetries*RetransTimeout of the original, so a window
+// of recent ids is enough; anything older has aged out of the ring.
+const dedupWindow = 1024
+
+// dedup is a bounded ring of the most recently delivered frame ids for one
+// (from, to) pair, with a set for O(1) membership. Insertion past the
+// window evicts the oldest id, so the state can never grow beyond
+// dedupWindow entries per pair no matter how long loss is sustained.
+type dedup struct {
+	ring [dedupWindow]uint64
+	n    int // filled entries, ≤ dedupWindow
+	pos  int // next overwrite position once full
+	set  map[uint64]struct{}
+}
+
+func newDedup() *dedup {
+	return &dedup{set: make(map[uint64]struct{}, dedupWindow)}
+}
+
+func (d *dedup) seen(id uint64) bool {
+	_, dup := d.set[id]
+	return dup
+}
+
+func (d *dedup) add(id uint64) {
+	if d.n < dedupWindow {
+		d.ring[d.n] = id
+		d.n++
+	} else {
+		delete(d.set, d.ring[d.pos])
+		d.ring[d.pos] = id
+		d.pos++
+		if d.pos == dedupWindow {
+			d.pos = 0
+		}
+	}
+	d.set[id] = struct{}{}
+}
+
+// size reports the tracked-id count (tests assert boundedness).
+func (d *dedup) size() int { return len(d.set) }
+
 // Network connects the machines of a cluster.
 type Network struct {
 	eng   *sim.Engine
 	cfg   Config
 	eps   map[addr.MachineID]Endpoint
 	down  map[addr.MachineID]bool
-	stats Stats
+	stats counters
+
+	delFree *delivery // pool of reusable lossless-delivery records
 
 	// ARQ state, only used when LossRate > 0.
 	nextFrameID uint64
-	delivered   map[pair]map[uint64]struct{}
+	delivered   map[pair]*dedup
 
 	// OnDead receives frames abandoned after MaxRetries (typically
 	// because the destination machine is down). May be nil.
@@ -146,8 +256,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		cfg:       cfg,
 		eps:       make(map[addr.MachineID]Endpoint),
 		down:      make(map[addr.MachineID]bool),
-		stats:     newStats(),
-		delivered: make(map[pair]map[uint64]struct{}),
+		delivered: make(map[pair]*dedup),
 	}
 }
 
@@ -160,6 +269,7 @@ func (n *Network) Attach(m addr.MachineID, ep Endpoint) {
 		panic(fmt.Sprintf("netw: machine %v attached twice", m))
 	}
 	n.eps[m] = ep
+	n.stats.machine(m) // pre-size the dense per-machine counters
 }
 
 // SetDown marks a machine as crashed (true) or recovered (false). Frames to
@@ -170,7 +280,7 @@ func (n *Network) SetDown(m addr.MachineID, down bool) { n.down[m] = down }
 func (n *Network) Down(m addr.MachineID) bool { return n.down[m] }
 
 // Stats returns a snapshot of the accumulated counters.
-func (n *Network) Stats() Stats { return n.stats.Clone() }
+func (n *Network) Stats() Stats { return n.stats.snapshot() }
 
 // TransitTime returns the modeled one-way time for a frame of size bytes
 // over a default-latency hop (pair-specific latency, if configured, is
@@ -206,9 +316,8 @@ func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 	n.account(from, to, m, size)
 	if n.cfg.LossRate <= 0 {
 		m.Hops++
-		n.eng.After(n.transit(from, to, size), "netw:deliver", func() {
-			n.deliver(to, m)
-		})
+		d := n.getDelivery(to, m)
+		n.eng.After(n.transit(from, to, size), "netw:deliver", d.fn)
 		return
 	}
 	id := n.nextFrameID
@@ -216,35 +325,68 @@ func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 	n.transmit(from, to, m, size, id, 0)
 }
 
+// getDelivery pops a pooled delivery record (or builds one, binding its
+// callback closure exactly once) and loads it with this frame.
+func (n *Network) getDelivery(to addr.MachineID, m *msg.Message) *delivery {
+	d := n.delFree
+	if d == nil {
+		d = &delivery{n: n}
+		d.fn = d.run
+	} else {
+		n.delFree = d.next
+	}
+	d.to, d.m = to, m
+	return d
+}
+
+// run fires a pooled delivery: it releases the record back to the pool
+// first so a nested Send inside DeliverFrame can reuse it.
+func (d *delivery) run() {
+	n, to, m := d.n, d.to, d.m
+	d.m = nil
+	d.next = n.delFree
+	n.delFree = d
+	n.deliver(to, m)
+}
+
 func (n *Network) account(from, to addr.MachineID, m *msg.Message, size int) {
-	n.stats.Frames++
-	n.stats.Bytes += uint64(size)
-	n.stats.ByKind[m.Kind]++
-	n.stats.BytesByKind[m.Kind] += uint64(size)
-	fs := n.stats.PerMachine[from]
+	c := &n.stats
+	c.frames++
+	c.bytes += uint64(size)
+	if k := int(m.Kind); k < msg.KindCount {
+		c.byKind[k]++
+		c.bytesByKind[k] += uint64(size)
+	}
+	fs := c.machine(from)
 	fs.FramesOut++
 	fs.BytesOut += uint64(size)
-	n.stats.PerMachine[from] = fs
-	ts := n.stats.PerMachine[to]
+	ts := c.machine(to)
 	ts.FramesIn++
 	ts.BytesIn += uint64(size)
-	n.stats.PerMachine[to] = ts
 }
 
 func (n *Network) deliver(to addr.MachineID, m *msg.Message) {
 	if n.down[to] {
-		n.stats.Dropped++
+		n.stats.dropped++
 		return
 	}
-	n.stats.Delivered++
+	n.stats.delivered++
 	n.eps[to].DeliverFrame(m)
+}
+
+// dedupSize reports the receiver dedup state tracked for a pair (test hook).
+func (n *Network) dedupSize(from, to addr.MachineID) int {
+	if d := n.delivered[pair{from, to}]; d != nil {
+		return d.size()
+	}
+	return 0
 }
 
 // transmit is one ARQ attempt. The ack travels as a zero-cost event (the
 // real ack bytes are negligible and not part of the paper's accounting).
 func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id uint64, attempt int) {
 	if attempt > 0 {
-		n.stats.Retransmits++
+		n.stats.retransmits++
 	}
 	lostFrame := n.eng.Rand().Float64() < n.cfg.LossRate || n.down[to]
 	lostAck := n.eng.Rand().Float64() < n.cfg.LossRate
@@ -256,21 +398,13 @@ func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id
 			key := pair{from, to}
 			seen := n.delivered[key]
 			if seen == nil {
-				seen = make(map[uint64]struct{})
+				seen = newDedup()
 				n.delivered[key] = seen
 			}
-			if _, dup := seen[id]; dup {
-				n.stats.Duplicates++
+			if seen.seen(id) {
+				n.stats.duplicates++
 			} else {
-				seen[id] = struct{}{}
-				if len(seen) > 4096 {
-					// Prune old ids; retransmits never lag this far.
-					for k := range seen {
-						if k+2048 < id {
-							delete(seen, k)
-						}
-					}
-				}
+				seen.add(id)
 				n.deliver(to, m)
 			}
 			if !lostAck {
@@ -278,7 +412,7 @@ func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id
 			}
 		})
 	} else {
-		n.stats.Dropped++
+		n.stats.dropped++
 	}
 
 	n.eng.After(n.cfg.RetransTimeout, "netw:retrans-check", func() {
@@ -286,7 +420,7 @@ func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id
 			return
 		}
 		if attempt+1 >= n.cfg.MaxRetries {
-			n.stats.Dead++
+			n.stats.dead++
 			if n.OnDead != nil {
 				n.OnDead(to, m)
 			}

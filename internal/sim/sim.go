@@ -6,75 +6,81 @@
 // so two runs with the same seed produce byte-identical traces. This is what
 // lets the test suite assert exact protocol costs (e.g. the paper's "9
 // administrative messages" per migration).
+//
+// The engine is allocation-free on the steady-state path: event state lives
+// in an index-stable arena whose slots are recycled through a free list, and
+// the priority queue is a hand-rolled 4-ary min-heap of (time, seq) keys —
+// no container/heap interface boxing, no per-schedule *Event allocation.
+// See DESIGN.md §7 ("Performance") and bench_hotpath_test.go for the
+// zero-alloc guards.
 package sim
 
 import (
-	"container/heap"
-	"fmt"
 	"math/rand"
+	"strconv"
 )
 
 // Time is simulated time in microseconds since boot.
 type Time uint64
 
-// String formats a Time as seconds with microsecond precision.
+// String formats a Time as seconds with microsecond precision. It formats
+// into a stack buffer (no fmt machinery), so trace-heavy runs pay only the
+// final string allocation.
 func (t Time) String() string {
-	return fmt.Sprintf("%d.%06ds", uint64(t)/1e6, uint64(t)%1e6)
+	var buf [27]byte
+	b := strconv.AppendUint(buf[:0], uint64(t)/1e6, 10)
+	us := uint64(t) % 1e6
+	b = append(b, '.',
+		byte('0'+us/100000%10), byte('0'+us/10000%10), byte('0'+us/1000%10),
+		byte('0'+us/100%10), byte('0'+us/10%10), byte('0'+us%10), 's')
+	return string(b)
 }
 
-// Event is a scheduled callback.
+// Event is a handle to a scheduled callback, returned by At/After/AfterWeak
+// and accepted by Cancel. It is a value (arena index + generation), so
+// scheduling allocates nothing; the zero Event is a valid "no event" and is
+// safe to Cancel. A handle held after its event fired or was cancelled goes
+// stale (the generation moves on) and is ignored by Cancel.
 type Event struct {
-	At   Time
-	Name string // for traces and debugging
-	Fn   func()
-
-	weak  bool   // weak events do not keep Run alive
-	seq   uint64 // tie-breaker: FIFO among equal timestamps
-	index int    // heap index; -1 once popped or cancelled
+	idx uint32
+	gen uint32
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.Fn == nil }
+// slot is the arena-resident state of one scheduled event.
+type slot struct {
+	fn   func()
+	name string
+	at   Time
+	seq  uint64
+	gen  uint32
+	weak bool // weak events do not keep Run alive
+}
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// heapEnt is one 4-ary heap entry. The (at, seq) key is kept inline so
+// sift operations stay in one cache line instead of chasing arena indices.
+type heapEnt struct {
+	at  Time
+	seq uint64
+	idx uint32
 }
 
 // Engine is a deterministic discrete-event scheduler.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	now    Time
-	queue  eventHeap
+	arena  []slot    // index-stable event storage
+	free   []uint32  // recycled arena slots
+	heap   []heapEnt // 4-ary min-heap ordered by (at, seq)
 	seq    uint64
+	live   int // scheduled, uncancelled events (strong + weak)
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
 	strong int // pending non-weak events
+
+	// OnFire, when non-nil, observes every event just before it runs.
+	// The determinism tests use it to assert exact firing order.
+	OnFire func(name string, at Time)
 }
 
 // NewEngine returns an engine at time zero with a PRNG seeded by seed.
@@ -92,25 +98,18 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.Cancelled() {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled, uncancelled events. O(1): a live
+// counter maintained by schedule/Cancel/Step, not a queue scan.
+func (e *Engine) Pending() int { return e.live }
 
 // At schedules fn at absolute time t. Scheduling in the past fires at the
 // current time (events never run retroactively).
-func (e *Engine) At(t Time, name string, fn func()) *Event {
+func (e *Engine) At(t Time, name string, fn func()) Event {
 	return e.schedule(t, name, fn, false)
 }
 
 // After schedules fn d microseconds from now.
-func (e *Engine) After(d Time, name string, fn func()) *Event {
+func (e *Engine) After(d Time, name string, fn func()) Event {
 	return e.At(e.now+d, name, fn)
 }
 
@@ -118,52 +117,135 @@ func (e *Engine) After(d Time, name string, fn func()) *Event {
 // simulation is alive, but does not by itself keep Run going. Periodic
 // housekeeping (load reports) uses weak events so "run until idle" still
 // terminates.
-func (e *Engine) AfterWeak(d Time, name string, fn func()) *Event {
+func (e *Engine) AfterWeak(d Time, name string, fn func()) Event {
 	return e.schedule(e.now+d, name, fn, true)
 }
 
-func (e *Engine) schedule(t Time, name string, fn func(), weak bool) *Event {
+func (e *Engine) schedule(t Time, name string, fn func(), weak bool) Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{At: t, Name: name, Fn: fn, weak: weak, seq: e.seq}
+	var idx uint32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, slot{gen: 1})
+		idx = uint32(len(e.arena) - 1)
+	}
+	s := &e.arena[idx]
+	s.fn, s.name, s.at, s.seq, s.weak = fn, name, t, e.seq, weak
+	e.heapPush(heapEnt{at: t, seq: e.seq, idx: idx})
 	e.seq++
+	e.live++
 	if !weak {
 		e.strong++
 	}
-	heap.Push(&e.queue, ev)
-	return ev
+	return Event{idx: idx, gen: s.gen}
 }
 
-// Cancel prevents a scheduled event from firing. Safe to call twice or on
-// an already-fired event.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.Fn == nil {
+// Cancel prevents a scheduled event from firing. Safe to call twice, on the
+// zero Event, or on a handle whose event already fired.
+func (e *Engine) Cancel(ev Event) {
+	if int(ev.idx) >= len(e.arena) {
 		return
 	}
-	ev.Fn = nil // leave in heap; skipped when popped
-	if !ev.weak {
+	s := &e.arena[ev.idx]
+	if s.gen != ev.gen || s.fn == nil {
+		return
+	}
+	s.fn = nil // slot stays in the heap; skipped and recycled when popped
+	e.live--
+	if !s.weak {
 		e.strong--
 	}
 }
 
+// freeSlot recycles an arena slot popped off the heap. Bumping the
+// generation invalidates any handles still pointing at it.
+func (e *Engine) freeSlot(idx uint32) {
+	s := &e.arena[idx]
+	s.fn = nil
+	s.name = ""
+	s.gen++
+	e.free = append(e.free, idx)
+}
+
+// heapPush inserts ent, sifting up through 4-ary parents.
+func (e *Engine) heapPush(ent heapEnt) {
+	e.heap = append(e.heap, ent)
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h[p].at < ent.at || (h[p].at == ent.at && h[p].seq < ent.seq) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ent
+}
+
+// heapPop removes and returns the minimum (time, seq) entry's arena index.
+func (e *Engine) heapPop() uint32 {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	h = e.heap
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
+				m = j
+			}
+		}
+		if last.at < h[m].at || (last.at == h[m].at && last.seq < h[m].seq) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	if n > 0 {
+		h[i] = last
+	}
+	return root.idx
+}
+
 // Step fires the single next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.Cancelled() {
+	for len(e.heap) > 0 {
+		idx := e.heapPop()
+		s := &e.arena[idx]
+		if s.fn == nil { // cancelled while queued
+			e.freeSlot(idx)
 			continue
 		}
-		e.now = ev.At
-		fn := ev.Fn
-		ev.Fn = nil
-		if !ev.weak {
+		e.now = s.at
+		fn, name, at := s.fn, s.name, s.at
+		if !s.weak {
 			e.strong--
 		}
+		e.live--
+		e.freeSlot(idx) // recycle before fn: fn may schedule into this slot
 		e.fired++
+		if e.OnFire != nil {
+			e.OnFire(name, at)
+		}
 		fn()
 		return true
 	}
@@ -186,22 +268,24 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.fired
 	e.halted = false
 	for !e.halted {
-		// Peek next runnable event.
-		var next *Event
-		for len(e.queue) > 0 {
-			if e.queue[0].Cancelled() {
-				heap.Pop(&e.queue)
+		// Peek next runnable event, recycling cancelled ones.
+		runnable := false
+		var at Time
+		for len(e.heap) > 0 {
+			if idx := e.heap[0].idx; e.arena[idx].fn == nil {
+				e.freeSlot(e.heapPop())
 				continue
 			}
-			next = e.queue[0]
+			at = e.heap[0].at
+			runnable = true
 			break
 		}
-		if next == nil || next.At > deadline {
+		if !runnable || at > deadline {
 			break
 		}
 		e.Step()
 	}
-	if e.now < deadline && len(e.queue) == 0 {
+	if e.now < deadline && len(e.heap) == 0 {
 		e.now = deadline
 	}
 	return e.fired - start

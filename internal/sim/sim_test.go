@@ -189,8 +189,85 @@ func TestPendingCount(t *testing.T) {
 }
 
 func TestTimeString(t *testing.T) {
-	if s := Time(1500000).String(); s != "1.500000s" {
-		t.Fatalf("Time.String = %q", s)
+	for _, tc := range []struct {
+		t    Time
+		want string
+	}{
+		{1500000, "1.500000s"},
+		{0, "0.000000s"},
+		{1, "0.000001s"},
+		{999999, "0.999999s"},
+		{12345678901, "12345.678901s"},
+	} {
+		if s := tc.t.String(); s != tc.want {
+			t.Fatalf("Time(%d).String = %q, want %q", uint64(tc.t), s, tc.want)
+		}
+	}
+}
+
+// A handle held past its event's firing must go stale: cancelling it cannot
+// touch whatever event has since recycled the arena slot.
+func TestStaleHandleCancelIsSafe(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	h := e.At(1, "a", func() { fired++ })
+	e.Run()
+	// "a" fired; its arena slot is free and will be reused by "b".
+	e.At(2, "b", func() { fired++ })
+	e.Cancel(h) // stale handle: must be a no-op
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("stale Cancel hit a recycled slot: fired %d events, want 2", fired)
+	}
+}
+
+// The zero Event is "no event" and must be safe to Cancel, including on a
+// fresh engine with an empty arena.
+func TestCancelZeroEvent(t *testing.T) {
+	e := NewEngine(1)
+	e.Cancel(Event{})
+	ok := false
+	e.At(1, "x", func() { ok = true })
+	e.Cancel(Event{})
+	e.Run()
+	if !ok {
+		t.Fatal("zero-Event Cancel affected a real event")
+	}
+}
+
+// Pending must stay exact through heavy schedule/cancel/fire churn (it is a
+// live counter now, not a queue scan).
+func TestPendingThroughChurn(t *testing.T) {
+	e := NewEngine(3)
+	var evs []Event
+	for i := 0; i < 1000; i++ {
+		evs = append(evs, e.At(Time(i%50), "churn", func() {}))
+	}
+	for i := 0; i < 1000; i += 3 {
+		e.Cancel(evs[i])
+	}
+	e.Cancel(evs[0]) // double-cancel must not double-decrement
+	want := 1000 - 334
+	if got := e.Pending(); got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+	for e.Step() {
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+// Arena slots must be recycled: sustained schedule/fire churn cannot grow
+// the arena beyond the peak number of simultaneously pending events.
+func TestArenaSlotReuse(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 100000; i++ {
+		e.At(e.Now()+1, "spin", func() {})
+		e.Step()
+	}
+	if n := len(e.arena); n > 4 {
+		t.Fatalf("arena grew to %d slots under 1-deep churn, want ≤ 4", n)
 	}
 }
 

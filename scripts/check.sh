@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Contributor gate: vet, build, race-test, and the hot-path allocation
+# guards. Run from anywhere; exits non-zero on the first failure.
+#
+#   ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== hot-path allocation guards + benchmarks (1 iteration smoke)"
+go test -run TestHotPathZeroAlloc \
+  -bench 'EngineSchedule|EngineDispatchDepth64|NetwSend|MsgEncode' \
+  -benchtime 1x .
+
+echo "OK: all checks passed"

@@ -1,0 +1,105 @@
+// demoslint machine-checks the repository's simulator invariants:
+// determinism (all randomness through sim.Engine.Rand, no ambient clocks
+// or environment), map-iteration order on anything order-sensitive, the
+// DEMOS/MP layering DAG, the //demos:hotpath zero-allocation contract,
+// and encoder/decoder/fuzz pairing of the wire payloads.
+//
+// Usage:
+//
+//	go run ./cmd/demoslint ./...
+//
+// The package pattern is accepted for familiarity but the whole module is
+// always analyzed (the layering and wirepair rules are module-global).
+// Findings print as "file:line: [rule] message" and the exit status is
+// non-zero if any survive. Suppress a single finding with a trailing
+//
+//	//demos:nolint:<rule> <reason>
+//
+// comment; the reason is mandatory. See DESIGN.md §8 for the rule
+// catalogue and internal/lint for the implementation (stdlib-only:
+// go/parser + go/types, no x/tools).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"demosmp/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list the analyzer rules and exit")
+	flag.Parse()
+
+	analyzers := lint.DemosAnalyzers()
+	if *rules {
+		for _, a := range analyzers {
+			fmt.Println(a.Name())
+		}
+		return
+	}
+
+	root, modulePath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demoslint:", err)
+		os.Exit(2)
+	}
+	mod, err := lint.LoadModule(root, modulePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demoslint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(mod, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "demoslint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "demoslint: %d packages clean\n", len(mod.Pkgs))
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and reads its module path.
+func findModule() (root, modulePath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if _, statErr := os.Stat(gomod); statErr == nil {
+			path, err := modulePathOf(gomod)
+			if err != nil {
+				return "", "", err
+			}
+			return dir, path, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePathOf(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}

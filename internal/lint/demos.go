@@ -1,0 +1,104 @@
+package lint
+
+// This file pins demoslint's configuration for this repository: the
+// layering DAG, the determinism scope, and the wire package. The tables
+// are the contract — changing an import edge means editing demosLayers in
+// the same commit, which is exactly the review point the linter exists to
+// create.
+
+// ModulePath is the module demoslint is built for.
+const ModulePath = "demosmp"
+
+// demosLayers is the allowed import DAG, package by package. Key rules it
+// encodes (DESIGN.md §8):
+//
+//   - the vocabulary layer (addr, link, msg, sim, memory, trace) sits under
+//     everything and must never import kernel;
+//   - only kernel (and the composition layers above it) may touch netw
+//     delivery internals — processes and services see messages, not frames;
+//   - internal/core is the only composition root that wires every
+//     subsystem together; the public demosmp package re-exports through it;
+//   - proctest is test scaffolding: no non-test file outside this table's
+//     explicit entries may depend on it.
+var demosLayers = map[string][]string{
+	// vocabulary layer
+	"demosmp/internal/addr":   {},
+	"demosmp/internal/memory": {},
+	"demosmp/internal/sim":    {},
+	"demosmp/internal/link":   {"demosmp/internal/addr"},
+	"demosmp/internal/msg":    {"demosmp/internal/addr", "demosmp/internal/link", "demosmp/internal/sim"},
+	"demosmp/internal/trace":  {"demosmp/internal/addr", "demosmp/internal/sim"},
+
+	// machine substrate
+	"demosmp/internal/dvm":  {"demosmp/internal/memory"},
+	"demosmp/internal/netw": {"demosmp/internal/addr", "demosmp/internal/msg", "demosmp/internal/sim"},
+
+	// process layer
+	"demosmp/internal/proc": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/link",
+		"demosmp/internal/memory", "demosmp/internal/msg", "demosmp/internal/sim"},
+	"demosmp/internal/proctest": {"demosmp/internal/addr", "demosmp/internal/link", "demosmp/internal/memory",
+		"demosmp/internal/msg", "demosmp/internal/proc", "demosmp/internal/sim"},
+	"demosmp/internal/policy": {"demosmp/internal/addr", "demosmp/internal/msg", "demosmp/internal/sim"},
+
+	// kernel layer: the only package allowed to drive netw delivery
+	"demosmp/internal/kernel": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/link",
+		"demosmp/internal/memory", "demosmp/internal/msg", "demosmp/internal/netw",
+		"demosmp/internal/proc", "demosmp/internal/sim", "demosmp/internal/trace"},
+
+	// user-level services (message-only: no kernel, no netw)
+	"demosmp/internal/fs": {"demosmp/internal/link", "demosmp/internal/msg",
+		"demosmp/internal/proc", "demosmp/internal/sim"},
+	"demosmp/internal/memsched": {"demosmp/internal/addr", "demosmp/internal/msg", "demosmp/internal/proc"},
+	"demosmp/internal/procmgr": {"demosmp/internal/addr", "demosmp/internal/link", "demosmp/internal/memsched",
+		"demosmp/internal/msg", "demosmp/internal/policy", "demosmp/internal/proc"},
+	"demosmp/internal/shell": {"demosmp/internal/addr", "demosmp/internal/link", "demosmp/internal/msg",
+		"demosmp/internal/proc", "demosmp/internal/procmgr", "demosmp/internal/switchboard"},
+	"demosmp/internal/switchboard": {"demosmp/internal/link", "demosmp/internal/proc"},
+	"demosmp/internal/workload": {"demosmp/internal/dvm", "demosmp/internal/link",
+		"demosmp/internal/proc", "demosmp/internal/sim"},
+
+	// composition root and public surface
+	"demosmp/internal/core": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/fs",
+		"demosmp/internal/kernel", "demosmp/internal/link", "demosmp/internal/memsched",
+		"demosmp/internal/netw", "demosmp/internal/policy", "demosmp/internal/proc",
+		"demosmp/internal/procmgr", "demosmp/internal/shell", "demosmp/internal/sim",
+		"demosmp/internal/switchboard", "demosmp/internal/trace", "demosmp/internal/workload"},
+	"demosmp": {"demosmp/internal/addr", "demosmp/internal/core", "demosmp/internal/dvm",
+		"demosmp/internal/fs", "demosmp/internal/kernel", "demosmp/internal/link",
+		"demosmp/internal/netw", "demosmp/internal/policy", "demosmp/internal/sim",
+		"demosmp/internal/workload"},
+
+	// analysis layer: stdlib only, nothing from the simulator
+	"demosmp/internal/lint": {},
+
+	// binaries and examples
+	"demosmp/cmd/demosh":    {"demosmp", "demosmp/internal/kernel"},
+	"demosmp/cmd/demoslint": {"demosmp/internal/lint"},
+	"demosmp/cmd/demosnet": {"demosmp", "demosmp/internal/addr", "demosmp/internal/kernel",
+		"demosmp/internal/link"},
+	"demosmp/cmd/experiments": {"demosmp", "demosmp/internal/addr", "demosmp/internal/kernel",
+		"demosmp/internal/link", "demosmp/internal/msg", "demosmp/internal/netw",
+		"demosmp/internal/sim", "demosmp/internal/trace", "demosmp/internal/workload"},
+	"demosmp/examples/faulttolerance": {"demosmp"},
+	"demosmp/examples/fileserver":     {"demosmp"},
+	"demosmp/examples/loadbalance":    {"demosmp"},
+	"demosmp/examples/quickstart":     {"demosmp"},
+	"demosmp/examples/vmfile":         {"demosmp", "demosmp/internal/kernel"},
+}
+
+// DemosAnalyzers returns the full demoslint suite configured for this
+// repository.
+func DemosAnalyzers() []Analyzer {
+	return []Analyzer{
+		Determinism{
+			Prefix: ModulePath + "/internal/",
+			// sim owns the seeded PRNG: it is the one place allowed to
+			// construct math/rand state.
+			Exempt: map[string]bool{ModulePath + "/internal/sim": true},
+		},
+		MapOrder{},
+		Layering{Module: ModulePath, Allow: demosLayers},
+		HotPathAlloc{},
+		WirePair{PkgPath: ModulePath + "/internal/msg"},
+	}
+}

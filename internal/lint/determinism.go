@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism forbids ambient nondeterminism inside the simulation
+// packages: wall-clock reads, real sleeps, the global math/rand source, and
+// environment lookups. Byte-identical replay of the paper's 8-step
+// migration (testdata/golden_trace.txt) and its "9 administrative
+// messages" accounting depend on every input flowing through the seeded
+// sim.Engine — one stray time.Now or rand.Intn and two runs stop agreeing.
+//
+// The rule applies to packages whose import path starts with Prefix
+// (non-test files only; tests are the checking layer and may measure real
+// time). Exempt packages — in practice only sim itself, which owns the
+// seeded PRNG — are skipped entirely.
+type Determinism struct {
+	Prefix string          // e.g. "demosmp/internal/"; empty checks everything
+	Exempt map[string]bool // import paths allowed to touch the primitives
+}
+
+func (Determinism) Name() string { return "determinism" }
+
+// forbidden ambient-input functions, by package path. math/rand and
+// math/rand/v2 are handled wholesale: every package-level function there is
+// either the global source (Intn, Float64, ...) or a constructor for a
+// private source that would bypass the engine's seed (New, NewSource).
+var (
+	timeForbidden = map[string]string{
+		"Now": "reads the wall clock", "Sleep": "blocks on real time",
+		"Since": "reads the wall clock", "Until": "reads the wall clock",
+		"After": "creates a real timer", "AfterFunc": "creates a real timer",
+		"Tick": "creates a real ticker", "NewTicker": "creates a real ticker",
+		"NewTimer": "creates a real timer",
+	}
+	osForbidden = map[string]string{
+		"Getenv": "reads the environment", "LookupEnv": "reads the environment",
+		"Environ": "reads the environment", "Hostname": "reads the host identity",
+		"Getpid": "reads the process identity", "Getppid": "reads the process identity",
+	}
+)
+
+func (d Determinism) Run(p *Pass) {
+	if d.Prefix != "" && !strings.HasPrefix(p.Pkg.ImportPath, d.Prefix) {
+		return
+	}
+	if d.Exempt[p.Pkg.ImportPath] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			name := fn.Name()
+			switch fn.Pkg().Path() {
+			case "time":
+				if why, bad := timeForbidden[name]; bad {
+					p.Reportf(sel.Pos(), "time.%s %s; simulated time must come from sim.Engine.Now (golden-trace replay breaks otherwise)", name, why)
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(), "%s.%s bypasses the seeded engine PRNG; all simulation randomness must come from sim.Engine.Rand", fn.Pkg().Path(), name)
+			case "os":
+				if why, bad := osForbidden[name]; bad {
+					p.Reportf(sel.Pos(), "os.%s %s; ambient inputs make runs unreproducible — thread configuration through explicit Config structs", name, why)
+				}
+			}
+			return true
+		})
+	}
+}

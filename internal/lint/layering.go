@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Layering enforces the module's import DAG. DEMOS/MP's architecture
+// depends on kernels interacting only through messages and links: the
+// leaf vocabulary packages (addr, link, msg, sim) must not know about the
+// kernel, only the kernel layer may drive netw delivery, and core is the
+// single composition root that is allowed to see everything. Each package
+// must appear in Allow with the exact set of module-internal packages it
+// may import; an absent package or an unlisted edge is a finding, so
+// adding a dependency is always a deliberate, reviewed table edit.
+//
+// Only non-test files are checked: tests may reach for proctest and other
+// scaffolding without weakening the production DAG.
+type Layering struct {
+	Module string
+	Allow  map[string][]string // import path -> allowed module-internal imports
+}
+
+func (Layering) Name() string { return "layering" }
+
+func (l Layering) Run(p *Pass) {
+	if len(p.Pkg.Files) == 0 {
+		return
+	}
+	allowed, known := l.Allow[p.Pkg.ImportPath]
+	if !known {
+		p.Reportf(p.Pkg.Files[0].Package, "package %s is not in the layering table; add it to the import DAG in internal/lint (demos.go) deliberately", p.Pkg.ImportPath)
+		return
+	}
+	allowSet := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		allowSet[a] = true
+	}
+	for _, f := range p.Pkg.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
+				continue // stdlib
+			}
+			if !allowSet[path] {
+				p.Reportf(spec.Pos(), "layering: %s may not import %s (allowed: %s)",
+					p.Pkg.ImportPath, path, allowList(allowed))
+			}
+		}
+	}
+}
+
+func allowList(allowed []string) string {
+	if len(allowed) == 0 {
+		return "none"
+	}
+	s := append([]string(nil), allowed...)
+	sort.Strings(s)
+	return strings.Join(s, ", ")
+}

@@ -1,0 +1,196 @@
+// Package lint is demoslint: a stdlib-only static-analysis suite that
+// machine-checks the simulator's project-specific invariants — determinism
+// (all randomness through sim.Engine.Rand, no ambient clocks or
+// environment), map-iteration order (nothing order-sensitive may be driven
+// by Go's randomized map ranging), the DEMOS/MP layering DAG, the
+// //demos:hotpath zero-allocation contract, and wire encoder/decoder/fuzz
+// pairing in internal/msg.
+//
+// The suite is built entirely on go/parser, go/ast, go/types and
+// go/importer, preserving the repository's zero-external-dependency rule.
+// See DESIGN.md §8 ("Machine-checked invariants") for the rule catalogue
+// and cmd/demoslint for the command-line driver.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, renderable as "file:line: [rule] message".
+// Path is relative to the module root so golden files and CI output are
+// machine-independent.
+type Diagnostic struct {
+	Path string
+	Line int
+	Col  int
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Path, d.Line, d.Rule, d.Msg)
+}
+
+// Analyzer is one demoslint rule. Run is called once per package.
+type Analyzer interface {
+	Name() string
+	Run(*Pass)
+}
+
+// Pass gives an analyzer one package plus a report sink. A nil Types/Info
+// (test-only package) never happens for Files — the loader type-checks all
+// non-test syntax.
+type Pass struct {
+	Mod  *Module
+	Pkg  *Package
+	rule string
+	sink *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
+	*p.sink = append(*p.sink, Diagnostic{
+		Path: relPath(p.Mod.Root, position.Filename),
+		Line: position.Line,
+		Col:  position.Column,
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+func relPath(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// nolintPrefix introduces a suppression: //demos:nolint:<rule> <reason>.
+// The directive suppresses findings of <rule> on its own line and on the
+// line below it (so it works both as a trailing comment and as a
+// standalone comment above the offending statement). The reason is
+// mandatory: a suppression without one is itself a finding.
+const nolintPrefix = "//demos:nolint:"
+
+type directive struct {
+	rule   string
+	reason string
+	pos    token.Pos
+}
+
+func fileDirectives(f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, nolintPrefix) {
+				continue
+			}
+			rest := text[len(nolintPrefix):]
+			rule, reason, _ := strings.Cut(rest, " ")
+			out = append(out, directive{
+				rule:   strings.TrimSpace(rule),
+				reason: strings.TrimSpace(reason),
+				pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package of mod and returns the
+// surviving findings sorted by position. Suppressions (//demos:nolint) are
+// applied here, and malformed suppressions are reported under the "nolint"
+// pseudo-rule.
+func Run(mod *Module, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range mod.Pkgs {
+			a.Run(&Pass{Mod: mod, Pkg: pkg, rule: a.Name(), sink: &diags})
+		}
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+
+	// suppress[path][line] = set of rules silenced at that line.
+	suppress := make(map[string]map[int]map[string]bool)
+	add := func(path string, line int, rule string) {
+		if suppress[path] == nil {
+			suppress[path] = make(map[int]map[string]bool)
+		}
+		if suppress[path][line] == nil {
+			suppress[path][line] = make(map[string]bool)
+		}
+		suppress[path][line][rule] = true
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
+			for _, d := range fileDirectives(f) {
+				position := mod.Fset.Position(d.pos)
+				path := relPath(mod.Root, position.Filename)
+				switch {
+				case d.rule == "" || !known[d.rule]:
+					diags = append(diags, Diagnostic{Path: path, Line: position.Line,
+						Rule: "nolint", Msg: fmt.Sprintf("unknown rule %q in suppression", d.rule)})
+				case d.reason == "":
+					diags = append(diags, Diagnostic{Path: path, Line: position.Line,
+						Rule: "nolint", Msg: fmt.Sprintf("suppression of %q needs a reason: //demos:nolint:%s <why>", d.rule, d.rule)})
+				default:
+					add(path, position.Line, d.rule)
+					add(path, position.Line+1, d.rule)
+				}
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Rule != "nolint" && suppress[d.Path][d.Line][d.Rule] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return diags
+}
+
+// hasDirective reports whether a doc comment group carries the given
+// //demos:<name> marker (e.g. "hotpath").
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//demos:" + name
+	for _, c := range doc.List {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+			return true
+		}
+	}
+	return false
+}

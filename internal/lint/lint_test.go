@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestFixtures runs each analyzer over its fixture module in
+// testdata/src/<name> and compares the rendered diagnostics against
+// testdata/<name>.golden. Each fixture holds positive cases, negative
+// cases, and nolint suppressions for one rule; the golden file pins the
+// exact findings (and, by omission, the silences).
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name      string // fixture directory and golden file stem
+		module    string // module path the fixture is loaded as
+		analyzers []Analyzer
+	}{
+		{"detfix", "detfix", []Analyzer{Determinism{
+			Prefix: "detfix/internal/",
+			Exempt: map[string]bool{"detfix/internal/simx": true},
+		}}},
+		{"mapfix", "mapfix", []Analyzer{MapOrder{}}},
+		{"layfix", "layfix", []Analyzer{Layering{
+			Module: "layfix",
+			Allow: map[string][]string{
+				"layfix/a": {},
+				"layfix/b": {"layfix/a"},
+				"layfix/c": {"layfix/a"},
+			},
+		}}},
+		{"hotfix", "hotfix", []Analyzer{HotPathAlloc{}}},
+		{"wirefix", "wirefix", []Analyzer{WirePair{PkgPath: "wirefix"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mod, err := LoadModule(filepath.Join("testdata", "src", tc.name), tc.module)
+			if err != nil {
+				t.Fatalf("LoadModule: %v", err)
+			}
+			var sb strings.Builder
+			for _, d := range Run(mod, tc.analyzers) {
+				sb.WriteString(d.String())
+				sb.WriteByte('\n')
+			}
+			got := sb.String()
+
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestNolintSuppresses pins the suppression contract: a trailing directive
+// with a reason silences its own line (the fixture's Suppressed function),
+// independent of the golden-file comparison.
+func TestNolintSuppresses(t *testing.T) {
+	src := filepath.Join("testdata", "src", "detfix", "internal", "clock", "clock.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suppressedLine := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "//demos:nolint:determinism fixture") {
+			suppressedLine = i + 1
+		}
+	}
+	if suppressedLine == 0 {
+		t.Fatal("fixture lost its suppression line")
+	}
+	mod, err := LoadModule(filepath.Join("testdata", "src", "detfix"), "detfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(mod, []Analyzer{Determinism{Prefix: "detfix/internal/"}}) {
+		if d.Rule == "determinism" && d.Line == suppressedLine {
+			t.Errorf("suppression failed to silence %s:%d: %v", d.Path, d.Line, d)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File // non-test files, type-checked
+	TestFiles  []*ast.File // *_test.go files, parsed only (never type-checked)
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Module is the fully loaded module: every package, in a deterministic
+// topological order (dependencies before dependents).
+type Module struct {
+	Path string // module path from go.mod, e.g. "demosmp"
+	Root string // absolute directory containing go.mod
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// skipDir reports directories the loader never descends into. testdata is
+// the Go-tool convention for fixture trees (our own analyzer fixtures live
+// there); the rest are non-Go housekeeping.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadModule parses and type-checks every package under root, resolving
+// module-internal imports against the tree itself and everything else
+// (the standard library) through the stdlib source importer. It uses only
+// go/parser, go/ast, go/types and go/importer — no x/tools.
+func LoadModule(root, modulePath string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	mod := &Module{Path: modulePath, Root: root, Fset: fset}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	byPath := make(map[string]*Package, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		imp := modulePath
+		if rel != "." {
+			imp = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		p := &Package{ImportPath: imp, Dir: dir}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+			}
+			if strings.HasSuffix(name, "_test.go") {
+				p.TestFiles = append(p.TestFiles, f)
+			} else {
+				p.Files = append(p.Files, f)
+			}
+		}
+		if len(p.Files)+len(p.TestFiles) > 0 {
+			byPath[imp] = p
+			mod.Pkgs = append(mod.Pkgs, p)
+		}
+	}
+
+	ordered, err := topoOrder(mod.Pkgs, byPath, modulePath)
+	if err != nil {
+		return nil, err
+	}
+	mod.Pkgs = ordered
+
+	imp := &moduleImporter{
+		module: modulePath,
+		pkgs:   byPath,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	for _, p := range ordered {
+		if len(p.Files) == 0 {
+			continue // test-only package: nothing to type-check
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tpkg, err := conf.Check(p.ImportPath, fset, p.Files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("lint: type-check %s: %v", p.ImportPath, typeErrs[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", p.ImportPath, err)
+		}
+		p.Types, p.Info = tpkg, info
+	}
+	return mod, nil
+}
+
+// moduleImporter resolves module-internal import paths against the loaded
+// tree (packages are type-checked in dependency order, so they are always
+// present by the time a dependent asks) and delegates everything else to
+// the standard library source importer.
+type moduleImporter struct {
+	module string
+	pkgs   map[string]*Package
+	std    types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == m.module || strings.HasPrefix(path, m.module+"/") {
+		p := m.pkgs[path]
+		if p == nil || p.Types == nil {
+			return nil, fmt.Errorf("lint: package %s not loaded (unknown path or import cycle)", path)
+		}
+		return p.Types, nil
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// internalImports returns the module-internal import paths of a file.
+func internalImports(f *ast.File, module string) []string {
+	var out []string
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		if path == module || strings.HasPrefix(path, module+"/") {
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// topoOrder sorts packages so every module-internal dependency precedes its
+// dependents. Order is deterministic (ties broken by import path) and a
+// dependency cycle is an error.
+func topoOrder(pkgs []*Package, byPath map[string]*Package, module string) ([]*Package, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var out []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.ImportPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		}
+		state[p.ImportPath] = visiting
+		deps := make(map[string]bool)
+		for _, f := range p.Files {
+			for _, d := range internalImports(f, module) {
+				deps[d] = true
+			}
+		}
+		sorted := make([]string, 0, len(deps))
+		for d := range deps {
+			sorted = append(sorted, d)
+		}
+		sort.Strings(sorted)
+		for _, d := range sorted {
+			dep := byPath[d]
+			if dep == nil {
+				return fmt.Errorf("lint: %s imports unknown module package %s", p.ImportPath, d)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p.ImportPath] = done
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

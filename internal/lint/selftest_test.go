@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// loadSelf loads the enclosing demosmp module (the repository itself).
+func loadSelf(t *testing.T) *Module {
+	t.Helper()
+	mod, err := LoadModule("../..", ModulePath)
+	if err != nil {
+		t.Fatalf("loading the repository: %v", err)
+	}
+	return mod
+}
+
+// TestRepositoryLintsClean is the self-test: the full demoslint suite over
+// the real tree must report nothing. This is the same gate scripts/check.sh
+// runs; keeping it in `go test` means a violation fails the ordinary test
+// run too, not just CI.
+func TestRepositoryLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	mod := loadSelf(t)
+	diags := Run(mod, DemosAnalyzers())
+	for _, d := range diags {
+		t.Errorf("%v", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d finding(s) in the repository; fix them or add a //demos:nolint:<rule> <reason>", len(diags))
+	}
+}
+
+// TestHotpathAnnotationSet pins the //demos:hotpath inventory to the
+// functions bench_hotpath_test.go actually guards. Annotating a new
+// function means extending both the benchmark and this list in the same
+// commit — the annotation is a promise, not decoration.
+func TestHotpathAnnotationSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	want := map[string][]string{
+		"demosmp/internal/sim": {
+			"Time.String", "Engine.schedule", "Engine.freeSlot",
+			"Engine.heapPush", "Engine.heapPop", "Engine.Step",
+		},
+		"demosmp/internal/netw": {
+			"Network.Send", "Network.getDelivery", "delivery.run",
+			"Network.account", "Network.deliver",
+		},
+		"demosmp/internal/msg": {
+			"Message.WireSize", "Message.AppendWire", "Encode",
+			"MigrateRequest.AppendTo", "MigrateAsk.AppendTo", "PIDMachine.AppendTo",
+			"MoveDataReq.AppendTo", "MigrateCleanup.AppendTo", "MigrateDone.AppendTo",
+			"LinkUpdate.AppendTo", "CreateProcess.AppendTo", "CreateDone.AppendTo",
+			"MoveRead.AppendTo", "XferStatus.AppendTo", "LoadReport.AppendTo",
+		},
+	}
+	got := HotpathFuncs(loadSelf(t))
+	for _, fns := range got {
+		sort.Strings(fns)
+	}
+	for _, fns := range want {
+		sort.Strings(fns)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("//demos:hotpath inventory drifted\n got: %v\nwant: %v", got, want)
+	}
+}

@@ -1,0 +1,41 @@
+// Package clock is a determinism fixture: every ambient-input primitive
+// the rule forbids, plus the allowed forms and the nolint variants.
+package clock
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Bad: every call here is an ambient input the simulator must not read.
+func Bad() {
+	_ = time.Now()                  // want determinism: wall clock
+	time.Sleep(time.Second)         // want determinism: real sleep
+	_ = time.Since(time.Time{})     // want determinism: wall clock
+	_ = rand.Intn(10)               // want determinism: global PRNG
+	_ = rand.New(rand.NewSource(1)) // want determinism: private source (x2)
+	_, _ = os.LookupEnv("HOME")     // want determinism: environment
+	_ = os.Getenv("SEED")           // want determinism: environment
+}
+
+// OK: values threaded in explicitly, method calls on an injected *rand.Rand,
+// and time.Duration arithmetic (a constant, not an ambient read).
+func OK(now int64, rng *rand.Rand) int {
+	_ = time.Duration(now) * time.Millisecond
+	return rng.Intn(10)
+}
+
+// Suppressed: a justified escape hatch keeps the finding quiet.
+func Suppressed() int64 {
+	return time.Now().UnixNano() //demos:nolint:determinism fixture demonstrates a justified suppression
+}
+
+// BadSuppression: a reason-less and an unknown-rule directive are themselves
+// findings, and the reason-less one does not silence the line it covers.
+func BadSuppression() {
+	//demos:nolint:determinism
+	_ = time.Now()
+	//demos:nolint:bogus this rule does not exist
+	_ = os.Getpid()
+}

@@ -1,0 +1,8 @@
+// Package tools sits outside the internal/ prefix the rule guards, so its
+// wall-clock read is out of scope and must produce no findings.
+package tools
+
+import "time"
+
+// Stamp is allowed: build tooling may read the real clock.
+func Stamp() int64 { return time.Now().Unix() }

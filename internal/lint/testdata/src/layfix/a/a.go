@@ -1,0 +1,5 @@
+// Package a is the layering fixture's vocabulary layer: it imports nothing.
+package a
+
+// V is a base type shared by the layers above.
+type V int

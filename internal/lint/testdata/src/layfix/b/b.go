@@ -1,0 +1,7 @@
+// Package b sits one layer up and is allowed to import a.
+package b
+
+import "layfix/a"
+
+// Wrap lifts a base value into this layer.
+func Wrap(v a.V) [1]a.V { return [1]a.V{v} }

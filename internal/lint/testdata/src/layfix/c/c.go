@@ -1,0 +1,11 @@
+// Package c is allowed to import a but not b: its b import is the
+// layering violation this fixture exists to catch.
+package c
+
+import (
+	"layfix/a"
+	"layfix/b" // want layering
+)
+
+// Use touches both layers so the imports are live.
+func Use(v a.V) [1]a.V { return b.Wrap(v) }

@@ -1,0 +1,7 @@
+// Package d is absent from the fixture's layer table: a package the DAG
+// has never heard of is itself a finding (the table must grow in the same
+// commit that adds the package).
+package d
+
+// D exists so the package is non-empty.
+type D struct{}

@@ -1,0 +1,20 @@
+package wirefix
+
+import "testing"
+
+// FuzzDecoders seeds Good (complete contract) and the partial payloads,
+// deliberately omitting Unseeded from the corpus and DecodeUntested from
+// the body: the fixture's golden file pins both findings.
+func FuzzDecoders(f *testing.F) {
+	f.Add(Good{V: 1}.Encode())
+	f.Add(NoAppend{V: 2}.Encode())
+	f.Add(NoEncode{}.AppendTo(nil))
+	f.Add(NoDecoder{V: 3}.Encode())
+	f.Add(Untested{V: 4}.Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		DecodeGood(b)
+		DecodeNoAppend(b)
+		DecodeNoEncode(b)
+		DecodeUnseeded(b)
+	})
+}

@@ -1,0 +1,97 @@
+// Package wirefix is a wirepair fixture: one payload with the full
+// encoder/decoder/corpus contract, one for each way the contract can be
+// broken, and the shapes the rule must ignore (the envelope, plain data
+// records, unexported types).
+package wirefix
+
+// Good keeps encoder, decoder, and fuzz coverage in lockstep: no findings.
+type Good struct{ V uint8 }
+
+func (g Good) AppendTo(b []byte) []byte { return append(b, g.V) }
+func (g Good) Encode() []byte           { return g.AppendTo(nil) }
+
+// DecodeGood is the decoder pair of Good.AppendTo.
+func DecodeGood(b []byte) (Good, error) {
+	if len(b) < 1 {
+		return Good{}, errShort
+	}
+	return Good{V: b[0]}, nil
+}
+
+// NoAppend has only the allocating convenience encoder: the
+// reusable-buffer AppendTo form is missing.
+type NoAppend struct{ V uint8 }
+
+func (n NoAppend) Encode() []byte { return []byte{n.V} }
+
+// DecodeNoAppend keeps the rest of NoAppend's contract intact so the
+// missing AppendTo is its only finding.
+func DecodeNoAppend(b []byte) (NoAppend, error) {
+	if len(b) < 1 {
+		return NoAppend{}, errShort
+	}
+	return NoAppend{V: b[0]}, nil
+}
+
+// NoEncode has only the buffer form; callers without a buffer need the
+// Encode convenience pair.
+type NoEncode struct{ V uint8 }
+
+func (n NoEncode) AppendTo(b []byte) []byte { return append(b, n.V) }
+
+// DecodeNoEncode keeps the rest of NoEncode's contract intact.
+func DecodeNoEncode(b []byte) (NoEncode, error) {
+	if len(b) < 1 {
+		return NoEncode{}, errShort
+	}
+	return NoEncode{V: b[0]}, nil
+}
+
+// NoDecoder can be encoded but never decoded: the classic one-way payload.
+type NoDecoder struct{ V uint8 }
+
+func (n NoDecoder) AppendTo(b []byte) []byte { return append(b, n.V) }
+func (n NoDecoder) Encode() []byte           { return n.AppendTo(nil) }
+
+// Untested has a decoder the package's tests never call.
+type Untested struct{ V uint8 }
+
+func (u Untested) AppendTo(b []byte) []byte { return append(b, u.V) }
+func (u Untested) Encode() []byte           { return u.AppendTo(nil) }
+
+// DecodeUntested exists but no test exercises it.
+func DecodeUntested(b []byte) (Untested, error) {
+	if len(b) < 1 {
+		return Untested{}, errShort
+	}
+	return Untested{V: b[0]}, nil
+}
+
+// Unseeded has the full pair and test coverage but no f.Add corpus seed.
+type Unseeded struct{ V uint8 }
+
+func (u Unseeded) AppendTo(b []byte) []byte { return append(b, u.V) }
+func (u Unseeded) Encode() []byte           { return u.AppendTo(nil) }
+
+// DecodeUnseeded is called from the fuzz body but never seeded.
+func DecodeUnseeded(b []byte) (Unseeded, error) {
+	if len(b) < 1 {
+		return Unseeded{}, errShort
+	}
+	return Unseeded{V: b[0]}, nil
+}
+
+// Envelope mimics msg.Message: AppendWire marks it as the frame container,
+// not a control payload, so the rule skips it.
+type Envelope struct{ Body []byte }
+
+func (e *Envelope) AppendWire(b []byte) []byte { return append(b, e.Body...) }
+
+// Record is a plain data struct with no encoder at all: out of scope.
+type Record struct{ A, B uint32 }
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+const errShort = errString("short buffer")

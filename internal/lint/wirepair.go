@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WirePair machine-checks the wire-protocol hygiene of the message
+// package: every control payload type must keep its encoder, decoder, and
+// fuzz coverage in lockstep. A payload is any exported struct with an
+// Encode or AppendTo method (the envelope Message, recognized by its
+// AppendWire method, is excluded). For each payload T the rule requires:
+//
+//  1. an AppendTo([]byte) []byte reusable-buffer encoder (the hot-path
+//     form; Encode alone forces a fresh allocation per message),
+//  2. a matching top-level decoder DecodeT,
+//  3. DecodeT invoked from the package's fuzz tests, and
+//  4. a T{...} seed registered in the fuzz corpus via f.Add.
+//
+// Migration systems fail subtly when implicit state escapes the protocol;
+// a payload that can be encoded but not decoded (or that the fuzzer never
+// sees) is exactly such an escape hatch.
+type WirePair struct {
+	PkgPath string // the wire package, e.g. "demosmp/internal/msg"
+}
+
+func (WirePair) Name() string { return "wirepair" }
+
+func (w WirePair) Run(p *Pass) {
+	if p.Pkg.ImportPath != w.PkgPath {
+		return
+	}
+
+	// From non-test files: exported struct types, their methods, and
+	// top-level Decode* functions.
+	typeDecl := make(map[string]*ast.TypeSpec)
+	methods := make(map[string]map[string]bool)
+	funcs := make(map[string]bool)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					if _, isStruct := ts.Type.(*ast.StructType); isStruct {
+						typeDecl[ts.Name.Name] = ts
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					funcs[d.Name.Name] = true
+					continue
+				}
+				if len(d.Recv.List) == 1 {
+					tn := recvTypeName(d.Recv.List[0].Type)
+					if methods[tn] == nil {
+						methods[tn] = make(map[string]bool)
+					}
+					methods[tn][d.Name.Name] = true
+				}
+			}
+		}
+	}
+
+	// From test files (parsed only): every called name, and every type
+	// whose composite literal appears inside an f.Add corpus registration.
+	calledInTests := make(map[string]bool)
+	addSeeds := make(map[string]bool)
+	for _, f := range p.Pkg.TestFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := calleeName(call); name != "" {
+				calledInTests[name] = true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						cl, ok := m.(*ast.CompositeLit)
+						if !ok {
+							return true
+						}
+						if id, ok := cl.Type.(*ast.Ident); ok {
+							addSeeds[id.Name] = true
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	for name, ts := range typeDecl {
+		ms := methods[name]
+		if ms["AppendWire"] {
+			continue // the envelope, not a payload
+		}
+		if !ms["Encode"] && !ms["AppendTo"] {
+			continue // plain data record (e.g. a sub-struct of a payload)
+		}
+		switch {
+		case !ms["AppendTo"]:
+			p.Reportf(ts.Pos(), "payload %s has Encode but no AppendTo([]byte) []byte: the reusable-buffer encoder pair is missing", name)
+		case !ms["Encode"]:
+			p.Reportf(ts.Pos(), "payload %s has AppendTo but no Encode() []byte convenience form", name)
+		}
+		decoder := "Decode" + name
+		if !funcs[decoder] {
+			p.Reportf(ts.Pos(), "payload %s has no matching decoder %s: every wire encoder needs its decoder pair", name, decoder)
+			continue
+		}
+		if !calledInTests[decoder] {
+			p.Reportf(ts.Pos(), "decoder %s is never exercised by this package's fuzz/round-trip tests", decoder)
+		}
+		if !addSeeds[name] {
+			p.Reportf(ts.Pos(), "payload %s is not registered in the fuzz corpus: add an f.Add(%s{...}.Encode()) seed", name, name)
+		}
+	}
+}

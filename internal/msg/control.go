@@ -49,6 +49,8 @@ type MigrateRequest struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (r MigrateRequest) AppendTo(b []byte) []byte {
 	b = putPID(b, r.PID)
 	return binary.LittleEndian.AppendUint16(b, uint16(r.Dest))
@@ -91,6 +93,8 @@ func ToUnits(n int) uint16 {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (a MigrateAsk) AppendTo(b []byte) []byte {
 	b = putPID(b, a.PID)
 	b = binary.LittleEndian.AppendUint16(b, a.Program)
@@ -121,6 +125,8 @@ type PIDMachine struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (p PIDMachine) AppendTo(b []byte) []byte {
 	b = putPID(b, p.PID)
 	return binary.LittleEndian.AppendUint16(b, uint16(p.Machine))
@@ -149,6 +155,8 @@ type MoveDataReq struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (r MoveDataReq) AppendTo(b []byte) []byte {
 	b = putPID(b, r.PID)
 	b = append(b, byte(r.Region))
@@ -178,6 +186,8 @@ type MigrateCleanup struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (c MigrateCleanup) AppendTo(b []byte) []byte {
 	b = putPID(b, c.PID)
 	return binary.LittleEndian.AppendUint16(b, c.Forwarded)
@@ -205,6 +215,8 @@ type MigrateDone struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (d MigrateDone) AppendTo(b []byte) []byte {
 	b = putPID(b, d.PID)
 	b = binary.LittleEndian.AppendUint16(b, uint16(d.Machine))
@@ -240,6 +252,8 @@ type LinkUpdate struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (u LinkUpdate) AppendTo(b []byte) []byte {
 	b = putPID(b, u.Sender)
 	b = putPID(b, u.Migrated)
@@ -272,6 +286,8 @@ type CreateProcess struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (c CreateProcess) AppendTo(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint16(b, c.Tag)
 	b = append(b, byte(len(c.Name)))
@@ -326,6 +342,8 @@ type CreateDone struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (d CreateDone) AppendTo(b []byte) []byte {
 	b = putPID(b, d.PID)
 	b = binary.LittleEndian.AppendUint16(b, uint16(d.Machine))
@@ -358,6 +376,8 @@ type MoveRead struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (r MoveRead) AppendTo(b []byte) []byte {
 	b = putPID(b, r.PID)
 	b = binary.LittleEndian.AppendUint32(b, r.AreaOff)
@@ -390,6 +410,8 @@ type XferStatus struct {
 }
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
 func (s XferStatus) AppendTo(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint16(b, s.Xfer)
 	if s.OK {

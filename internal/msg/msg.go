@@ -184,6 +184,8 @@ type Message struct {
 // WireSize returns the number of bytes the message occupies on the wire.
 // The result is cached: Body/Links/Kind/Orig must not change size after
 // the first call (routing fields like To, Hops, Forwards may).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/msg-encode in bench_hotpath_test.go.
 func (m *Message) WireSize() int {
 	if m.wire > 0 {
 		return int(m.wire)
@@ -202,6 +204,8 @@ func (m *Message) WireSize() int {
 // AppendWire appends the full wire form of m to b and returns the extended
 // buffer — the reusable-buffer counterpart of the allocating encode path,
 // for callers that amortize one scratch buffer across many messages.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/msg-encode and BenchmarkMsgEncode.
 func (m *Message) AppendWire(b []byte) []byte { return Encode(b, m) }
 
 // Clone returns a deep copy of m. Forwarding resubmits the original message
@@ -240,6 +244,8 @@ func (m *Message) String() string {
 }
 
 // Encode appends the full wire form of m to b.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/msg-encode in bench_hotpath_test.go.
 func Encode(b []byte, m *Message) []byte {
 	b = append(b, byte(m.Kind), byte(m.Op))
 	var flags byte

@@ -302,12 +302,14 @@ func (n *Network) transit(from, to addr.MachineID, size int) sim.Time {
 // asynchronous; with a configured loss rate the frame is retransmitted
 // until acknowledged. Sending from a down machine silently drops (a crashed
 // kernel cannot transmit).
+//
+//demos:hotpath — the lossless path must stay allocation-free: checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/netw-send and BenchmarkNetwSend in bench_hotpath_test.go.
 func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 	if from == to {
-		panic(fmt.Sprintf("netw: local send %v->%v must not use the network", from, to))
+		panicLocalSend(from, to)
 	}
 	if _, ok := n.eps[to]; !ok {
-		panic(fmt.Sprintf("netw: no endpoint for machine %v", to))
+		panicNoEndpoint(to)
 	}
 	if n.down[from] {
 		return
@@ -325,8 +327,21 @@ func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 	n.transmit(from, to, m, size, id, 0)
 }
 
+// panicLocalSend and panicNoEndpoint keep fmt's formatting machinery (and
+// its interface boxing) off the annotated Send hot path; they run only on
+// programming errors.
+func panicLocalSend(from, to addr.MachineID) {
+	panic(fmt.Sprintf("netw: local send %v->%v must not use the network", from, to))
+}
+
+func panicNoEndpoint(to addr.MachineID) {
+	panic(fmt.Sprintf("netw: no endpoint for machine %v", to))
+}
+
 // getDelivery pops a pooled delivery record (or builds one, binding its
 // callback closure exactly once) and loads it with this frame.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); the pool is what keeps TestHotPathZeroAlloc/netw-send at zero allocations.
 func (n *Network) getDelivery(to addr.MachineID, m *msg.Message) *delivery {
 	d := n.delFree
 	if d == nil {
@@ -341,6 +356,8 @@ func (n *Network) getDelivery(to addr.MachineID, m *msg.Message) *delivery {
 
 // run fires a pooled delivery: it releases the record back to the pool
 // first so a nested Send inside DeliverFrame can reuse it.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/netw-send in bench_hotpath_test.go.
 func (d *delivery) run() {
 	n, to, m := d.n, d.to, d.m
 	d.m = nil
@@ -349,6 +366,7 @@ func (d *delivery) run() {
 	n.deliver(to, m)
 }
 
+//demos:hotpath — flat-array counters, no map writes: checked by demoslint (hotpathalloc) and TestHotPathZeroAlloc/netw-send.
 func (n *Network) account(from, to addr.MachineID, m *msg.Message, size int) {
 	c := &n.stats
 	c.frames++
@@ -365,6 +383,7 @@ func (n *Network) account(from, to addr.MachineID, m *msg.Message, size int) {
 	ts.BytesIn += uint64(size)
 }
 
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/netw-send in bench_hotpath_test.go.
 func (n *Network) deliver(to addr.MachineID, m *msg.Message) {
 	if n.down[to] {
 		n.stats.dropped++

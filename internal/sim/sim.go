@@ -26,6 +26,8 @@ type Time uint64
 // String formats a Time as seconds with microsecond precision. It formats
 // into a stack buffer (no fmt machinery), so trace-heavy runs pay only the
 // final string allocation.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: BenchmarkTimeString in bench_hotpath_test.go.
 func (t Time) String() string {
 	var buf [27]byte
 	b := strconv.AppendUint(buf[:0], uint64(t)/1e6, 10)
@@ -121,6 +123,7 @@ func (e *Engine) AfterWeak(d Time, name string, fn func()) Event {
 	return e.schedule(e.now+d, name, fn, true)
 }
 
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/engine-schedule in bench_hotpath_test.go.
 func (e *Engine) schedule(t Time, name string, fn func(), weak bool) Event {
 	if fn == nil {
 		panic("sim: nil event function")
@@ -166,6 +169,8 @@ func (e *Engine) Cancel(ev Event) {
 
 // freeSlot recycles an arena slot popped off the heap. Bumping the
 // generation invalidates any handles still pointing at it.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); part of every dispatch cycle measured in bench_hotpath_test.go.
 func (e *Engine) freeSlot(idx uint32) {
 	s := &e.arena[idx]
 	s.fn = nil
@@ -175,6 +180,8 @@ func (e *Engine) freeSlot(idx uint32) {
 }
 
 // heapPush inserts ent, sifting up through 4-ary parents.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc and BenchmarkEngineDispatchDepth64.
 func (e *Engine) heapPush(ent heapEnt) {
 	e.heap = append(e.heap, ent)
 	h := e.heap
@@ -191,6 +198,8 @@ func (e *Engine) heapPush(ent heapEnt) {
 }
 
 // heapPop removes and returns the minimum (time, seq) entry's arena index.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc and BenchmarkEngineDispatchDepth64.
 func (e *Engine) heapPop() uint32 {
 	h := e.heap
 	root := h[0]
@@ -227,6 +236,8 @@ func (e *Engine) heapPop() uint32 {
 }
 
 // Step fires the single next event. It reports false when the queue is empty.
+//
+//demos:hotpath — the dispatch half of the engine cycle; checked by demoslint (hotpathalloc) and TestHotPathZeroAlloc in bench_hotpath_test.go.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		idx := e.heapPop()

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Contributor gate: vet, build, race-test, and the hot-path allocation
-# guards. Run from anywhere; exits non-zero on the first failure.
+# Contributor gate: vet, lint, build, race-test, and the hot-path
+# allocation guards. Run from anywhere; exits non-zero on the first failure.
 #
 #   ./scripts/check.sh
 set -euo pipefail
@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== demoslint ./... (determinism, maporder, layering, hotpathalloc, wirepair)"
+go run ./cmd/demoslint ./...
 
 echo "== go build ./..."
 go build ./...

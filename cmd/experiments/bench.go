@@ -14,13 +14,18 @@ import (
 	"time"
 
 	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
 	"demosmp/internal/msg"
 	"demosmp/internal/netw"
 	"demosmp/internal/sim"
+	"demosmp/internal/workload"
 )
 
 // seedBaseline is the seed-repo measurement (Intel Xeon @ 2.10GHz,
-// go test -bench -benchtime 2s, before the zero-allocation overhaul).
+// go test -bench, before the zero-allocation overhaul). The kernel tier
+// was measured immediately before the kernel fast-path rewrite (pooled
+// envelopes, ring queues, dense tables) on the same machine.
 var seedBaseline = benchSample{
 	EngineScheduleNsOp:        112.9,
 	EngineDispatchDepth64NsOp: 296.7,
@@ -29,6 +34,12 @@ var seedBaseline = benchSample{
 	TimeStringNsOp:            226.8,
 	EngineScheduleAllocsOp:    1,
 	NetwSendAllocsOp:          2,
+	KernelLocalRTNsOp:         1121,
+	KernelPingPongNsOp:        1422,
+	KernelMigrationNsOp:       19689,
+	KernelForwardNsOp:         3675,
+	KernelLocalRTAllocsOp:     14,
+	KernelPingPongMsgsPerSec:  2e9 / 1422,
 }
 
 type benchSample struct {
@@ -40,7 +51,18 @@ type benchSample struct {
 	TimeStringNsOp            float64 `json:"time_string_ns_op"`
 	EngineScheduleAllocsOp    float64 `json:"engine_schedule_allocs_op"`
 	NetwSendAllocsOp          float64 `json:"netw_send_allocs_op"`
-	DispatchSpeedupVsSeed     float64 `json:"dispatch_speedup_vs_seed,omitempty"`
+	// Kernel end-to-end tier: one op is one application-visible round
+	// (same-machine round trip, cross-machine ping-pong, full 8-step
+	// migration, forwarded send), composing syscalls, routing, network,
+	// and scheduling.
+	KernelLocalRTNsOp        float64 `json:"kernel_local_rt_ns_op,omitempty"`
+	KernelPingPongNsOp       float64 `json:"kernel_pingpong_ns_op,omitempty"`
+	KernelMigrationNsOp      float64 `json:"kernel_migration_ns_op,omitempty"`
+	KernelForwardNsOp        float64 `json:"kernel_forward_ns_op,omitempty"`
+	KernelLocalRTAllocsOp    float64 `json:"kernel_local_rt_allocs_op,omitempty"`
+	KernelPingPongMsgsPerSec float64 `json:"kernel_pingpong_msgs_per_sec,omitempty"`
+	DispatchSpeedupVsSeed    float64 `json:"dispatch_speedup_vs_seed,omitempty"`
+	PingPongSpeedupVsSeed    float64 `json:"pingpong_speedup_vs_seed,omitempty"`
 }
 
 type benchFile struct {
@@ -156,8 +178,149 @@ func measureHotpath() benchSample {
 			}
 		})
 	}
+	measureKernel(&s)
 	s.DispatchSpeedupVsSeed = seedBaseline.EngineDispatchDepth64NsOp / s.EngineDispatchDepth64NsOp
+	s.PingPongSpeedupVsSeed = seedBaseline.KernelPingPongNsOp / s.KernelPingPongNsOp
 	return s
+}
+
+// --- kernel end-to-end tier (mirrors bench_hotpath_test.go) -----------------
+
+func expCluster(n int) (*sim.Engine, []*kernel.Kernel) {
+	e := sim.NewEngine(1)
+	nw := netw.New(e, netw.Config{})
+	reg := workload.Registry()
+	ks := make([]*kernel.Kernel, n)
+	for i := range ks {
+		ks[i] = kernel.New(addr.MachineID(i+1), e, nw, kernel.Config{Registry: reg})
+	}
+	return e, ks
+}
+
+// expEchoPair spawns two echo processes on machines am/bm, wires links both
+// ways, and kicks the first message; a.Rounds then counts round trips.
+func expEchoPair(ks []*kernel.Kernel, am, bm int) *workload.Echo {
+	a, b := &workload.Echo{}, &workload.Echo{}
+	apid, err := ks[am].Spawn(kernel.SpawnSpec{Body: a})
+	die(err)
+	bpid, err := ks[bm].Spawn(kernel.SpawnSpec{Body: b})
+	die(err)
+	_, err = ks[am].MintLinkTo(link.Link{Addr: addr.At(bpid, ks[bm].Machine())}, apid)
+	die(err)
+	_, err = ks[bm].MintLinkTo(link.Link{Addr: addr.At(apid, ks[am].Machine())}, bpid)
+	die(err)
+	die(ks[am].GiveMessage(apid, addr.At(bpid, ks[bm].Machine()), []byte("ping")))
+	return a
+}
+
+func expRunRounds(e *sim.Engine, a *workload.Echo, target int) {
+	for a.Rounds < target {
+		if !e.Step() {
+			die(fmt.Errorf("bench: engine idle mid ping-pong"))
+		}
+	}
+}
+
+func measureKernel(s *benchSample) {
+	// Same-machine round trip: send→deliver→receive→reply between two
+	// native processes, plus its allocation rate (0 once pools are warm).
+	{
+		e, ks := expCluster(1)
+		a := expEchoPair(ks, 0, 0)
+		expRunRounds(e, a, 256)
+		s.KernelLocalRTNsOp = timeIt(3, 500_000, func(n int) {
+			expRunRounds(e, a, a.Rounds+n)
+		})
+		s.KernelLocalRTAllocsOp = allocsPerOp(200_000, func(n int) {
+			expRunRounds(e, a, a.Rounds+n)
+		})
+	}
+	// Cross-machine ping-pong: two kernels, two frames per op. The
+	// headline msgs/sec is derived from this (2 messages per round).
+	{
+		e, ks := expCluster(2)
+		a := expEchoPair(ks, 0, 1)
+		expRunRounds(e, a, 256)
+		s.KernelPingPongNsOp = timeIt(3, 500_000, func(n int) {
+			expRunRounds(e, a, a.Rounds+n)
+		})
+		s.KernelPingPongMsgsPerSec = 2e9 / s.KernelPingPongNsOp
+	}
+	// Full 8-step migration of a blocked process, bounced between two
+	// machines: 9 admin messages plus the state transfer per op.
+	{
+		e := sim.NewEngine(1)
+		nw := netw.New(e, netw.Config{})
+		reg := workload.Registry()
+		done := 0
+		mk := func(m addr.MachineID) *kernel.Kernel {
+			return kernel.New(m, e, nw, kernel.Config{
+				Registry: reg,
+				OnReport: func(r kernel.MigrationReport) {
+					if r.OK {
+						done++
+					}
+				},
+			})
+		}
+		ks := []*kernel.Kernel{mk(1), mk(2)}
+		pid, err := ks[0].Spawn(kernel.SpawnSpec{Body: &workload.Null{}})
+		die(err)
+		cur := 0
+		migrate := func() {
+			dst := 1 - cur
+			ks[cur].RequestMigrationOf(addr.At(pid, ks[cur].Machine()), ks[dst].Machine())
+			target := done + 1
+			for done < target {
+				if !e.Step() {
+					die(fmt.Errorf("bench: engine idle mid-migration"))
+				}
+			}
+			for e.Step() { // drain the cleanup/restart tail
+			}
+			cur = dst
+		}
+		migrate() // warm both kernels
+		migrate()
+		s.KernelMigrationNsOp = timeIt(3, 5_000, func(n int) {
+			for i := 0; i < n; i++ {
+				migrate()
+			}
+		})
+	}
+	// Forwarded send: every message addressed to a stale machine, taking
+	// the §4 forwarding hop m1 → m2 (forwarder) → m3.
+	{
+		e, ks := expCluster(3)
+		pid, err := ks[1].Spawn(kernel.SpawnSpec{Body: &workload.Counter{}})
+		die(err)
+		ks[1].RequestMigrationOf(addr.At(pid, 2), 3)
+		for e.Step() {
+		}
+		bod, ok := ks[2].BodyOf(pid)
+		if !ok {
+			die(fmt.Errorf("bench: sink did not arrive on m3"))
+		}
+		sink := bod.(*workload.Counter)
+		from := addr.At(addr.ProcessID{Creator: 1, Local: 99}, 1)
+		payload := []byte("fwd")
+		for i := 0; i < 16; i++ {
+			ks[0].GiveMessageTo(addr.At(pid, 2), from, payload)
+		}
+		for e.Step() {
+		}
+		s.KernelForwardNsOp = timeIt(3, 200_000, func(n int) {
+			base := sink.Seen
+			for i := 0; i < n; i++ {
+				ks[0].GiveMessageTo(addr.At(pid, 2), from, payload)
+				for sink.Seen == base+i {
+					if !e.Step() {
+						die(fmt.Errorf("bench: engine idle before delivery"))
+					}
+				}
+			}
+		})
+	}
 }
 
 type benchEP struct{}
@@ -203,8 +366,86 @@ func benchJSON(path string) {
 	row("netw lossless send+deliver", seedBaseline.NetwSendNsOp, run.NetwSendNsOp)
 	row("msg encode (reused buffer)", seedBaseline.MsgEncodeNsOp, run.MsgEncodeNsOp)
 	row("sim.Time.String", seedBaseline.TimeStringNsOp, run.TimeStringNsOp)
+	row("kernel local round trip", seedBaseline.KernelLocalRTNsOp, run.KernelLocalRTNsOp)
+	row("kernel cross-machine ping-pong", seedBaseline.KernelPingPongNsOp, run.KernelPingPongNsOp)
+	row("kernel full migration (8 steps)", seedBaseline.KernelMigrationNsOp, run.KernelMigrationNsOp)
+	row("kernel forwarded send (§4 hop)", seedBaseline.KernelForwardNsOp, run.KernelForwardNsOp)
+	fmt.Printf("| kernel ping-pong msgs/sec | %.2fM | %.2fM | %.1fx |\n",
+		seedBaseline.KernelPingPongMsgsPerSec/1e6, run.KernelPingPongMsgsPerSec/1e6,
+		run.KernelPingPongMsgsPerSec/seedBaseline.KernelPingPongMsgsPerSec)
 	fmt.Printf("| engine allocs/op | %.0f | %.0f | |\n",
 		seedBaseline.EngineScheduleAllocsOp, run.EngineScheduleAllocsOp)
 	fmt.Printf("| netw send allocs/op | %.0f | %.0f | |\n",
 		seedBaseline.NetwSendAllocsOp, run.NetwSendAllocsOp)
+	fmt.Printf("| kernel round-trip allocs/op | %.0f | %.0f | |\n",
+		seedBaseline.KernelLocalRTAllocsOp, run.KernelLocalRTAllocsOp)
+}
+
+// trackedRows lists every ns/op metric the regression gate watches.
+func trackedRows(s *benchSample) []struct {
+	name string
+	val  float64
+} {
+	return []struct {
+		name string
+		val  float64
+	}{
+		{"engine schedule (empty queue)", s.EngineScheduleNsOp},
+		{"event dispatch (depth 64)", s.EngineDispatchDepth64NsOp},
+		{"netw lossless send+deliver", s.NetwSendNsOp},
+		{"msg encode (reused buffer)", s.MsgEncodeNsOp},
+		{"sim.Time.String", s.TimeStringNsOp},
+		{"kernel local round trip", s.KernelLocalRTNsOp},
+		{"kernel cross-machine ping-pong", s.KernelPingPongNsOp},
+		{"kernel full migration (8 steps)", s.KernelMigrationNsOp},
+		{"kernel forwarded send (§4 hop)", s.KernelForwardNsOp},
+	}
+}
+
+// checkRegression re-measures the hot paths and compares each tracked
+// ns/op against the most recent run recorded in path, exiting nonzero if
+// any regresses by more than 20%. Read-only: the trajectory file is not
+// appended to, so the gate can run repeatedly without polluting history.
+func checkRegression(path string) {
+	data, err := os.ReadFile(path)
+	die(err)
+	var f benchFile
+	die(json.Unmarshal(data, &f))
+	if len(f.Runs) == 0 {
+		die(fmt.Errorf("check-regression: %s has no recorded runs", path))
+	}
+	prev := f.Runs[len(f.Runs)-1]
+	// Measure twice and keep the elementwise best: the gate compares
+	// against a single recorded run, so it needs more noise shedding than
+	// the trajectory append does.
+	cur := measureHotpath()
+	second := measureHotpath()
+	curRows, secondRows := trackedRows(&cur), trackedRows(&second)
+	for i := range curRows {
+		if secondRows[i].val < curRows[i].val {
+			curRows[i].val = secondRows[i].val
+		}
+	}
+	prevRows := trackedRows(&prev)
+	bad := 0
+	fmt.Printf("regression check vs last recorded run in %s (%s)\n\n", path, prev.Timestamp)
+	for i, pr := range prevRows {
+		c := curRows[i].val
+		if pr.val == 0 {
+			fmt.Printf("%-34s %29s\n", pr.name, "no recorded baseline, skipped")
+			continue
+		}
+		delta := (c/pr.val - 1) * 100
+		mark := ""
+		if delta > 20 {
+			bad++
+			mark = "  <-- REGRESSION"
+		}
+		fmt.Printf("%-34s %9.1f -> %9.1f ns/op (%+5.1f%%)%s\n", pr.name, pr.val, c, delta, mark)
+	}
+	if bad > 0 {
+		fmt.Printf("\n%d tracked metric(s) regressed more than 20%%\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall tracked metrics within 20%% of the last recorded run\n")
 }

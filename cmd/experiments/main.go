@@ -30,8 +30,9 @@ import (
 )
 
 var (
-	runFlag       = flag.String("run", "", "comma-separated experiment ids (default: all)")
-	benchJSONFlag = flag.String("bench-json", "", "measure the simulator hot paths and append to this JSON trajectory file, then exit")
+	runFlag             = flag.String("run", "", "comma-separated experiment ids (default: all)")
+	benchJSONFlag       = flag.String("bench-json", "", "measure the simulator hot paths and append to this JSON trajectory file, then exit")
+	checkRegressionFlag = flag.Bool("check-regression", false, "re-measure the hot paths and exit nonzero if any tracked ns/op regressed >20% vs the last run recorded in -bench-json (default BENCH_hotpath.json)")
 )
 
 type experiment struct {
@@ -42,6 +43,14 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	if *checkRegressionFlag {
+		path := *benchJSONFlag
+		if path == "" {
+			path = "BENCH_hotpath.json"
+		}
+		checkRegression(path)
+		return
+	}
 	if *benchJSONFlag != "" {
 		benchJSON(*benchJSONFlag)
 		return

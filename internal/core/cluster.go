@@ -148,7 +148,7 @@ func machineList(n int) []addr.MachineID {
 }
 
 func buildRegistry(opts Options) *proc.Registry {
-	reg := proc.NewRegistry()
+	reg := workload.Registry()
 	reg.Register(switchboard.Kind, func() proc.Body { return switchboard.New() })
 	reg.Register(procmgr.Kind, func() proc.Body { return procmgr.New(nil) })
 	reg.Register(memsched.Kind, func() proc.Body { return memsched.New() })
@@ -158,10 +158,6 @@ func buildRegistry(opts Options) *proc.Registry {
 	reg.Register(fs.DirKind, func() proc.Body { return fs.NewDir() })
 	reg.Register(fs.ClientKind, func() proc.Body { return &fs.Client{} })
 	reg.Register(shell.Kind, func() proc.Body { return shell.New() })
-	reg.Register(workload.SinkKind, func() proc.Body { return &workload.Sink{} })
-	reg.Register(workload.ChatterKind, func() proc.Body { return &workload.Chatter{} })
-	reg.Register(workload.LinkHolderKind, func() proc.Body { return &workload.LinkHolder{} })
-	reg.Register(workload.StageKind, func() proc.Body { return &workload.Stage{} })
 	return reg
 }
 

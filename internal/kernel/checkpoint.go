@@ -108,7 +108,7 @@ func (k *Kernel) Revive(checkpoint []byte) (addr.ProcessID, error) {
 			return addr.NilPID, fmt.Errorf("kernel %v: %v already exists here", k.machine, pid)
 		}
 		k.stats.ForwarderBytes -= ForwarderWireSize
-		delete(k.procs, pid)
+		k.delProc(pid)
 	}
 	res, err := decodeResident(resident)
 	if err != nil {
@@ -153,7 +153,7 @@ func (k *Kernel) Revive(checkpoint []byte) (addr.ProcessID, error) {
 		commTo:     make(map[addr.MachineID]uint64),
 		commDelta:  make(map[addr.MachineID]uint64),
 	}
-	k.procs[pid] = p
+	k.addProc(p)
 	k.stats.Revived++
 	k.trace(trace.CatMigrate, "revive", fmt.Sprintf("%v as %v from %dB checkpoint",
 		pid, state, len(checkpoint)))

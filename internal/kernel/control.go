@@ -10,7 +10,10 @@ import (
 
 // kernelMsg handles a message received by the kernel itself: frames
 // addressed to the kernel pseudo-process, and DELIVERTOKERNEL messages that
-// arrived at a local process's queue (§2.2).
+// arrived at a local process's queue (§2.2). The caller owns m and releases
+// it afterwards; handlers must not retain m or aliases of its Body.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) kernelMsg(m *msg.Message) {
 	switch m.Kind {
 	case msg.KindLinkUpdate:
@@ -59,7 +62,7 @@ func (k *Kernel) kernelControl(m *msg.Message) {
 	case msg.OpResume:
 		k.handleResume(m)
 	case msg.OpKill:
-		if p, ok := k.procs[m.To.ID]; ok && p.state != StateForwarder {
+		if p := k.lookup(m.To.ID); p != nil && p.state != StateForwarder {
 			k.stats.Kills++
 			k.terminate(p, -1, fmt.Errorf("killed by %v", m.From.ID))
 		}
@@ -90,8 +93,8 @@ func (k *Kernel) kernelControl(m *msg.Message) {
 }
 
 func (k *Kernel) handleSuspend(m *msg.Message) {
-	p, ok := k.procs[m.To.ID]
-	if !ok || p.state == StateForwarder {
+	p := k.lookup(m.To.ID)
+	if p == nil || p.state == StateForwarder {
 		return
 	}
 	switch p.state {
@@ -107,11 +110,11 @@ func (k *Kernel) handleSuspend(m *msg.Message) {
 }
 
 func (k *Kernel) handleResume(m *msg.Message) {
-	p, ok := k.procs[m.To.ID]
-	if !ok || p.state != StateSuspended {
+	p := k.lookup(m.To.ID)
+	if p == nil || p.state != StateSuspended {
 		return
 	}
-	if p.prevState == StateWaiting && len(p.queue) == 0 {
+	if p.prevState == StateWaiting && p.queue.Len() == 0 {
 		p.state = StateWaiting
 	} else {
 		k.enqueueRun(p)
@@ -140,9 +143,7 @@ func (k *Kernel) handleCreateProcess(m *msg.Message) {
 
 func (k *Kernel) replyCreateDone(to addr.ProcessAddr, pid addr.ProcessID, tag uint16) {
 	d := msg.CreateDone{PID: pid, Machine: k.machine, Tag: tag}
-	k.route(&msg.Message{
-		Kind: msg.KindControl, Op: msg.OpCreateDone,
-		From: addr.KernelAddr(k.machine), To: to,
-		Body: d.Encode(),
-	})
+	m := k.newControl(msg.OpCreateDone, to)
+	m.Body = d.AppendTo(m.Body[:0])
+	k.route(m)
 }

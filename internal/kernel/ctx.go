@@ -13,11 +13,16 @@ import (
 	"demosmp/internal/trace"
 )
 
-// procCtx is the kernel-call interface handed to a body for one Step.
+// procCtx is the kernel-call interface handed to a body for one Step. The
+// kernel owns a single reusable instance (sliceCtx, prebound as ctxI):
+// runSlice repoints it at the scheduled process, and recvd accumulates the
+// pooled envelopes handed out by Recv this slice so they can be released
+// when Step returns.
 type procCtx struct {
 	k           *Kernel
 	p           *Process
 	msgsHandled int
+	recvd       []*msg.Message
 }
 
 var _ proc.Context = (*procCtx)(nil)
@@ -38,22 +43,27 @@ func (c *procCtx) SendOp(on link.ID, op msg.Op, body []byte) error {
 	return c.send(on, msg.KindControl, op, body, nil)
 }
 
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (c *procCtx) send(on link.ID, kind msg.Kind, op msg.Op, body []byte, carry []link.ID) error {
 	l, ok := c.p.links.Get(on)
 	if !ok {
-		return fmt.Errorf("kernel: %v has no link %v", c.p.id, on)
+		return c.errNoLink(on)
 	}
-	m := &msg.Message{
-		Kind: kind, Op: op,
-		From: addr.At(c.p.id, c.k.machine),
-		To:   l.Addr,
-		DTK:  l.Attrs&link.AttrDeliverToKernel != 0,
-		Body: append([]byte(nil), body...),
-	}
+	k := c.k
+	m := k.getMsg()
+	m.Kind = kind
+	m.Op = op
+	m.From = addr.At(c.p.id, k.machine)
+	m.To = l.Addr
+	m.DTK = l.Attrs&link.AttrDeliverToKernel != 0
+	b := m.Body[:0]
+	b = append(b, body...)
+	m.Body = b
 	for _, cid := range carry {
 		cl, ok := c.p.links.Get(cid)
 		if !ok {
-			return fmt.Errorf("kernel: %v carries unknown link %v", c.p.id, cid)
+			k.putMsg(m)
+			return c.errUnknownCarry(cid)
 		}
 		m.Links = append(m.Links, cl)
 		if cl.Attrs&link.AttrReply != 0 {
@@ -69,26 +79,34 @@ func (c *procCtx) send(on link.ID, kind msg.Kind, op msg.Op, body []byte, carry 
 	c.p.msgsDelta++
 	c.p.commTo[l.Addr.LastKnown]++
 	c.p.commDelta[l.Addr.LastKnown]++
-	c.k.route(m)
+	k.route(m)
 	return nil
 }
 
+// errNoLink / errUnknownCarry hold send's fmt work off the hot path.
+func (c *procCtx) errNoLink(on link.ID) error {
+	return fmt.Errorf("kernel: %v has no link %v", c.p.id, on)
+}
+
+func (c *procCtx) errUnknownCarry(cid link.ID) error {
+	return fmt.Errorf("kernel: %v carries unknown link %v", c.p.id, cid)
+}
+
+// Recv pops the next queued message. The returned Delivery's Body (and
+// Data) alias the message envelope, which is recycled when Step returns —
+// bodies that retain payload bytes across steps must copy them out.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (c *procCtx) Recv() (proc.Delivery, bool) {
-	if len(c.p.queue) == 0 {
+	if c.p.queue.Len() == 0 {
 		return proc.Delivery{}, false
 	}
-	m := c.p.queue[0]
-	c.p.queue = c.p.queue[1:]
+	m := c.p.queue.pop()
+	c.recvd = append(c.recvd, m)
 	c.msgsHandled++
 	d := proc.Delivery{From: m.From, Body: m.Body, Op: m.Op}
-	for _, l := range m.Links {
-		id, err := c.p.links.Insert(l)
-		if err != nil {
-			c.k.trace(trace.CatDeliver, "carried-link-dropped",
-				fmt.Sprintf("%v: %v", c.p.id, err))
-			break
-		}
-		d.Carried = append(d.Carried, id)
+	if len(m.Links) > 0 {
+		c.insertCarried(m, &d)
 	}
 	if m.Kind == msg.KindControl {
 		switch m.Op {
@@ -108,6 +126,20 @@ func (c *procCtx) Recv() (proc.Delivery, bool) {
 		}
 	}
 	return d, true
+}
+
+// insertCarried moves a message's carried links into the receiver's table
+// (cold: only messages that actually carry links get here).
+func (c *procCtx) insertCarried(m *msg.Message, d *proc.Delivery) {
+	for _, l := range m.Links {
+		id, err := c.p.links.Insert(l)
+		if err != nil {
+			c.k.trace(trace.CatDeliver, "carried-link-dropped",
+				fmt.Sprintf("%v: %v", c.p.id, err))
+			break
+		}
+		d.Carried = append(d.Carried, id)
+	}
 }
 
 func (c *procCtx) CreateLink(attrs link.Attr, area link.DataArea) (link.ID, error) {
@@ -154,10 +186,12 @@ func (c *procCtx) MoveTo(on link.ID, off uint32, data []byte, userXfer uint16) e
 			off, len(data), l.Area.Length)
 	}
 	kx := c.k.newXferID()
-	n := c.k.streamWrite(l.Addr, kx, l.Area.Offset+off, data)
-	c.k.moveOps[kx] = moveOp{
+	base := l.Area.Offset + off
+	n := c.k.streamWrite(l.Addr, kx, base, data)
+	c.k.moveOps[kx] = &moveOp{
 		initiator: c.p.id, userXfer: userXfer,
-		packets: n, acked: make(map[uint32]bool),
+		packets: n, base: base, pkt: c.k.cfg.DataPacket,
+		acked: make([]uint64, (n+63)/64),
 	}
 	return nil
 }
@@ -234,9 +268,17 @@ func (c *procCtx) SetTimer(d sim.Time, tag uint16) {
 }
 
 func (c *procCtx) Print(b []byte) {
+	if len(c.k.console[c.p.id]) >= ConsoleLineCap {
+		// Bounded per-PID console: a chatty process cannot grow kernel
+		// memory without limit. Drops are counted, not silent.
+		c.k.stats.ConsoleDropped++
+		return
+	}
 	line := string(b)
 	c.k.console[c.p.id] = append(c.k.console[c.p.id], line)
-	c.k.trace(trace.CatConsole, "print", fmt.Sprintf("%v: %s", c.p.id, strings.TrimRight(line, "\n")))
+	if c.k.traceOn {
+		c.k.trace(trace.CatConsole, "print", fmt.Sprintf("%v: %s", c.p.id, strings.TrimRight(line, "\n")))
+	}
 }
 
 func (c *procCtx) Logf(format string, args ...any) {

@@ -11,6 +11,8 @@ import (
 // route submits a message to the delivery system. The destination machine
 // is the (possibly stale) last-known-machine hint in the process address;
 // staleness is repaired downstream by forwarding addresses (§4).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) route(m *msg.Message) {
 	if k.crashed {
 		return
@@ -20,9 +22,7 @@ func (k *Kernel) route(m *msg.Message) {
 		m.SentAt = k.eng.Now()
 	}
 	if m.To.LastKnown == k.machine {
-		k.eng.After(k.cfg.LocalLatency, "kernel:local-deliver", func() {
-			k.deliverLocal(m)
-		})
+		k.eng.After(k.cfg.LocalLatency, "kernel:local-deliver", k.getPending(m, false).fn)
 		return
 	}
 	k.net.Send(k.machine, m.To.LastKnown, m)
@@ -37,14 +37,19 @@ func (k *Kernel) DeliverFrame(m *msg.Message) {
 }
 
 // deliverLocal is the paper's "normal message delivery system tries to find
-// a process when a message arrives for it" (§3.1 step 7).
+// a process when a message arrives for it" (§3.1 step 7). Messages the
+// kernel consumes here are released back to the envelope pool; messages
+// that keep flowing (forwarded, enqueued, held) are not.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) deliverLocal(m *msg.Message) {
 	if m.To.ID.IsKernel() {
 		k.kernelMsg(m)
+		k.putMsg(m)
 		return
 	}
-	p, ok := k.procs[m.To.ID]
-	if !ok {
+	p := k.lookup(m.To.ID)
+	if p == nil {
 		k.unknownProcess(m)
 		return
 	}
@@ -55,10 +60,10 @@ func (k *Kernel) deliverLocal(m *msg.Message) {
 		// §3.1 step 1: "Messages arriving for the migrating process,
 		// including DELIVERTOKERNEL messages, will be placed on its
 		// message queue."
-		p.queue = append(p.queue, m)
+		p.queue.push(m)
 		k.stats.MsgsHeld++
-		if len(p.queue) > p.queueHighWater {
-			p.queueHighWater = len(p.queue)
+		if p.queue.Len() > p.queueHighWater {
+			p.queueHighWater = p.queue.Len()
 		}
 	default:
 		if m.DTK {
@@ -66,6 +71,7 @@ func (k *Kernel) deliverLocal(m *msg.Message) {
 			// queue, the message is received by the kernel on that
 			// processor."
 			k.kernelMsg(m)
+			k.putMsg(m)
 			return
 		}
 		k.enqueue(p, m)
@@ -73,12 +79,16 @@ func (k *Kernel) deliverLocal(m *msg.Message) {
 }
 
 // enqueue places a message on a process's queue and wakes it if waiting.
+// The message is released after the receiving body's next Step returns
+// (see runSlice), since the Delivery handed out by Recv aliases its Body.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) enqueue(p *Process, m *msg.Message) {
-	p.queue = append(p.queue, m)
+	p.queue.push(m)
 	p.msgsIn++
 	k.stats.MsgsEnqueued++
-	if len(p.queue) > p.queueHighWater {
-		p.queueHighWater = len(p.queue)
+	if p.queue.Len() > p.queueHighWater {
+		p.queueHighWater = p.queue.Len()
 	}
 	if p.state == StateWaiting {
 		k.enqueueRun(p)
@@ -89,16 +99,26 @@ func (k *Kernel) enqueue(p *Process, m *msg.Message) {
 // 4-1): "the machine address of the message is updated and the message is
 // resubmitted to the message delivery system. As a byproduct of forwarding,
 // an attempt may be made to fix up the link of the sending process."
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) forward(f *Process, m *msg.Message) {
 	m.To.LastKnown = f.fwdTo
 	m.Forwards++
 	k.stats.Forwarded++
-	k.trace(trace.CatForward, "forward",
-		fmt.Sprintf("%v for %v -> %v (hop %d)", m.Kind, m.To.ID, f.fwdTo, m.Forwards))
+	if k.traceOn {
+		k.traceForward(m, f.fwdTo)
+	}
 	k.route(m)
 	if k.shouldSendLinkUpdate(m) {
 		k.sendLinkUpdate(m.From, m.To.ID, f.fwdTo)
 	}
+}
+
+// traceForward is the cold formatting half of forward, hoisted out of the
+// hot path so the fmt work only happens when a tracer is attached.
+func (k *Kernel) traceForward(m *msg.Message, to addr.MachineID) {
+	k.trace(trace.CatForward, "forward",
+		fmt.Sprintf("%v for %v -> %v (hop %d)", m.Kind, m.To.ID, to, m.Forwards))
 }
 
 // shouldSendLinkUpdate filters which forwards generate the §5 update
@@ -121,19 +141,26 @@ func (k *Kernel) shouldSendLinkUpdate(m *msg.Message) bool {
 // process that sent the forwarded message. It is addressed to the sender's
 // process address with DELIVERTOKERNEL semantics, so it chases a sender
 // that has itself migrated.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) sendLinkUpdate(sender addr.ProcessAddr, migrated addr.ProcessID, newMachine addr.MachineID) {
 	u := msg.LinkUpdate{Sender: sender.ID, Migrated: migrated, Machine: newMachine}
-	m := &msg.Message{
-		Kind: msg.KindLinkUpdate,
-		From: addr.KernelAddr(k.machine),
-		To:   sender,
-		DTK:  true,
-		Body: u.Encode(),
-	}
+	m := k.getMsg()
+	m.Kind = msg.KindLinkUpdate
+	m.From = addr.KernelAddr(k.machine)
+	m.To = sender
+	m.DTK = true
+	m.Body = u.AppendTo(m.Body[:0])
 	k.stats.LinkUpdatesSent++
-	k.trace(trace.CatLinkUpdate, "linkupdate-sent",
-		fmt.Sprintf("to kernel of %v: %v is now on %v", sender.ID, migrated, newMachine))
+	if k.traceOn {
+		k.traceLinkUpdateSent(sender.ID, migrated, newMachine)
+	}
 	k.route(m)
+}
+
+func (k *Kernel) traceLinkUpdateSent(sender, migrated addr.ProcessID, newMachine addr.MachineID) {
+	k.trace(trace.CatLinkUpdate, "linkupdate-sent",
+		fmt.Sprintf("to kernel of %v: %v is now on %v", sender, migrated, newMachine))
 }
 
 // applyLinkUpdate rewrites the sender's link table (§5): "All links in the
@@ -146,13 +173,13 @@ func (k *Kernel) applyLinkUpdate(m *msg.Message) {
 		return
 	}
 	k.stats.LinkUpdatesApplied++
-	p, ok := k.procs[u.Sender]
-	if !ok || p.links == nil {
+	p := k.lookup(u.Sender)
+	if p == nil || p.links == nil {
 		return // sender gone; nothing to fix
 	}
 	n := p.links.UpdateAddr(u.Migrated, u.Machine)
 	k.stats.LinksFixed += uint64(n)
-	if n > 0 {
+	if n > 0 && k.traceOn {
 		k.trace(trace.CatLinkUpdate, "linkupdate-applied",
 			fmt.Sprintf("%d links of %v now point at %v on %v", n, u.Sender, u.Migrated, u.Machine))
 	}
@@ -181,11 +208,14 @@ func (k *Kernel) applyEagerUpdate(m *msg.Message) {
 // baseline — it migrated away without leaving a forwarding address.
 func (k *Kernel) unknownProcess(m *msg.Message) {
 	if k.cfg.Mode == ModeReturnToSender && k.shouldSendLinkUpdate(m) {
-		k.bounce(m)
+		k.bounce(m) // m lives on as the bounce's Orig
 		return
 	}
 	k.stats.DeadLetters++
-	k.trace(trace.CatDeliver, "dead-letter", fmt.Sprintf("%v for %v", m.Kind, m.To.ID))
+	if k.traceOn {
+		k.trace(trace.CatDeliver, "dead-letter", fmt.Sprintf("%v for %v", m.Kind, m.To.ID))
+	}
+	k.putMsg(m)
 }
 
 // bounce implements the §4 alternative: "return messages to their senders
@@ -193,39 +223,54 @@ func (k *Kernel) unknownProcess(m *msg.Message) {
 // location of the process, perhaps by notifying the process manager."
 func (k *Kernel) bounce(m *msg.Message) {
 	k.stats.Bounced++
-	k.trace(trace.CatForward, "bounce", fmt.Sprintf("%v for %v returned to m%d",
-		m.Kind, m.To.ID, uint16(m.From.LastKnown)))
-	nd := &msg.Message{
-		Kind: msg.KindControl, Op: msg.OpNotDeliverable,
-		From: addr.KernelAddr(k.machine),
-		To:   addr.KernelAddr(m.From.LastKnown),
-		Orig: m,
+	if k.traceOn {
+		k.trace(trace.CatForward, "bounce", fmt.Sprintf("%v for %v returned to m%d",
+			m.Kind, m.To.ID, uint16(m.From.LastKnown)))
 	}
+	nd := k.getMsg()
+	nd.Kind = msg.KindControl
+	nd.Op = msg.OpNotDeliverable
+	nd.From = addr.KernelAddr(k.machine)
+	nd.To = addr.KernelAddr(m.From.LastKnown)
+	nd.Orig = m
 	k.route(nd)
 }
 
 // handleNotDeliverable runs on the sending kernel: hold the message, ask
-// the process manager where the process went, resend on reply.
+// the process manager where the process went, resend on reply. The per-PID
+// hold buffer is bounded: past PendingLocateCap the oldest intent is
+// preserved and the newcomer is dropped (counted in LocateDropped), so a
+// sender spamming a dead PID cannot grow kernel memory without limit.
 func (k *Kernel) handleNotDeliverable(m *msg.Message) {
 	orig := m.Orig
 	if orig == nil {
 		return
 	}
 	pid := orig.To.ID
+	if k.cfg.PMLink.IsNil() {
+		// Nobody to ask: the message is undeliverable for good. Holding
+		// it would leak an envelope per bounce.
+		k.stats.DeadLetters++
+		k.putMsg(orig)
+		return
+	}
+	if len(k.pendingLocate[pid]) >= PendingLocateCap {
+		k.stats.LocateDropped++
+		k.stats.DeadLetters++
+		k.putMsg(orig)
+		return
+	}
 	k.pendingLocate[pid] = append(k.pendingLocate[pid], orig)
 	if len(k.pendingLocate[pid]) > 1 {
 		return // locate already outstanding
 	}
-	if k.cfg.PMLink.IsNil() {
-		k.stats.DeadLetters++
-		return
-	}
 	k.stats.LocateRequests++
-	req := &msg.Message{
-		Kind: msg.KindControl, Op: msg.OpLocate,
-		From: addr.KernelAddr(k.machine), To: k.cfg.PMLink.Addr,
-		Body: addr.EncodePID(nil, pid),
-	}
+	req := k.getMsg()
+	req.Kind = msg.KindControl
+	req.Op = msg.OpLocate
+	req.From = addr.KernelAddr(k.machine)
+	req.To = k.cfg.PMLink.Addr
+	req.Body = addr.EncodePID(req.Body[:0], pid)
 	k.route(req)
 }
 
@@ -240,11 +285,14 @@ func (k *Kernel) handleLocateReply(m *msg.Message) {
 	delete(k.pendingLocate, pm.PID)
 	if pm.Machine == addr.NoMachine {
 		k.stats.DeadLetters += uint64(len(held))
+		for _, orig := range held {
+			k.putMsg(orig)
+		}
 		return
 	}
 	for _, orig := range held {
 		orig.To.LastKnown = pm.Machine
-		if p, ok := k.procs[orig.From.ID]; ok && p.links != nil {
+		if p := k.lookup(orig.From.ID); p != nil && p.links != nil {
 			k.stats.LinksFixed += uint64(p.links.UpdateAddr(pm.PID, pm.Machine))
 		}
 		k.stats.Resubmitted++
@@ -256,11 +304,12 @@ func (k *Kernel) handleLocateReply(m *msg.Message) {
 // forwarding addresses "by means of pointers backwards along the path of
 // migration".
 func (k *Kernel) sendDeathNoticeTo(pid addr.ProcessID, to addr.MachineID) {
-	m := &msg.Message{
-		Kind: msg.KindControl, Op: msg.OpDeathNotice,
-		From: addr.KernelAddr(k.machine), To: addr.KernelAddr(to),
-		Body: msg.PIDMachine{PID: pid, Machine: k.machine}.Encode(),
-	}
+	m := k.getMsg()
+	m.Kind = msg.KindControl
+	m.Op = msg.OpDeathNotice
+	m.From = addr.KernelAddr(k.machine)
+	m.To = addr.KernelAddr(to)
+	m.Body = msg.PIDMachine{PID: pid, Machine: k.machine}.AppendTo(m.Body[:0])
 	k.route(m)
 }
 
@@ -269,11 +318,11 @@ func (k *Kernel) handleDeathNotice(m *msg.Message) {
 	if err != nil {
 		return
 	}
-	p, ok := k.procs[pm.PID]
-	if !ok || p.state != StateForwarder {
+	p := k.lookup(pm.PID)
+	if p == nil || p.state != StateForwarder {
 		return
 	}
-	delete(k.procs, pm.PID)
+	k.delProc(pm.PID)
 	k.stats.ForwardersReclaimed++
 	k.stats.ForwarderBytes -= ForwarderWireSize
 	k.trace(trace.CatForward, "forwarder-reclaimed", pm.PID.String())

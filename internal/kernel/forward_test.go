@@ -275,14 +275,14 @@ func TestEagerUpdateAblation(t *testing.T) {
 	// The idle holder's link was fixed without it ever sending — the
 	// defining difference from lazy updating.
 	fixed := false
-	for _, l := range c.k(3).LinksOf(holder) {
+	c.k(3).VisitLinks(holder, func(_ link.ID, l link.Link) {
 		if l.Addr.ID == server {
 			if l.Addr.LastKnown != 2 {
 				t.Fatalf("holder link still stale: %v", l)
 			}
 			fixed = true
 		}
-	}
+	})
 	if !fixed {
 		t.Fatal("holder lost its link")
 	}

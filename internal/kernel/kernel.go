@@ -190,7 +190,7 @@ type Process struct {
 	body       proc.Body
 	kind       string
 	links      *link.Table
-	queue      []*msg.Message
+	queue      ring[*msg.Message]
 	image      *memory.Image
 	privileged bool
 	cameFrom   addr.MachineID // previous host, for death-notice GC
@@ -274,10 +274,32 @@ type Kernel struct {
 
 	procs   map[addr.ProcessID]*Process
 	nextUID addr.LocalUID
-	runq    []*Process
+	runq    ring[*Process]
+
+	// local is a dense fast path in front of procs for pids this machine
+	// created: local UIDs are small and kernel-allocated, so the common
+	// delivery lookup is one bounds check instead of a map probe. procs
+	// stays authoritative; local is a cache maintained by addProc/delProc.
+	local []*Process
+
+	// pool recycles message envelopes on the kernel-to-kernel fast path.
+	// nil when the network is lossy: the ARQ retains message pointers for
+	// retransmission, which is incompatible with recycling.
+	pool *msg.Pool
+	// pendingFree recycles deferred-delivery records (local latency hops
+	// and paced data packets), mirroring netw's pooled delivery records.
+	pendingFree *pending
 
 	cpuFreeAt   sim.Time
 	sliceQueued bool
+
+	// runSliceFn and sliceCtx are bound once so arming a slice and running
+	// a body allocate nothing: a method value or a fresh procCtx per slice
+	// would otherwise be the scheduler's per-slice garbage.
+	runSliceFn func()
+	sliceCtx   procCtx
+	ctxI       proc.Context
+	traceOn    bool
 
 	memUsed int
 	swap    *memory.Store
@@ -286,7 +308,7 @@ type Kernel struct {
 	in       map[addr.ProcessID]*inMigration
 	nextXfer uint16
 	xfersIn  map[uint16]*inStream // inbound streams, keyed by locally-allocated xfer id
-	moveOps  map[uint16]moveOp    // outbound move-data writes awaiting completion
+	moveOps  map[uint16]*moveOp   // outbound move-data writes awaiting completion
 
 	pendingLocate map[addr.ProcessID][]*msg.Message
 	console       map[addr.ProcessID][]string
@@ -319,12 +341,19 @@ func New(m addr.MachineID, eng *sim.Engine, net *netw.Network, cfg Config) *Kern
 		out:           make(map[addr.ProcessID]*outMigration),
 		in:            make(map[addr.ProcessID]*inMigration),
 		xfersIn:       make(map[uint16]*inStream),
-		moveOps:       make(map[uint16]moveOp),
+		moveOps:       make(map[uint16]*moveOp),
 		pendingLocate: make(map[addr.ProcessID][]*msg.Message),
 		console:       make(map[addr.ProcessID][]string),
 		exits:         make(map[addr.ProcessID]ExitInfo),
 		stats:         newStats(),
 	}
+	if !net.Lossy() {
+		k.pool = msg.NewPool()
+	}
+	k.runSliceFn = k.runSlice
+	k.sliceCtx.k = k
+	k.ctxI = &k.sliceCtx
+	k.traceOn = cfg.Tracer != nil
 	net.Attach(m, k)
 	if cfg.LoadReportEvery > 0 {
 		k.scheduleLoadReport()
@@ -430,7 +459,7 @@ func (k *Kernel) Spawn(spec SpawnSpec) (addr.ProcessID, error) {
 		mh.SetImage(img)
 	}
 	k.memUsed += imgSize
-	k.procs[pid] = p
+	k.addProc(p)
 	k.stats.Spawned++
 	k.relieveMemory()
 	k.trace(trace.CatProc, "spawn", fmt.Sprintf("%v kind=%s image=%dB links=%d", pid, p.kind, imgSize, p.links.Len()))
@@ -440,12 +469,12 @@ func (k *Kernel) Spawn(spec SpawnSpec) (addr.ProcessID, error) {
 
 // Process returns a snapshot of a local process (or forwarder).
 func (k *Kernel) Process(pid addr.ProcessID) (ProcInfo, bool) {
-	p, ok := k.procs[pid]
-	if !ok {
+	p := k.lookup(pid)
+	if p == nil {
 		return ProcInfo{}, false
 	}
 	info := ProcInfo{
-		PID: p.id, State: p.state, Kind: p.kind, QueueLen: len(p.queue),
+		PID: p.id, State: p.state, Kind: p.kind, QueueLen: p.queue.Len(),
 		CPUUsed: p.cpuUsed, MsgsIn: p.msgsIn, MsgsOut: p.msgsOut,
 		FwdTo: p.fwdTo, Privileged: p.privileged,
 	}
@@ -469,14 +498,28 @@ func (k *Kernel) Processes() []ProcInfo {
 	return out
 }
 
+// VisitLinks calls fn for each link of a local process in slot order,
+// without copying the table. Returns false if the process (or its table)
+// does not exist here. This is the non-allocating form stats and trace
+// callers should use; LinksOf remains for callers that want a map.
+func (k *Kernel) VisitLinks(pid addr.ProcessID, fn func(link.ID, link.Link)) bool {
+	p := k.lookup(pid)
+	if p == nil || p.links == nil {
+		return false
+	}
+	p.links.ForEach(fn)
+	return true
+}
+
 // LinksOf returns a copy of a local process's link table entries.
 func (k *Kernel) LinksOf(pid addr.ProcessID) map[link.ID]link.Link {
-	p, ok := k.procs[pid]
-	if !ok || p.links == nil {
-		return nil
-	}
-	out := make(map[link.ID]link.Link, p.links.Len())
-	p.links.ForEach(func(id link.ID, l link.Link) { out[id] = l })
+	var out map[link.ID]link.Link
+	k.VisitLinks(pid, func(id link.ID, l link.Link) {
+		if out == nil {
+			out = make(map[link.ID]link.Link)
+		}
+		out[id] = l
+	})
 	return out
 }
 
@@ -494,8 +537,8 @@ func (k *Kernel) Exit(pid addr.ProcessID) (ExitInfo, bool) {
 // MintLinkTo fabricates a link to a process address — the trusted-system
 // path the process manager uses to get DELIVERTOKERNEL links.
 func (k *Kernel) MintLinkTo(l link.Link, owner addr.ProcessID) (link.ID, error) {
-	p, ok := k.procs[owner]
-	if !ok {
+	p := k.lookup(owner)
+	if p == nil {
 		return link.NilID, fmt.Errorf("kernel %v: no process %v", k.machine, owner)
 	}
 	return p.links.Insert(l)
@@ -550,8 +593,8 @@ func (k *Kernel) relieveMemory() {
 // "the kernel move data operation handles reading or writing of swapped out
 // memory". Returns the number of pages moved to swap.
 func (k *Kernel) SwapOutProcess(pid addr.ProcessID) (int, error) {
-	p, ok := k.procs[pid]
-	if !ok || p.image == nil {
+	p := k.lookup(pid)
+	if p == nil || p.image == nil {
 		return 0, fmt.Errorf("kernel %v: no swappable image for %v", k.machine, pid)
 	}
 	moved := 0
@@ -569,8 +612,8 @@ func (k *Kernel) SwapOutProcess(pid addr.ProcessID) (int, error) {
 
 // SwappedPages reports how many of a local process's pages are in swap.
 func (k *Kernel) SwappedPages(pid addr.ProcessID) int {
-	p, ok := k.procs[pid]
-	if !ok || p.image == nil {
+	p := k.lookup(pid)
+	if p == nil || p.image == nil {
 		return 0
 	}
 	return p.image.SwappedPages()
@@ -618,8 +661,8 @@ func (k *Kernel) GiveControlFrom(from addr.ProcessAddr, pid addr.ProcessID, op m
 // destination kernel holds a fresh instance restored from the snapshot —
 // callers must re-fetch from the new machine.
 func (k *Kernel) BodyOf(pid addr.ProcessID) (proc.Body, bool) {
-	p, ok := k.procs[pid]
-	if !ok || p.body == nil {
+	p := k.lookup(pid)
+	if p == nil || p.body == nil {
 		return nil, false
 	}
 	return p.body, true
@@ -642,14 +685,134 @@ func (k *Kernel) GiveControl(pid addr.ProcessID, op msg.Op, body []byte) {
 // DoneMigrations.
 func (k *Kernel) RequestMigrationOf(target addr.ProcessAddr, dest addr.MachineID) {
 	req := msg.MigrateRequest{PID: target.ID, Dest: dest}
-	m := &msg.Message{
-		Kind: msg.KindControl, Op: msg.OpMigrateRequest,
-		From: addr.KernelAddr(k.machine), To: target,
-		DTK: true, Body: req.Encode(), SentAt: k.eng.Now(),
+	m := k.newControl(msg.OpMigrateRequest, target)
+	m.DTK = true
+	m.Body = req.AppendTo(m.Body[:0])
+	k.sendAdmin(m, nil)
+}
+
+// Hard caps on per-PID buffers the outside world can grow: without them a
+// dead locate target (return-to-sender baseline) or a chatty process could
+// grow kernel memory without limit. Overflow increments a drop counter.
+const (
+	// PendingLocateCap bounds messages held per PID while a locate query
+	// is outstanding.
+	PendingLocateCap = 64
+	// ConsoleLineCap bounds console lines retained per PID.
+	ConsoleLineCap = 256
+)
+
+// addProc installs a process record in the table (and the dense local-UID
+// cache when this machine created the pid).
+func (k *Kernel) addProc(p *Process) {
+	k.procs[p.id] = p
+	if p.id.Creator == k.machine {
+		uid := int(p.id.Local)
+		for uid >= len(k.local) {
+			k.local = append(k.local, nil)
+		}
+		k.local[uid] = p
 	}
-	k.stats.AdminSent[msg.OpMigrateRequest]++
-	k.stats.AdminBytes += uint64(len(m.Body))
-	k.route(m)
+}
+
+// delProc removes a process record from the table and the dense cache.
+func (k *Kernel) delProc(pid addr.ProcessID) {
+	delete(k.procs, pid)
+	if pid.Creator == k.machine && int(pid.Local) < len(k.local) {
+		k.local[pid.Local] = nil
+	}
+}
+
+// lookup finds a local process record (nil if absent). Locally-created
+// pids — the overwhelming majority of delivery targets — resolve through
+// the dense slice; foreign pids (migrated in, revived) fall back to the map.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
+func (k *Kernel) lookup(pid addr.ProcessID) *Process {
+	if pid.Creator == k.machine {
+		if i := int(pid.Local); i < len(k.local) {
+			return k.local[i]
+		}
+		return nil
+	}
+	return k.procs[pid]
+}
+
+// getMsg acquires a message envelope for the send path: pooled in steady
+// state, heap-constructed when pooling is off (lossy network).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
+func (k *Kernel) getMsg() *msg.Message {
+	if k.pool != nil {
+		return k.pool.Get()
+	}
+	return &msg.Message{}
+}
+
+// putMsg releases an envelope after its final consumption. Heap messages
+// (drivers, tests, cold paths, lossy mode) pass through as no-ops.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
+func (k *Kernel) putMsg(m *msg.Message) {
+	if k.pool != nil {
+		k.pool.Put(m)
+	}
+}
+
+// newControl acquires an envelope pre-addressed as a control message from
+// this kernel. The caller fills Body (reusing the envelope's backing array
+// via an AppendTo encoder) and routes it.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode in bench_hotpath_test.go.
+func (k *Kernel) newControl(op msg.Op, to addr.ProcessAddr) *msg.Message {
+	m := k.getMsg()
+	m.Kind = msg.KindControl
+	m.Op = op
+	m.From = addr.KernelAddr(k.machine)
+	m.To = to
+	m.SentAt = k.eng.Now()
+	return m
+}
+
+// pending is a pooled deferred-submission record: the same release-before-
+// run free-list idiom as netw's delivery records, used for the local
+// delivery latency hop and for paced data packets. fn is bound once so
+// scheduling one allocates nothing in steady state.
+type pending struct {
+	k        *Kernel
+	m        *msg.Message
+	resubmit bool // re-route (paced packet) instead of delivering locally
+	fn       func()
+	next     *pending
+}
+
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
+func (k *Kernel) getPending(m *msg.Message, resubmit bool) *pending {
+	d := k.pendingFree
+	if d == nil {
+		d = &pending{k: k}
+		d.fn = d.run
+	} else {
+		k.pendingFree = d.next
+		d.next = nil
+	}
+	d.m = m
+	d.resubmit = resubmit
+	return d
+}
+
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
+func (d *pending) run() {
+	k, m, res := d.k, d.m, d.resubmit
+	// Release before running so nested schedules can reuse the record.
+	d.m = nil
+	d.next = k.pendingFree
+	k.pendingFree = d
+	if res {
+		k.route(m)
+	} else {
+		k.deliverLocal(m)
+	}
 }
 
 func (k *Kernel) trace(cat trace.Category, event, detail string) {

@@ -64,8 +64,9 @@ func (k *Kernel) armOutWatchdog(om *outMigration) {
 		if _, live := k.out[om.p.id]; !live {
 			return
 		}
-		k.sendAdmin(addr.KernelAddr(om.dest), msg.OpMigrateAbort,
-			msg.PIDMachine{PID: om.p.id, Machine: k.machine}.Encode(), nil)
+		abort := k.newControl(msg.OpMigrateAbort, addr.KernelAddr(om.dest))
+		abort.Body = msg.PIDMachine{PID: om.p.id, Machine: k.machine}.AppendTo(abort.Body[:0])
+		k.sendAdmin(abort, nil)
 		k.abortOutMigration(om, fmt.Errorf("no progress from %v in %v", om.dest, k.cfg.MigrateTimeout))
 	})
 }
@@ -79,8 +80,9 @@ func (k *Kernel) armInWatchdog(im *inMigration) {
 		if _, live := k.in[im.pid]; !live {
 			return
 		}
-		k.sendAdmin(addr.KernelAddr(im.src), msg.OpMigrateAbort,
-			msg.PIDMachine{PID: im.pid, Machine: k.machine}.Encode(), nil)
+		abort := k.newControl(msg.OpMigrateAbort, addr.KernelAddr(im.src))
+		abort.Body = msg.PIDMachine{PID: im.pid, Machine: k.machine}.AppendTo(abort.Body[:0])
+		k.sendAdmin(abort, nil)
 		k.failIncoming(im, fmt.Errorf("no progress from %v in %v", im.src, k.cfg.MigrateTimeout))
 	})
 }
@@ -101,21 +103,36 @@ func (k *Kernel) handleMigrateAbort(m *msg.Message) {
 	}
 }
 
-// sendAdmin emits one administrative message and accounts for it both
-// globally and (if rep != nil) in the per-migration report.
-func (k *Kernel) sendAdmin(to addr.ProcessAddr, op msg.Op, body []byte, rep *MigrationReport) {
-	m := &msg.Message{
-		Kind: msg.KindControl, Op: op,
-		From: addr.KernelAddr(k.machine), To: to,
-		Body: body, SentAt: k.eng.Now(),
-	}
-	k.stats.AdminSent[op]++
-	k.stats.AdminBytes += uint64(len(body))
+// sendAdmin accounts for one administrative message — globally and (if rep
+// != nil) in the per-migration report — and routes it. Callers build m with
+// newControl and fill Body in place with an AppendTo encoder, so the nine
+// protocol messages of a migration reuse pooled envelopes end to end.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode in bench_hotpath_test.go.
+func (k *Kernel) sendAdmin(m *msg.Message, rep *MigrationReport) {
+	k.stats.AdminSent[m.Op]++
+	k.stats.AdminBytes += uint64(len(m.Body))
 	if rep != nil {
 		rep.AdminMsgs++
-		rep.AdminBytes += len(body)
+		rep.AdminBytes += len(m.Body)
 	}
 	k.route(m)
+}
+
+// sendDone emits the OpMigrateDone report message (message 9, also the
+// refusal path's reply).
+func (k *Kernel) sendDone(to addr.ProcessAddr, d msg.MigrateDone, rep *MigrationReport) {
+	m := k.newControl(msg.OpMigrateDone, to)
+	m.Body = d.AppendTo(m.Body[:0])
+	k.sendAdmin(m, rep)
+}
+
+// sendPIDMachine emits one of the {PID, machine} administrative messages
+// (accept, refuse, established, abort).
+func (k *Kernel) sendPIDMachine(to addr.ProcessAddr, op msg.Op, pm msg.PIDMachine, rep *MigrationReport) {
+	m := k.newControl(op, to)
+	m.Body = pm.AppendTo(m.Body[:0])
+	k.sendAdmin(m, rep)
 }
 
 // --- source side -----------------------------------------------------------
@@ -126,21 +143,18 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 	if err != nil {
 		return
 	}
-	p, ok := k.procs[req.PID]
-	if !ok || p.state == StateForwarder || p.state == StateIncoming {
-		k.sendAdmin(m.From, msg.OpMigrateDone,
-			msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: false}.Encode(), nil)
+	p := k.lookup(req.PID)
+	if p == nil || p.state == StateForwarder || p.state == StateIncoming {
+		k.sendDone(m.From, msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: false}, nil)
 		return
 	}
 	if req.Dest == k.machine {
 		// Trivial migration: already here.
-		k.sendAdmin(m.From, msg.OpMigrateDone,
-			msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: true}.Encode(), nil)
+		k.sendDone(m.From, msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: true}, nil)
 		return
 	}
 	if _, busy := k.out[req.PID]; busy || p.state == StateInMigration {
-		k.sendAdmin(m.From, msg.OpMigrateDone,
-			msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: false}.Encode(), nil)
+		k.sendDone(m.From, msg.MigrateDone{PID: req.PID, Machine: k.machine, OK: false}, nil)
 		return
 	}
 
@@ -194,7 +208,9 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 	k.trace(trace.CatMigrate, "step2-ask-destination",
 		fmt.Sprintf("%v -> %v (program=%dB resident=%dB swappable=%dB)",
 			p.id, req.Dest, len(om.program), len(om.resident), len(om.swappable)))
-	k.sendAdmin(addr.KernelAddr(req.Dest), msg.OpMigrateAsk, ask.Encode(), &om.rep)
+	am := k.newControl(msg.OpMigrateAsk, addr.KernelAddr(req.Dest))
+	am.Body = ask.AppendTo(am.Body[:0])
+	k.sendAdmin(am, &om.rep)
 	k.armOutWatchdog(om)
 }
 
@@ -204,23 +220,22 @@ func (k *Kernel) abortOutMigration(om *outMigration, cause error) {
 	delete(k.out, om.p.id)
 	k.stats.MigrationsFailed++
 	k.restoreFrozen(om.p)
-	k.sendAdmin(om.requester, msg.OpMigrateDone,
-		msg.MigrateDone{PID: om.p.id, Machine: k.machine, OK: false}.Encode(), &om.rep)
+	k.sendDone(om.requester, msg.MigrateDone{PID: om.p.id, Machine: k.machine, OK: false}, &om.rep)
 }
 
 // restoreFrozen puts a process back the way step 1 found it and redelivers
-// anything that was held on its queue meanwhile.
+// anything that was held on its queue meanwhile. The drain is bounded by
+// the queue length at entry: redelivery lands re-held messages at the tail,
+// and those must not be processed again in this pass.
 func (k *Kernel) restoreFrozen(p *Process) {
-	held := p.queue
-	p.queue = nil
 	switch p.prevState {
 	case StateReady:
 		k.enqueueRun(p)
 	default:
 		p.state = p.prevState
 	}
-	for _, hm := range held {
-		k.deliverLocal(hm)
+	for n := p.queue.Len(); n > 0; n-- {
+		k.deliverLocal(p.queue.pop())
 	}
 }
 
@@ -256,8 +271,7 @@ func (k *Kernel) handleMigrateRefuse(m *msg.Message) {
 	delete(k.out, pm.PID)
 	k.stats.MigrationsFailed++
 	k.restoreFrozen(om.p)
-	k.sendAdmin(om.requester, msg.OpMigrateDone,
-		msg.MigrateDone{PID: pm.PID, Machine: k.machine, OK: false}.Encode(), &om.rep)
+	k.sendDone(om.requester, msg.MigrateDone{PID: pm.PID, Machine: k.machine, OK: false}, &om.rep)
 }
 
 // handleMoveDataReq serves steps 4-5 from the source: stream the requested
@@ -301,8 +315,8 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 		// The migration was aborted here (watchdog) but the
 		// destination finished anyway: make it discard its copy so
 		// the process cannot run in two places.
-		k.sendAdmin(m.From, msg.OpMigrateAbort,
-			msg.PIDMachine{PID: pm.PID, Machine: k.machine}.Encode(), nil)
+		k.sendPIDMachine(m.From, msg.OpMigrateAbort,
+			msg.PIDMachine{PID: pm.PID, Machine: k.machine}, nil)
 		return
 	}
 	k.eng.Cancel(om.watchdog)
@@ -313,17 +327,20 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 	// Step 6: "the source kernel resends all messages that were in the
 	// queue when the migration started, or that have arrived since...
 	// Before giving them back to the communication system, the source
-	// kernel changes the location part of the process address."
-	pending := p.queue
-	p.queue = nil
-	for _, qm := range pending {
+	// kernel changes the location part of the process address." The drain
+	// is bounded by the length at entry; rerouting cannot re-hold here
+	// (the record becomes a forwarder below), but the bound keeps the
+	// pattern uniform with restoreFrozen.
+	forwarded := p.queue.Len()
+	for n := forwarded; n > 0; n-- {
+		qm := p.queue.pop()
 		qm.To.LastKnown = om.dest
 		k.stats.ForwardedPending++
 		k.route(qm)
 	}
 	k.trace(trace.CatMigrate, "step6-forward-pending",
-		fmt.Sprintf("%v: %d queued messages to %v", p.id, len(pending), om.dest))
-	om.rep.PendingForwarded = len(pending)
+		fmt.Sprintf("%v: %d queued messages to %v", p.id, forwarded, om.dest))
+	om.rep.PendingForwarded = forwarded
 
 	// Step 7: "all state for the process is removed and space for memory
 	// and tables is reclaimed. A forwarding address is left."
@@ -332,7 +349,7 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 		p.image.Discard()
 	}
 	backPtr := p.cameFrom
-	delete(k.procs, p.id)
+	k.delProc(p.id)
 	if k.cfg.Mode == ModeForward {
 		fwd := &Process{
 			id:       p.id,
@@ -340,7 +357,7 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 			fwdTo:    om.dest,
 			cameFrom: backPtr,
 		}
-		k.procs[p.id] = fwd
+		k.addProc(fwd)
 		k.stats.ForwardersInstalled++
 		k.stats.ForwarderBytes += ForwarderWireSize
 	}
@@ -352,12 +369,12 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 	}
 
 	// Step 8 trigger: tell the destination it may restart the process.
-	k.sendAdmin(addr.KernelAddr(om.dest), msg.OpMigrateCleanup,
-		msg.MigrateCleanup{PID: p.id, Forwarded: uint16(len(pending))}.Encode(), &om.rep)
+	cm := k.newControl(msg.OpMigrateCleanup, addr.KernelAddr(om.dest))
+	cm.Body = msg.MigrateCleanup{PID: p.id, Forwarded: uint16(forwarded)}.AppendTo(cm.Body[:0])
+	k.sendAdmin(cm, &om.rep)
 
 	// Message 9: report success to the requester (process manager).
-	k.sendAdmin(om.requester, msg.OpMigrateDone,
-		msg.MigrateDone{PID: p.id, Machine: om.dest, OK: true}.Encode(), &om.rep)
+	k.sendDone(om.requester, msg.MigrateDone{PID: p.id, Machine: om.dest, OK: true}, &om.rep)
 
 	om.rep.End = k.eng.Now()
 	om.rep.OK = true
@@ -370,20 +387,18 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 }
 
 func (k *Kernel) broadcastEagerUpdate(pid addr.ProcessID, dest addr.MachineID) {
-	body := msg.PIDMachine{PID: pid, Machine: dest}.Encode()
-	for _, m := range k.cfg.Machines {
-		if m == k.machine {
+	pm := msg.PIDMachine{PID: pid, Machine: dest}
+	for _, mach := range k.cfg.Machines {
+		if mach == k.machine {
 			continue
 		}
 		k.stats.EagerUpdatesSent++
-		k.route(&msg.Message{
-			Kind: msg.KindControl, Op: msg.OpEagerUpdate,
-			From: addr.KernelAddr(k.machine), To: addr.KernelAddr(m),
-			Body: body,
-		})
+		u := k.newControl(msg.OpEagerUpdate, addr.KernelAddr(mach))
+		u.Body = pm.AppendTo(u.Body[:0])
+		k.route(u)
 	}
 	// Fix local tables directly.
-	k.applyEagerUpdate(&msg.Message{Body: body})
+	k.applyEagerUpdate(&msg.Message{Body: pm.Encode()})
 }
 
 // --- destination side -------------------------------------------------------
@@ -412,8 +427,8 @@ func (k *Kernel) handleMigrateAsk(m *msg.Message) {
 	}
 	if !accept {
 		k.stats.MigrationsRefused++
-		k.sendAdmin(addr.KernelAddr(src), msg.OpMigrateRefuse,
-			msg.PIDMachine{PID: ask.PID, Machine: k.machine}.Encode(), nil)
+		k.sendPIDMachine(addr.KernelAddr(src), msg.OpMigrateRefuse,
+			msg.PIDMachine{PID: ask.PID, Machine: k.machine}, nil)
 		return
 	}
 
@@ -425,7 +440,7 @@ func (k *Kernel) handleMigrateAsk(m *msg.Message) {
 		// The process is migrating back to a machine holding its own
 		// forwarding address; the real process supersedes it.
 		k.stats.ForwarderBytes -= ForwarderWireSize
-		delete(k.procs, ask.PID)
+		k.delProc(ask.PID)
 	}
 	p := &Process{
 		id:        ask.PID,
@@ -435,7 +450,7 @@ func (k *Kernel) handleMigrateAsk(m *msg.Message) {
 		commTo:    make(map[addr.MachineID]uint64),
 		commDelta: make(map[addr.MachineID]uint64),
 	}
-	k.procs[ask.PID] = p
+	k.addProc(p)
 	im := &inMigration{
 		pid: ask.PID, src: src, ask: ask, p: p,
 		stage: msg.RegionResident,
@@ -444,8 +459,8 @@ func (k *Kernel) handleMigrateAsk(m *msg.Message) {
 	k.in[ask.PID] = im
 	k.trace(trace.CatMigrate, "step3-allocate-state",
 		fmt.Sprintf("%v from %v (reserving %dB)", ask.PID, src, programBytes))
-	k.sendAdmin(addr.KernelAddr(src), msg.OpMigrateAccept,
-		msg.PIDMachine{PID: ask.PID, Machine: k.machine}.Encode(), nil)
+	k.sendPIDMachine(addr.KernelAddr(src), msg.OpMigrateAccept,
+		msg.PIDMachine{PID: ask.PID, Machine: k.machine}, nil)
 	k.armInWatchdog(im)
 	k.pullRegion(im)
 }
@@ -463,8 +478,9 @@ func (k *Kernel) pullRegion(im *inMigration) {
 		step = "step5-transfer-program"
 	}
 	k.trace(trace.CatMigrate, step, fmt.Sprintf("%v pull %v", im.pid, region))
-	k.sendAdmin(addr.KernelAddr(im.src), msg.OpMoveDataReq,
-		msg.MoveDataReq{PID: im.pid, Region: region, Xfer: xfer}.Encode(), nil)
+	rm := k.newControl(msg.OpMoveDataReq, addr.KernelAddr(im.src))
+	rm.Body = msg.MoveDataReq{PID: im.pid, Region: region, Xfer: xfer}.AppendTo(rm.Body[:0])
+	k.sendAdmin(rm, nil)
 }
 
 func (k *Kernel) regionArrived(im *inMigration, region msg.Region, data []byte) {
@@ -532,20 +548,25 @@ func (k *Kernel) assembleProcess(im *inMigration) {
 	p.msgsIn = res.msgsIn
 	p.msgsOut = res.msgsOut
 	k.stats.MigrationsIn++
-	k.sendAdmin(addr.KernelAddr(im.src), msg.OpMigrateEstablished,
-		msg.PIDMachine{PID: im.pid, Machine: k.machine}.Encode(), nil)
+	k.sendPIDMachine(addr.KernelAddr(im.src), msg.OpMigrateEstablished,
+		msg.PIDMachine{PID: im.pid, Machine: k.machine}, nil)
 	k.armInWatchdog(im) // the cleanup message must still arrive
 }
 
 func (k *Kernel) failIncoming(im *inMigration, cause error) {
 	k.trace(trace.CatMigrate, "incoming-failed", fmt.Sprintf("%v: %v", im.pid, cause))
 	k.eng.Cancel(im.watchdog)
-	if im.p != nil && im.p.image != nil {
-		k.memUsed -= im.p.image.Size()
-		im.p.image.Discard()
+	if im.p != nil {
+		if im.p.image != nil {
+			k.memUsed -= im.p.image.Size()
+			im.p.image.Discard()
+		}
+		for im.p.queue.Len() > 0 {
+			k.putMsg(im.p.queue.pop())
+		}
 	}
 	delete(k.in, im.pid)
-	delete(k.procs, im.pid)
+	k.delProc(im.pid)
 	k.stats.MigrationsFailed++
 }
 
@@ -565,22 +586,22 @@ func (k *Kernel) handleMigrateCleanup(m *msg.Message) {
 	p := im.p
 
 	// Messages queued here while incoming: DELIVERTOKERNEL ones go to
-	// the kernel now; the rest stay for the process.
-	held := p.queue
-	p.queue = nil
-	var keep []*msg.Message
-	for _, hm := range held {
+	// the kernel now; the rest rotate back to the tail for the process.
+	// The drain is bounded by the length at entry so rotated (and newly
+	// arriving) messages are not re-examined.
+	for n := p.queue.Len(); n > 0; n-- {
+		hm := p.queue.pop()
 		if hm.DTK {
 			k.kernelMsg(hm)
+			k.putMsg(hm)
 		} else {
-			keep = append(keep, hm)
+			p.queue.push(hm)
 		}
 	}
-	p.queue = keep
 
 	switch p.prevState {
 	case StateWaiting:
-		if len(p.queue) > 0 {
+		if p.queue.Len() > 0 {
 			k.enqueueRun(p)
 		} else {
 			p.state = StateWaiting

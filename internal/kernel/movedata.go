@@ -52,7 +52,10 @@ type moveOp struct {
 	initiator addr.ProcessID
 	userXfer  uint16
 	packets   int
-	acked     map[uint32]bool
+	base      uint32   // Seq of the stream's first packet
+	pkt       int      // packet stride (cfg.DataPacket at stream start)
+	acked     []uint64 // bitset, one bit per packet
+	ackCount  int
 }
 
 func (k *Kernel) registerInStream(xfer uint16, complete func([]byte)) *inStream {
@@ -92,24 +95,27 @@ func (k *Kernel) streamPackets(to addr.ProcessAddr, dtk bool, xfer uint16, baseO
 		if hi > len(data) {
 			hi = len(data)
 		}
-		m := &msg.Message{
-			Kind: msg.KindData,
-			From: addr.KernelAddr(k.machine),
-			To:   to,
-			DTK:  dtk,
-			Xfer: xfer,
-			Seq:  baseOff + uint32(lo),
-			Last: i == n-1,
-			Body: append([]byte(nil), data[lo:hi]...),
-		}
+		m := k.getMsg()
+		m.Kind = msg.KindData
+		m.From = addr.KernelAddr(k.machine)
+		m.To = to
+		m.DTK = dtk
+		m.Xfer = xfer
+		m.Seq = baseOff + uint32(lo)
+		m.Last = i == n-1
+		b := m.Body[:0]
+		b = append(b, data[lo:hi]...)
+		m.Body = b
 		k.stats.DataPacketsSent++
 		k.stats.DataBytesSent += uint64(hi - lo)
-		k.eng.After(gap*sim.Time(i), "kernel:data-packet", func() { k.route(m) })
+		k.eng.After(gap*sim.Time(i), "kernel:data-packet", k.getPending(m, true).fn)
 	}
 	return n
 }
 
 // handleDataPacket processes an arriving KindData frame.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) handleDataPacket(m *msg.Message) {
 	k.ack(m)
 	if !m.To.ID.IsKernel() {
@@ -118,7 +124,9 @@ func (k *Kernel) handleDataPacket(m *msg.Message) {
 	}
 	st, ok := k.xfersIn[m.Xfer]
 	if !ok {
-		k.trace(trace.CatData, "stray-packet", fmt.Sprintf("xfer=%d seq=%d", m.Xfer, m.Seq))
+		if k.traceOn {
+			k.traceStrayPacket(m)
+		}
 		return
 	}
 	end := int(m.Seq) + len(m.Body)
@@ -138,13 +146,17 @@ func (k *Kernel) handleDataPacket(m *msg.Message) {
 	}
 }
 
+func (k *Kernel) traceStrayPacket(m *msg.Message) {
+	k.trace(trace.CatData, "stray-packet", fmt.Sprintf("xfer=%d seq=%d", m.Xfer, m.Seq))
+}
+
 // applyWritePacket applies a data-area write statelessly to the target
 // process's image. Completion is signalled by the acks, not here: this
 // packet may be one of several applied on different machines if the owner
 // migrated mid-stream.
 func (k *Kernel) applyWritePacket(m *msg.Message) {
-	p, ok := k.procs[m.To.ID]
-	if ok && p.image != nil {
+	p := k.lookup(m.To.ID)
+	if p != nil && p.image != nil {
 		if err := p.image.WriteAt(m.Body, int(m.Seq)); err != nil {
 			k.trace(trace.CatData, "write-fault", err.Error())
 		}
@@ -154,41 +166,57 @@ func (k *Kernel) applyWritePacket(m *msg.Message) {
 // ack acknowledges one data packet to the sending kernel. The DTK flag is
 // copied so the sender can tell write-stream acks (which drive moveOp
 // completion) from read/migration-stream acks.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) ack(m *msg.Message) {
 	k.stats.AcksSent++
-	k.route(&msg.Message{
-		Kind: msg.KindAck,
-		From: addr.KernelAddr(k.machine),
-		To:   m.From,
-		DTK:  m.DTK,
-		Xfer: m.Xfer,
-		Seq:  m.Seq,
-	})
+	a := k.getMsg()
+	a.Kind = msg.KindAck
+	a.From = addr.KernelAddr(k.machine)
+	a.To = m.From
+	a.DTK = m.DTK
+	a.Xfer = m.Xfer
+	a.Seq = m.Seq
+	k.route(a)
 }
 
 // handleAck counts an acknowledgement and, for write streams, advances the
 // owning moveOp — sending the completion to the initiating process once
-// every packet of the stream has been applied somewhere.
+// every packet of the stream has been applied somewhere. Acked packets are
+// tracked in a per-op bitset indexed by (Seq-base)/stride rather than a
+// map, so a steady write stream acknowledges without touching the heap.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) handleAck(m *msg.Message) {
 	k.stats.AcksReceived++
 	if !m.DTK {
 		return
 	}
 	op, ok := k.moveOps[m.Xfer]
-	if !ok || op.acked[m.Seq] {
+	if !ok || m.Seq < op.base {
 		return
 	}
-	op.acked[m.Seq] = true
-	if len(op.acked) < op.packets {
+	d := int(m.Seq - op.base)
+	if op.pkt <= 0 || d%op.pkt != 0 {
+		return
+	}
+	idx := d / op.pkt
+	if idx >= op.packets {
+		return
+	}
+	w, bit := idx/64, uint64(1)<<(idx%64)
+	if op.acked[w]&bit != 0 {
+		return
+	}
+	op.acked[w] |= bit
+	op.ackCount++
+	if op.ackCount < op.packets {
 		return
 	}
 	delete(k.moveOps, m.Xfer)
-	k.route(&msg.Message{
-		Kind: msg.KindControl, Op: msg.OpMoveWriteDone,
-		From: addr.KernelAddr(k.machine),
-		To:   addr.At(op.initiator, k.machine),
-		Body: msg.XferStatus{Xfer: op.userXfer, OK: true}.Encode(),
-	})
+	done := k.newControl(msg.OpMoveWriteDone, addr.At(op.initiator, k.machine))
+	done.Body = msg.XferStatus{Xfer: op.userXfer, OK: true}.AppendTo(done.Body[:0])
+	k.route(done)
 }
 
 // handleMoveRead serves a data-area read: stream the requested window of
@@ -198,8 +226,8 @@ func (k *Kernel) handleMoveRead(m *msg.Message) {
 	if err != nil {
 		return
 	}
-	p, ok := k.procs[req.PID]
-	if !ok || p.image == nil {
+	p := k.lookup(req.PID)
+	if p == nil || p.image == nil {
 		k.failMoveRead(m.From, req.Xfer)
 		return
 	}
@@ -213,11 +241,9 @@ func (k *Kernel) handleMoveRead(m *msg.Message) {
 }
 
 func (k *Kernel) failMoveRead(to addr.ProcessAddr, xfer uint16) {
-	k.route(&msg.Message{
-		Kind: msg.KindControl, Op: msg.OpMoveReadDone,
-		From: addr.KernelAddr(k.machine), To: to,
-		Body: msg.XferStatus{Xfer: xfer, OK: false}.Encode(),
-	})
+	m := k.newControl(msg.OpMoveReadDone, to)
+	m.Body = msg.XferStatus{Xfer: xfer, OK: false}.AppendTo(m.Body[:0])
+	k.route(m)
 }
 
 // handleMoveReadFailed cancels a pending inbound stream (the owner refused

@@ -12,27 +12,27 @@ import (
 )
 
 // enqueueRun puts a ready process on the run queue and arms the scheduler.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) enqueueRun(p *Process) {
 	p.state = StateReady
-	k.runq = append(k.runq, p)
+	k.runq.push(p)
 	k.maybeSchedule()
 }
 
 // removeFromRunq drops p from the run queue (suspension, migration).
 func (k *Kernel) removeFromRunq(p *Process) {
-	for i, q := range k.runq {
-		if q == p {
-			k.runq = append(k.runq[:i], k.runq[i+1:]...)
-			return
-		}
-	}
+	k.runq.remove(p)
 }
 
 // maybeSchedule arms the next scheduling slice if work is pending. The CPU
 // model is one processor per machine: a slice "occupies" the CPU until
-// cpuFreeAt even though the Go code runs instantaneously.
+// cpuFreeAt even though the Go code runs instantaneously. The slice closure
+// is bound once at construction (runSliceFn), so arming allocates nothing.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) maybeSchedule() {
-	if k.sliceQueued || len(k.runq) == 0 || k.crashed {
+	if k.sliceQueued || k.runq.Len() == 0 || k.crashed {
 		return
 	}
 	k.sliceQueued = true
@@ -40,23 +40,38 @@ func (k *Kernel) maybeSchedule() {
 	if k.cpuFreeAt > at {
 		at = k.cpuFreeAt
 	}
-	k.eng.At(at, "kernel:slice", k.runSlice)
+	k.eng.At(at, "kernel:slice", k.runSliceFn)
 }
 
+// runSlice executes one scheduling quantum. The proc.Context handed to the
+// body is the kernel's single reusable sliceCtx (prebound as k.ctxI so the
+// interface conversion happens once at construction); it is valid only for
+// the duration of Step, which no body retains. Messages the body received
+// during the step are released afterwards — a Delivery's Body aliases the
+// pooled envelope and its lifetime contract is "until Step returns".
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) runSlice() {
 	k.sliceQueued = false
-	if len(k.runq) == 0 || k.crashed {
+	if k.runq.Len() == 0 || k.crashed {
 		return
 	}
-	p := k.runq[0]
-	k.runq = k.runq[1:]
+	p := k.runq.pop()
 	if p.state != StateReady {
 		// Suspended or migrated while queued.
 		k.maybeSchedule()
 		return
 	}
-	ctx := &procCtx{k: k, p: p}
-	cost, st := p.body.Step(ctx, k.cfg.Quantum)
+	ctx := &k.sliceCtx
+	ctx.p = p
+	ctx.msgsHandled = 0
+	cost, st := p.body.Step(k.ctxI, k.cfg.Quantum)
+	for i, rm := range ctx.recvd {
+		k.putMsg(rm)
+		ctx.recvd[i] = nil
+	}
+	ctx.recvd = ctx.recvd[:0]
+	ctx.p = nil
 
 	busy := sim.Time(uint64(cost) * uint64(k.cfg.InstrCostNanos) / 1000)
 	if cost == 0 {
@@ -85,10 +100,10 @@ func (k *Kernel) runSlice() {
 	}
 	switch st.State {
 	case proc.Runnable:
-		k.runq = append(k.runq, p)
+		k.runq.push(p)
 	case proc.Blocked:
-		if len(p.queue) > 0 {
-			k.runq = append(k.runq, p) // spurious block; messages waiting
+		if p.queue.Len() > 0 {
+			k.runq.push(p) // spurious block; messages waiting
 		} else {
 			p.state = StateWaiting
 			// A newly idle process is a swap candidate if memory is
@@ -113,7 +128,10 @@ func (k *Kernel) terminate(p *Process, code int32, err error) {
 		k.memUsed -= p.image.Size()
 		p.image.Discard()
 	}
-	delete(k.procs, p.id)
+	for p.queue.Len() > 0 {
+		k.putMsg(p.queue.pop())
+	}
+	k.delProc(p.id)
 	k.exits[p.id] = ExitInfo{Code: code, Err: err, At: k.eng.Now()}
 	if err != nil {
 		k.stats.Crashes++
@@ -155,7 +173,7 @@ func (k *Kernel) sendLoadReport() {
 	}
 	rep := msg.LoadReport{
 		Machine:    k.machine,
-		Ready:      uint16(len(k.runq)),
+		Ready:      uint16(k.runq.Len()),
 		ProcCount:  uint16(len(k.procs)),
 		MemUsedKB:  uint32(k.memUsed / 1024),
 		CPUPercent: uint8(pct),
@@ -181,11 +199,8 @@ func (k *Kernel) sendLoadReport() {
 	}
 	k.lastReportAt = now
 	k.lastReportBusy = k.stats.CPUBusy
-	m := &msg.Message{
-		Kind: msg.KindControl, Op: msg.OpLoadReport,
-		From: addr.KernelAddr(k.machine), To: k.cfg.PMLink.Addr,
-		Body: rep.Encode(), SentAt: now,
-	}
+	m := k.newControl(msg.OpLoadReport, k.cfg.PMLink.Addr)
+	m.Body = rep.AppendTo(m.Body[:0])
 	k.route(m)
 }
 

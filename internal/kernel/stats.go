@@ -58,6 +58,11 @@ type Stats struct {
 	Bounced        uint64 // OpNotDeliverable sent
 	LocateRequests uint64
 	Resubmitted    uint64 // bounced messages re-sent after a locate reply
+
+	// Bounded buffers: overflow of a hard-capped per-PID buffer is
+	// counted here rather than growing kernel memory.
+	LocateDropped  uint64 // messages dropped at PendingLocateCap
+	ConsoleDropped uint64 // console lines dropped at ConsoleLineCap
 }
 
 func newStats() Stats {

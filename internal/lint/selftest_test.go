@@ -57,6 +57,24 @@ func TestHotpathAnnotationSet(t *testing.T) {
 			"MoveDataReq.AppendTo", "MigrateCleanup.AppendTo", "MigrateDone.AppendTo",
 			"LinkUpdate.AppendTo", "CreateProcess.AppendTo", "CreateDone.AppendTo",
 			"MoveRead.AppendTo", "XferStatus.AppendTo", "LoadReport.AppendTo",
+			"Pool.Get", "Pool.Put",
+		},
+		"demosmp/internal/kernel": {
+			// Delivery fast path.
+			"Kernel.route", "Kernel.deliverLocal", "Kernel.enqueue",
+			"Kernel.forward", "Kernel.kernelMsg", "Kernel.sendLinkUpdate",
+			// Envelope pool and table plumbing.
+			"Kernel.lookup", "Kernel.getMsg", "Kernel.putMsg",
+			"Kernel.newControl", "Kernel.sendAdmin",
+			"Kernel.getPending", "pending.run",
+			// Scheduler.
+			"Kernel.maybeSchedule", "Kernel.runSlice", "Kernel.enqueueRun",
+			// Syscall layer.
+			"procCtx.send", "procCtx.Recv",
+			// Move-data facility.
+			"Kernel.ack", "Kernel.handleAck", "Kernel.handleDataPacket",
+			// Ring buffer.
+			"ring.push", "ring.pop",
 		},
 	}
 	got := HotpathFuncs(loadSelf(t))

@@ -179,7 +179,22 @@ type Message struct {
 	// Orig) are fixed once a message is submitted, which is when the
 	// first WireSize call happens.
 	wire int32
+
+	// Envelope pooling (see Pool). gen increments on every release back
+	// to a pool, so a Ref taken earlier can detect reuse; pooled marks
+	// envelopes owned by a pool (Put ignores heap-constructed messages);
+	// inFree guards against double release.
+	gen    uint32
+	pooled bool
+	inFree bool
 }
+
+// Gen returns the envelope's reuse generation. Pair with Ref to detect a
+// held pointer outliving its envelope.
+func (m *Message) Gen() uint32 { return m.gen }
+
+// Pooled reports whether m was acquired from a Pool (and will be recycled).
+func (m *Message) Pooled() bool { return m.pooled }
 
 // WireSize returns the number of bytes the message occupies on the wire.
 // The result is cached: Body/Links/Kind/Orig must not change size after
@@ -219,6 +234,9 @@ func (m *Message) Clone() *Message {
 	if m.Links != nil {
 		c.Links = append([]link.Link(nil), m.Links...)
 	}
+	// The copy is an ordinary heap message regardless of the original's
+	// provenance: it must never be recycled through a pool.
+	c.gen, c.pooled, c.inFree = 0, false, false
 	return &c
 }
 

@@ -1,0 +1,87 @@
+package msg
+
+// Pool is a free list of Message envelopes for the kernel fast path. A
+// steady-state send acquires an envelope with Get, fills it in place (the
+// Body and Links backing arrays survive recycling, so appends reuse old
+// capacity), and the final consumer returns it with Put. Like the event
+// arena in internal/sim, reuse is generation-checked: every release bumps
+// the envelope's generation, so a holder that kept a pointer across a
+// release can detect the aliasing through a Ref instead of silently reading
+// another message's fields.
+//
+// Pools are single-threaded, matching the event engine. Put accepts any
+// message — heap-constructed envelopes (tests, drivers, cold paths) pass
+// through as no-ops — so consumption sites never need to know a message's
+// provenance. Envelopes may migrate between pools: whichever kernel
+// consumes a message releases it into its own free list.
+type Pool struct {
+	free []*Message
+	news int // envelopes constructed because the free list was empty
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed envelope, reusing a released one when available.
+// Body and Links are empty slices that keep their previous capacity.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode in bench_hotpath_test.go.
+func (p *Pool) Get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		m.inFree = false
+		return m
+	}
+	p.news++
+	return &Message{pooled: true}
+}
+
+// Put releases an envelope back to the free list. Heap-constructed
+// messages (not born from a Pool) are ignored; releasing the same pooled
+// envelope twice panics, since the second release would corrupt whoever
+// holds it now. The Body and Links backing arrays are kept (truncated to
+// zero length) and the generation is bumped so outstanding Refs go stale.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode in bench_hotpath_test.go.
+func (p *Pool) Put(m *Message) {
+	if m == nil || !m.pooled {
+		return
+	}
+	if m.inFree {
+		panic("msg: double release of pooled message")
+	}
+	body := m.Body[:0]
+	links := m.Links[:0]
+	gen := m.gen + 1
+	*m = Message{}
+	m.Body = body
+	m.Links = links
+	m.gen = gen
+	m.pooled = true
+	m.inFree = true
+	p.free = append(p.free, m)
+}
+
+// Free reports how many envelopes sit on the free list (tests).
+func (p *Pool) Free() int { return len(p.free) }
+
+// News reports how many envelopes Get had to construct (tests: a warm
+// steady state stops growing this).
+func (p *Pool) News() int { return p.news }
+
+// Ref is a generation-stamped reference to a (possibly pooled) message.
+// Take one when holding a message across an operation that may release it;
+// Valid reports whether the envelope still carries the referenced message.
+type Ref struct {
+	M   *Message
+	gen uint32
+}
+
+// MakeRef captures m's current generation.
+func MakeRef(m *Message) Ref { return Ref{M: m, gen: m.gen} }
+
+// Valid reports whether the referenced envelope has not been released (and
+// possibly reissued) since the Ref was taken.
+func (r Ref) Valid() bool { return r.M != nil && r.M.gen == r.gen && !r.M.inFree }

@@ -263,6 +263,11 @@ func New(eng *sim.Engine, cfg Config) *Network {
 // Config returns the active configuration.
 func (n *Network) Config() Config { return n.cfg }
 
+// Lossy reports whether frames can be dropped and retransmitted (the ARQ
+// is armed). A lossy network retains message pointers for retransmission,
+// so kernels must not recycle envelopes through a pool on top of one.
+func (n *Network) Lossy() bool { return n.cfg.LossRate > 0 }
+
 // Attach registers the endpoint for machine m.
 func (n *Network) Attach(m addr.MachineID, ep Endpoint) {
 	if _, dup := n.eps[m]; dup {

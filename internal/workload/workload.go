@@ -491,3 +491,118 @@ func (h *LinkHolder) Snapshot() ([]byte, error) {
 func (h *LinkHolder) Restore(data []byte) error {
 	return gob.NewDecoder(bytes.NewReader(data)).Decode(h)
 }
+
+// EchoKind is the registry name of Echo.
+const EchoKind = "wl-echo"
+
+// Echo bounces every delivery straight back over link 1 and counts rounds.
+// Unlike Sink it retains nothing, so a long benchmark run stays in steady
+// state — this is the body behind the kernel hot-path throughput numbers.
+type Echo struct {
+	Rounds int
+}
+
+// Kind implements proc.Body.
+func (e *Echo) Kind() string { return EchoKind }
+
+// Step implements proc.Body.
+func (e *Echo) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	for {
+		d, ok := ctx.Recv()
+		if !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+		e.Rounds++
+		if err := ctx.Send(1, d.Body); err != nil {
+			return 0, proc.Status{State: proc.Crashed, Err: err}
+		}
+	}
+}
+
+// Snapshot implements proc.Body.
+func (e *Echo) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(e)
+	return buf.Bytes(), err
+}
+
+// Restore implements proc.Body.
+func (e *Echo) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(e)
+}
+
+// CounterKind is the registry name of Counter.
+const CounterKind = "wl-counter"
+
+// Counter consumes deliveries and counts them without retaining bodies —
+// the steady-state companion sink to Echo.
+type Counter struct {
+	Seen int
+}
+
+// Kind implements proc.Body.
+func (c *Counter) Kind() string { return CounterKind }
+
+// Step implements proc.Body.
+func (c *Counter) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	for {
+		if _, ok := ctx.Recv(); !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+		c.Seen++
+	}
+}
+
+// Snapshot implements proc.Body.
+func (c *Counter) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(c)
+	return buf.Bytes(), err
+}
+
+// Restore implements proc.Body.
+func (c *Counter) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(c)
+}
+
+// NullKind is the registry name of Null.
+const NullKind = "wl-null"
+
+// Null blocks forever and carries no state — its Snapshot is empty, so a
+// migration of a Null process measures pure protocol-and-transfer cost
+// (the body behind the migration hot-path number).
+type Null struct{}
+
+// Kind implements proc.Body.
+func (n *Null) Kind() string { return NullKind }
+
+// Step implements proc.Body.
+func (n *Null) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	for {
+		if _, ok := ctx.Recv(); !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+	}
+}
+
+// Snapshot implements proc.Body.
+func (n *Null) Snapshot() ([]byte, error) { return nil, nil }
+
+// Restore implements proc.Body.
+func (n *Null) Restore([]byte) error { return nil }
+
+// Registry returns a process registry with every workload body kind
+// registered (plus the VM kind that proc.NewRegistry pre-registers), so
+// drivers outside the kernel can build migratable clusters without
+// touching internal/proc directly.
+func Registry() *proc.Registry {
+	reg := proc.NewRegistry()
+	reg.Register(SinkKind, func() proc.Body { return &Sink{} })
+	reg.Register(ChatterKind, func() proc.Body { return &Chatter{} })
+	reg.Register(LinkHolderKind, func() proc.Body { return &LinkHolder{} })
+	reg.Register(StageKind, func() proc.Body { return &Stage{} })
+	reg.Register(EchoKind, func() proc.Body { return &Echo{} })
+	reg.Register(CounterKind, func() proc.Body { return &Counter{} })
+	reg.Register(NullKind, func() proc.Body { return &Null{} })
+	return reg
+}

@@ -20,7 +20,7 @@ go test -race ./...
 
 echo "== hot-path allocation guards + benchmarks (1 iteration smoke)"
 go test -run TestHotPathZeroAlloc \
-  -bench 'EngineSchedule|EngineDispatchDepth64|NetwSend|MsgEncode' \
+  -bench 'EngineSchedule|EngineDispatchDepth64|NetwSend|MsgEncode|Kernel' \
   -benchtime 1x .
 
 echo "OK: all checks passed"

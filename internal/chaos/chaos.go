@@ -1,0 +1,328 @@
+// Package chaos is the deterministic fault-injection plane for a composed
+// cluster. An Injector drives the failure modes the paper's protocol must
+// survive — processor crashes at every migration kill-point (§3.1),
+// network partitions, loss bursts, duplicate and delayed frames — from its
+// own seeded PRNG, so the same seed replays the exact same fault schedule
+// regardless of how much randomness the simulation itself consumes. The
+// companion invariant checker (invariants.go) audits the cluster after
+// quiescence.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/core"
+	"demosmp/internal/kernel"
+	"demosmp/internal/sim"
+)
+
+// Config shapes a fault schedule. The zero value injects nothing; every
+// pulse family is enabled by setting its Every interval.
+type Config struct {
+	// Seed drives the injector's private PRNG.
+	Seed int64
+
+	// MaxKills bounds processor crashes fired at migration kill-points.
+	// The injector rotates through all eight kill-points in order, so a
+	// long enough run crashes a kernel at every stage of the protocol.
+	MaxKills int
+	// RestartAfter is how long a killed kernel stays down before the
+	// injector restarts it (default 250_000).
+	RestartAfter sim.Time
+	// KillAfter delays the first kill, giving checkpoint pulses time to
+	// populate stable storage — a crash before any checkpoint wipes a
+	// machine's processes beyond recovery (the paper's §1 point: stable
+	// storage is what makes crash "migration" possible at all).
+	KillAfter sim.Time
+	// KillEvery is the minimum spacing between kills. Without it,
+	// back-to-back migrations let the rotation crash every machine
+	// within a few events of each other, and the whole cluster spends
+	// the run dead instead of recovering.
+	KillEvery sim.Time
+
+	// PartitionEvery opens a pairwise partition roughly that often;
+	// each heals after PartitionFor (default 40_000).
+	PartitionEvery sim.Time
+	PartitionFor   sim.Time
+
+	// BurstEvery raises the loss rate to BurstRate (default 0.5) for
+	// BurstFor (default 30_000).
+	BurstEvery sim.Time
+	BurstFor   sim.Time
+	BurstRate  float64
+
+	// DupEvery arms a duplicate of the next frame between a random
+	// machine pair. Only honoured on lossy (ARQ) networks, where the
+	// receiver's dedup table preserves at-most-once delivery; on a
+	// lossless network a wire duplicate would be delivered twice.
+	DupEvery sim.Time
+	// DelayEvery holds the next frame between a random pair back by
+	// DelayExtra (default 2_500), reordering it past later traffic.
+	DelayEvery sim.Time
+	DelayExtra sim.Time
+
+	// CheckpointEvery snapshots live processes to their kernel's stable
+	// storage so a later Restart can revive them. Only processes with an
+	// empty message queue are taken: checkpoints do not include queued
+	// messages, so an empty-queue snapshot can never replay a delivery
+	// (keeping the at-most-once audit strict).
+	CheckpointEvery sim.Time
+	// CheckpointFilter, when set, restricts which processes are
+	// checkpointed (e.g. to keep system processes out of revival).
+	CheckpointFilter func(kernel.ProcInfo) bool
+}
+
+// Injector schedules faults against one cluster. All scheduling happens on
+// the cluster's engine, so fault timing is part of the deterministic event
+// order; the injector's own PRNG only picks victims and intervals.
+type Injector struct {
+	c   *core.Cluster
+	eng *sim.Engine
+	rng *rand.Rand
+	cfg Config
+
+	stopped    bool
+	kills      int
+	lastKill   sim.Time
+	target     int // rotation cursor into kernel.KillPoints()
+	misses     int // hook fires since the last kill that missed the target
+	killCounts map[kernel.KillPoint]int
+	parts      map[[2]int]bool // partitions we opened and have not healed
+	log        []string
+}
+
+// missLimit is how many non-matching kill-point firings the injector
+// tolerates before advancing the rotation cursor. It rescues a run whose
+// workload can no longer reach the targeted stage (e.g. migrations dried
+// up) without costing coverage in a healthy run.
+const missLimit = 256
+
+// New installs fault hooks on every kernel and arms the configured pulse
+// families. Pulses are weak events: they never keep the engine alive, so a
+// driver can simply Run() to quiescence. Heals ride along as weak events
+// too (Stop sweeps up any partition left behind); restarts are strong, so
+// a killed kernel always comes back.
+func New(c *core.Cluster, cfg Config) *Injector {
+	if cfg.RestartAfter <= 0 {
+		cfg.RestartAfter = 250_000
+	}
+	if cfg.PartitionFor <= 0 {
+		cfg.PartitionFor = 40_000
+	}
+	if cfg.BurstFor <= 0 {
+		cfg.BurstFor = 30_000
+	}
+	if cfg.BurstRate <= 0 {
+		cfg.BurstRate = 0.5
+	}
+	if cfg.DelayExtra <= 0 {
+		cfg.DelayExtra = 2_500
+	}
+	inj := &Injector{
+		c:          c,
+		eng:        c.Engine(),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		cfg:        cfg,
+		killCounts: make(map[kernel.KillPoint]int),
+		parts:      make(map[[2]int]bool),
+	}
+	for m := 1; m <= c.Machines(); m++ {
+		m := m
+		c.Kernel(m).SetFaultHook(func(kp kernel.KillPoint, pid addr.ProcessID) {
+			inj.maybeKill(m, kp, pid)
+		})
+	}
+	inj.arm(cfg.PartitionEvery, "chaos:partition", inj.partitionPulse)
+	inj.arm(cfg.BurstEvery, "chaos:burst", inj.burstPulse)
+	if c.Network().Lossy() {
+		inj.arm(cfg.DupEvery, "chaos:dup", inj.dupPulse)
+	}
+	inj.arm(cfg.DelayEvery, "chaos:delay", inj.delayPulse)
+	inj.arm(cfg.CheckpointEvery, "chaos:checkpoint", inj.checkpointPulse)
+	return inj
+}
+
+// Stop freezes the schedule: no further kills or pulses, and every
+// partition the injector opened is healed. Restarts already scheduled for
+// killed kernels still fire, so a subsequent Run() reaches a fully-up
+// cluster.
+func (inj *Injector) Stop() {
+	inj.stopped = true
+	keys := make([][2]int, 0, len(inj.parts))
+	for k := range inj.parts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	for _, k := range keys {
+		delete(inj.parts, k)
+		inj.c.Network().Heal(addr.MachineID(k[0]), addr.MachineID(k[1]))
+		inj.tracef("heal %d-%d (stop)", k[0], k[1])
+	}
+}
+
+// Kills reports how many processor crashes fired.
+func (inj *Injector) Kills() int { return inj.kills }
+
+// KillCounts reports crashes per kill-point.
+func (inj *Injector) KillCounts() map[kernel.KillPoint]int {
+	out := make(map[kernel.KillPoint]int, len(inj.killCounts))
+	for k, v := range inj.killCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// Trace returns the injector's fault log — a deterministic artifact two
+// same-seed runs must reproduce byte for byte.
+func (inj *Injector) Trace() []string {
+	return append([]string(nil), inj.log...)
+}
+
+func (inj *Injector) tracef(format string, args ...any) {
+	inj.log = append(inj.log, fmt.Sprintf("t=%d %s", inj.eng.Now(), fmt.Sprintf(format, args...)))
+}
+
+// maybeKill is the fault hook: it fires inside a kernel's migration
+// handler at a named kill-point and decides whether that kernel dies right
+// there. The decision is a pure function of the rotation state — no PRNG —
+// so kill placement depends only on simulation order.
+func (inj *Injector) maybeKill(m int, kp kernel.KillPoint, pid addr.ProcessID) {
+	if inj.stopped || inj.kills >= inj.cfg.MaxKills || inj.eng.Now() < inj.cfg.KillAfter {
+		return
+	}
+	if inj.kills > 0 && inj.eng.Now() < inj.lastKill+inj.cfg.KillEvery {
+		return
+	}
+	k := inj.c.Kernel(m)
+	if k.Crashed() {
+		return
+	}
+	kps := kernel.KillPoints()
+	if kp != kps[inj.target%len(kps)] {
+		if inj.misses++; inj.misses > missLimit {
+			inj.misses = 0
+			inj.target++
+		}
+		return
+	}
+	inj.kills++
+	inj.target++
+	inj.misses = 0
+	inj.lastKill = inj.eng.Now()
+	inj.killCounts[kp]++
+	inj.tracef("kill m=%d kp=%s pid=%v", m, kp, pid)
+	k.Crash()
+	inj.eng.After(inj.cfg.RestartAfter, "chaos:restart", func() {
+		if !k.Crashed() {
+			return
+		}
+		if err := k.Restart(); err == nil {
+			inj.tracef("restart m=%d", m)
+		}
+	})
+}
+
+// arm schedules the first firing of a pulse family; each pulse re-arms
+// itself. Intervals jitter in [every/2, every*3/2) off the injector's PRNG.
+func (inj *Injector) arm(every sim.Time, name string, fn func()) {
+	if every <= 0 {
+		return
+	}
+	d := every/2 + sim.Time(inj.rng.Int63n(int64(every)))
+	inj.eng.AfterWeak(d, name, func() {
+		if inj.stopped {
+			return
+		}
+		fn()
+		inj.arm(every, name, fn)
+	})
+}
+
+// pick returns a random machine pair (a != b unless only one machine
+// exists). Both draws always happen so the PRNG stream stays aligned.
+func (inj *Injector) pick() (int, int) {
+	n := inj.c.Machines()
+	a := 1 + inj.rng.Intn(n)
+	b := 1 + inj.rng.Intn(n)
+	return a, b
+}
+
+func (inj *Injector) partitionPulse() {
+	a, b := inj.pick()
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	if inj.parts[key] {
+		return
+	}
+	inj.parts[key] = true
+	inj.c.Network().Partition(addr.MachineID(a), addr.MachineID(b))
+	inj.tracef("partition %d-%d", a, b)
+	// Weak: a heal must never be the only thing keeping the engine
+	// alive. Stop() sweeps up anything left unhealed.
+	inj.eng.AfterWeak(inj.cfg.PartitionFor, "chaos:heal", func() {
+		if !inj.parts[key] {
+			return
+		}
+		delete(inj.parts, key)
+		inj.c.Network().Heal(addr.MachineID(a), addr.MachineID(b))
+		inj.tracef("heal %d-%d", a, b)
+	})
+}
+
+func (inj *Injector) burstPulse() {
+	until := inj.eng.Now() + inj.cfg.BurstFor
+	inj.c.Network().LossBurst(inj.cfg.BurstRate, until)
+	inj.tracef("burst rate=%.2f until=%d", inj.cfg.BurstRate, until)
+}
+
+func (inj *Injector) dupPulse() {
+	a, b := inj.pick()
+	if a == b {
+		return
+	}
+	inj.c.Network().DuplicateNext(addr.MachineID(a), addr.MachineID(b), 1)
+	inj.tracef("dup-next %d->%d", a, b)
+}
+
+func (inj *Injector) delayPulse() {
+	a, b := inj.pick()
+	if a == b {
+		return
+	}
+	inj.c.Network().DelayNext(addr.MachineID(a), addr.MachineID(b), inj.cfg.DelayExtra)
+	inj.tracef("delay-next %d->%d +%d", a, b, inj.cfg.DelayExtra)
+}
+
+func (inj *Injector) checkpointPulse() {
+	saved := 0
+	for m := 1; m <= inj.c.Machines(); m++ {
+		k := inj.c.Kernel(m)
+		if k.Crashed() {
+			continue
+		}
+		for _, info := range k.Processes() {
+			if info.State == kernel.StateForwarder || info.QueueLen != 0 {
+				continue
+			}
+			if inj.cfg.CheckpointFilter != nil && !inj.cfg.CheckpointFilter(info) {
+				continue
+			}
+			if err := k.SaveCheckpoint(info.PID); err == nil {
+				saved++
+			}
+		}
+	}
+	if saved > 0 {
+		inj.tracef("checkpoint saved=%d", saved)
+	}
+}

@@ -1,0 +1,300 @@
+package chaos_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/chaos"
+	"demosmp/internal/core"
+	"demosmp/internal/kernel"
+	"demosmp/internal/netw"
+	"demosmp/internal/sim"
+	"demosmp/internal/workload"
+)
+
+// soakParams sizes one chaos soak.
+type soakParams struct {
+	machines   int
+	migrations int // migration attempts scheduled
+	sends      int // sequence-stamped user messages
+	maxKills   int
+	chaosOn    bool
+	lossy      bool
+}
+
+func fullParams() soakParams {
+	return soakParams{machines: 4, migrations: 400, sends: 300, maxKills: 16, chaosOn: true, lossy: true}
+}
+
+func shortParams() soakParams {
+	return soakParams{machines: 3, migrations: 40, sends: 80, maxKills: 8, chaosOn: true, lossy: true}
+}
+
+// soakResult is everything a determinism comparison needs.
+type soakResult struct {
+	fired       uint64
+	now         sim.Time
+	trace       []string
+	kills       int
+	killCounts  map[kernel.KillPoint]int
+	migrations  uint64
+	restarts    uint64
+	seen        map[uint32]uint32
+	recLost     bool
+	violations  []string
+	delivery    []string
+	netFrames   uint64
+	crashedLeft int
+}
+
+// runSoak builds a cluster, spawns a Recorder plus a movable fleet, drives
+// migrations and a sequence-stamped message stream at it through stale
+// addresses, lets the chaos injector crash/partition/burst throughout,
+// then runs to quiescence and audits.
+func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
+	t.Helper()
+	ncfg := netw.Config{}
+	if p.lossy {
+		ncfg = netw.Config{LossRate: 0.04, RetransTimeout: 3000, MaxRetries: 200}
+	}
+	c, err := core.New(core.Options{
+		Machines: p.machines,
+		Seed:     seed,
+		Net:      ncfg,
+		Kernel:   kernel.Config{MigrateTimeout: 400_000, CheckpointOnArrival: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := c.Engine()
+
+	recPID, err := c.Spawn(1, kernel.SpawnSpec{Body: &workload.Recorder{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := []addr.ProcessID{recPID}
+	for i := 0; i < 6; i++ {
+		pid, err := c.Spawn(1+i%p.machines, kernel.SpawnSpec{Body: &workload.Null{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet = append(fleet, pid)
+	}
+
+	// The driver's randomness is its own stream, like the injector's, so
+	// victim choice never depends on simulation-internal draws.
+	rng := rand.New(rand.NewSource(seed + 1))
+	var horizon sim.Time
+	for i := 0; i < p.migrations; i++ {
+		at := sim.Time(4_000 + i*6_000)
+		victim := fleet[rng.Intn(len(fleet))]
+		dest := 1 + rng.Intn(p.machines)
+		eng.At(at, "drive:migrate", func() { _ = c.Migrate(victim, dest) })
+		if at > horizon {
+			horizon = at
+		}
+	}
+	for i := 0; i < p.sends; i++ {
+		at := sim.Time(3_000 + i*4_500)
+		seq := uint32(i)
+		src := addr.MachineID(1 + i%p.machines)
+		eng.At(at, "drive:send", func() {
+			body := []byte{byte(seq), byte(seq >> 8), byte(seq >> 16), byte(seq >> 24)}
+			// Deliberately stale address: the recorder's birth machine,
+			// however many migrations ago that was.
+			c.Kernel(int(src)).GiveMessageTo(addr.At(recPID, 1), addr.KernelAddr(src), body)
+		})
+		if at > horizon {
+			horizon = at
+		}
+	}
+
+	var inj *chaos.Injector
+	if p.chaosOn {
+		inj = chaos.New(c, chaos.Config{
+			Seed:            seed + 7,
+			MaxKills:        p.maxKills,
+			RestartAfter:    60_000,
+			KillAfter:       80_000,
+			KillEvery:       60_000,
+			PartitionEvery:  60_000,
+			PartitionFor:    40_000,
+			BurstEvery:      90_000,
+			BurstFor:        30_000,
+			BurstRate:       0.6,
+			DupEvery:        45_000,
+			DelayEvery:      35_000,
+			DelayExtra:      2_000,
+			CheckpointEvery: 30_000,
+			// Keep system processes (PM-less here, but switchboard-free
+			// boot still has none) out of revival; checkpoint only the
+			// test's own fleet kinds.
+			CheckpointFilter: func(info kernel.ProcInfo) bool {
+				return info.Kind == workload.RecorderKind || info.Kind == workload.NullKind
+			},
+		})
+	}
+
+	// Phase 1: chaos active while the drivers fire.
+	c.RunFor(horizon + 50_000)
+	// Phase 2: freeze the fault schedule, heal leftovers, drain to
+	// quiescence (pending restarts are strong events and still fire).
+	if inj != nil {
+		inj.Stop()
+	}
+	c.Run()
+
+	res := soakResult{
+		fired: eng.Fired(),
+		now:   c.Now(),
+		seen:  map[uint32]uint32{},
+	}
+	if inj != nil {
+		res.trace = inj.Trace()
+		res.kills = inj.Kills()
+		res.killCounts = inj.KillCounts()
+	}
+	for m := 1; m <= p.machines; m++ {
+		ks := c.Kernel(m).Stats()
+		res.migrations += ks.MigrationsOut
+		res.restarts += ks.Restarts
+		if c.Kernel(m).Crashed() {
+			res.crashedLeft++
+		}
+	}
+	res.netFrames = c.Network().Stats().Frames
+
+	res.recLost = true
+	for m := 1; m <= p.machines; m++ {
+		if b, ok := c.Kernel(m).BodyOf(recPID); ok {
+			if r, ok2 := b.(*workload.Recorder); ok2 && r != nil {
+				res.recLost = false
+				for s, n := range r.Seen {
+					res.seen[s] = n
+				}
+			}
+		}
+	}
+
+	res.violations = chaos.CheckInvariants(c)
+	if !res.recLost {
+		res.delivery = chaos.CheckDelivery(c, res.seen, uint32(p.sends))
+	} else if !pidLost(c, recPID, p.machines) {
+		res.violations = append(res.violations,
+			fmt.Sprintf("recorder %v vanished without a crash-loss record", recPID))
+	}
+	return res
+}
+
+func pidLost(c *core.Cluster, pid addr.ProcessID, machines int) bool {
+	for m := 1; m <= machines; m++ {
+		for _, lost := range c.Kernel(m).LostPIDs() {
+			if lost == pid {
+				return true
+			}
+		}
+		if ks := c.Kernel(m).Stats(); ks.CrashLostProcs > 0 {
+			return true // lost pre-revival; LostPIDs cleared if later revived elsewhere
+		}
+	}
+	return false
+}
+
+// TestChaosSoak is the headline acceptance run: crashes at migration
+// kill-points, partitions, loss bursts, duplicates and delays — and at the
+// end every invariant holds and every missing message is accounted for.
+func TestChaosSoak(t *testing.T) {
+	p := fullParams()
+	if testing.Short() {
+		p = shortParams()
+	}
+	res := runSoak(t, 4242, p)
+
+	for _, v := range res.violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	for _, v := range res.delivery {
+		t.Errorf("delivery audit: %s", v)
+	}
+	if res.crashedLeft != 0 {
+		t.Errorf("%d machines still crashed at quiescence (restarts lost?)", res.crashedLeft)
+	}
+	if res.kills == 0 {
+		t.Fatalf("injector never fired a kill (migrations=%d)", res.migrations)
+	}
+	if res.restarts == 0 {
+		t.Fatal("no kernel ever restarted")
+	}
+	if !testing.Short() {
+		if res.migrations < 50 {
+			t.Errorf("only %d completed migrations; want >= 50", res.migrations)
+		}
+		for _, kp := range kernel.KillPoints() {
+			if res.killCounts[kp] == 0 {
+				t.Errorf("kill-point %v never exercised (counts: %v)", kp, res.killCounts)
+			}
+		}
+	}
+	t.Logf("soak: t=%d fired=%d migrations=%d kills=%d restarts=%d frames=%d recLost=%v",
+		res.now, res.fired, res.migrations, res.kills, res.restarts, res.netFrames, res.recLost)
+}
+
+// TestChaosSameSeedReproduces runs the identical fault schedule twice and
+// demands bit-identical outcomes: same event count, same injector log,
+// same delivery ledger, same aggregate stats.
+func TestChaosSameSeedReproduces(t *testing.T) {
+	p := shortParams()
+	a := runSoak(t, 99, p)
+	b := runSoak(t, 99, p)
+	if a.fired != b.fired || a.now != b.now {
+		t.Fatalf("engine diverged: fired %d/%d, now %d/%d", a.fired, b.fired, a.now, b.now)
+	}
+	if !reflect.DeepEqual(a.trace, b.trace) {
+		t.Fatalf("injector trace diverged:\nA: %v\nB: %v", a.trace, b.trace)
+	}
+	if !reflect.DeepEqual(a.seen, b.seen) || a.recLost != b.recLost {
+		t.Fatalf("delivery ledger diverged")
+	}
+	if a.migrations != b.migrations || a.restarts != b.restarts || a.kills != b.kills ||
+		a.netFrames != b.netFrames {
+		t.Fatalf("stats diverged: migrations %d/%d restarts %d/%d kills %d/%d frames %d/%d",
+			a.migrations, b.migrations, a.restarts, b.restarts, a.kills, b.kills,
+			a.netFrames, b.netFrames)
+	}
+}
+
+// TestNoFaultStrict runs the same harness with the injector disabled on a
+// lossless network: delivery must be exactly-once (zero missing, zero
+// duplicates) and every invariant clean — the control arm proving the
+// audits themselves aren't vacuous.
+func TestNoFaultStrict(t *testing.T) {
+	p := shortParams()
+	p.chaosOn = false
+	p.lossy = false
+	p.maxKills = 0
+	res := runSoak(t, 7, p)
+	for _, v := range res.violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	for _, v := range res.delivery {
+		t.Errorf("delivery audit: %s", v)
+	}
+	if res.recLost {
+		t.Fatal("recorder lost without faults")
+	}
+	var missing int
+	for s := uint32(0); s < uint32(p.sends); s++ {
+		if res.seen[s] == 0 {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d sequences missing in a no-fault run", missing)
+	}
+	if res.restarts != 0 || res.kills != 0 {
+		t.Fatalf("faults fired in the no-fault arm: kills=%d restarts=%d", res.kills, res.restarts)
+	}
+}

@@ -408,6 +408,29 @@ func (c *Cluster) Evict(pid addr.ProcessID) error {
 	return nil
 }
 
+// Crash simulates machine m's processor failing: its kernel freezes and
+// the network marks it down. Frames in flight to it are handled by the
+// retry/undeliverable machinery.
+func (c *Cluster) Crash(m int) error {
+	k := c.Kernel(m)
+	if k == nil {
+		return fmt.Errorf("core: no machine %d", m)
+	}
+	k.Crash()
+	return nil
+}
+
+// Restart recovers a crashed machine: volatile kernel state is wiped (with
+// accounting), checkpointed processes revive from stable storage, and the
+// machine rejoins the network (see kernel.Restart).
+func (c *Cluster) Restart(m int) error {
+	k := c.Kernel(m)
+	if k == nil {
+		return fmt.Errorf("core: no machine %d", m)
+	}
+	return k.Restart()
+}
+
 // ExitOf scans the cluster for pid's exit record.
 func (c *Cluster) ExitOf(pid addr.ProcessID) (kernel.ExitInfo, addr.MachineID, bool) {
 	for _, k := range c.kernels() {

@@ -1,0 +1,260 @@
+package kernel_test
+
+// Races around OpMigrateAbort. The abort message has no sequence number and
+// no handshake: it can arrive after the destination's watchdog already
+// committed the copy, arrive twice, or cross the final cleanup/MigrateDone
+// pair in flight. Each race has one correct outcome — exactly one live copy
+// of the process — and these tests pin all three down.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+	"demosmp/internal/msg"
+	"demosmp/internal/netw"
+	"demosmp/internal/proc"
+)
+
+// aborterBody is a privileged body that fires one OpMigrateAbort at a
+// kernel each time it is poked — the tests' stale/duplicate abort gun.
+type aborterBody struct {
+	Target addr.ProcessID
+	Claim  addr.MachineID // machine the abort claims to speak for
+	Kernel addr.MachineID // kernel to shoot at
+}
+
+func (b *aborterBody) Kind() string { return "aborter" }
+
+func (b *aborterBody) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	for {
+		if _, ok := ctx.Recv(); !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+		l, err := ctx.MintLink(link.Link{Addr: addr.KernelAddr(b.Kernel)})
+		if err != nil {
+			continue
+		}
+		pm := msg.PIDMachine{PID: b.Target, Machine: b.Claim}
+		_ = ctx.SendOp(l, msg.OpMigrateAbort, pm.Encode())
+		ctx.DestroyLink(l)
+	}
+}
+
+func (b *aborterBody) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(b)
+	return buf.Bytes(), err
+}
+
+func (b *aborterBody) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(b)
+}
+
+// arqCfg is the network used by the partition races: frames queue as
+// retransmissions while a pair is severed and flow again after Heal.
+func arqCfg() netw.Config {
+	return netw.Config{LossRate: 0.0001, RetransTimeout: 3000, MaxRetries: 500}
+}
+
+// TestAbortAfterTimeoutCommitYields: message 7 (established) is lost to a
+// partition, so the source's watchdog restores its copy and sends an abort
+// while the destination's watchdog — holding a fully established copy —
+// commits it on timeout. The process briefly exists twice; when the abort
+// finally arrives, the timeout-committed copy must yield.
+func TestAbortAfterTimeoutCommitYields(t *testing.T) {
+	c := newTCNet(t, 3, arqCfg(),
+		func(cfg *kernel.Config) { cfg.MigrateTimeout = 200_000 })
+	pid, err := c.k(1).Spawn(kernel.SpawnSpec{Body: &counterBody{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.runFor(2_000)
+
+	// Sever 1-2 the instant the destination holds the full state, just
+	// before it reports established: message 7 and the coming aborts all
+	// land in retransmission limbo.
+	cut := false
+	c.k(2).SetFaultHook(func(kp kernel.KillPoint, _ addr.ProcessID) {
+		if kp == kernel.KPDestTransferred && !cut {
+			cut = true
+			c.net.Partition(1, 2)
+		}
+	})
+	c.migrate(3, pid, 1, 2)
+
+	// Both watchdogs fire during the partition.
+	c.runFor(450_000)
+	if !cut {
+		t.Fatal("migration never reached KPDestTransferred")
+	}
+	if _, ok := c.k(1).Process(pid); !ok {
+		t.Fatal("source did not restore its copy on watchdog abort")
+	}
+	if info, ok := c.k(2).Process(pid); !ok || info.State == kernel.StateForwarder {
+		t.Fatal("destination did not timeout-commit its established copy")
+	}
+
+	// Heal: the retransmitted established finds no out-migration (the
+	// source already aborted) and draws a second abort; the first abort
+	// reaches the timeout-committed copy, which yields.
+	c.net.Heal(1, 2)
+	c.run()
+	if _, ok := c.k(2).Process(pid); ok {
+		t.Fatal("timeout-committed copy survived the abort — process forked")
+	}
+	if info, ok := c.k(1).Process(pid); !ok || info.State == kernel.StateForwarder {
+		t.Fatal("no live copy on the source after the yield")
+	}
+	if s := c.k(2).Stats(); s.MigrationsFailed != 1 {
+		t.Fatalf("destination MigrationsFailed = %d, want exactly 1 (duplicate abort must be a no-op)", s.MigrationsFailed)
+	}
+	if got := c.k(1).Stats().AdminSent[msg.OpMigrateAbort]; got < 2 {
+		t.Fatalf("source sent %d aborts, want >= 2 (watchdog + established-reply)", got)
+	}
+	if u := c.k(2).MemUsed(); u != 0 {
+		t.Fatalf("yield leaked %d bytes on the destination", u)
+	}
+
+	// The survivor still works.
+	if err := c.k(1).GiveMessage(pid, addr.KernelAddr(3), []byte("die")); err != nil {
+		t.Fatal(err)
+	}
+	c.run()
+	if _, m := c.exitOf(pid); m != 1 {
+		t.Fatalf("survivor exited on m%d, want m1", m)
+	}
+}
+
+// TestDuplicateAndStaleAbortsAreNoOps: aborts aimed at a process that is
+// not migrating, at a freshly migrated copy, and at the forwarder it left
+// behind must all fall through without damage.
+func TestDuplicateAndStaleAbortsAreNoOps(t *testing.T) {
+	c := newTCNet(t, 3, netw.Config{}, nil)
+	pid, err := c.k(2).Spawn(kernel.SpawnSpec{Body: &counterBody{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gun, _ := c.k(3).Spawn(kernel.SpawnSpec{
+		Body: &aborterBody{Target: pid, Claim: 3, Kernel: 2}, Privileged: true})
+	c.runFor(2_000)
+
+	// Two aborts for a process that never migrated: duplicate no-ops.
+	_ = c.k(3).GiveMessage(gun, addr.KernelAddr(3), []byte("fire"))
+	_ = c.k(3).GiveMessage(gun, addr.KernelAddr(3), []byte("fire"))
+	c.run()
+	if info, ok := c.k(2).Process(pid); !ok || info.State == kernel.StateForwarder {
+		t.Fatal("stale abort destroyed a process that was not migrating")
+	}
+	if s := c.k(2).Stats(); s.MigrationsFailed != 0 {
+		t.Fatalf("MigrationsFailed = %d after no-op aborts", s.MigrationsFailed)
+	}
+
+	// Migrate for real, then shoot both the new home and the forwarder.
+	c.migrate(3, pid, 2, 1)
+	c.run()
+	if info, ok := c.k(1).Process(pid); !ok || info.State == kernel.StateForwarder {
+		t.Fatal("migration 2->1 did not complete")
+	}
+	gunHome, _ := c.k(3).Spawn(kernel.SpawnSpec{
+		Body: &aborterBody{Target: pid, Claim: 2, Kernel: 1}, Privileged: true})
+	_ = c.k(3).GiveMessage(gunHome, addr.KernelAddr(3), []byte("fire"))
+	_ = c.k(3).GiveMessage(gun, addr.KernelAddr(3), []byte("fire")) // at the forwarder
+	c.run()
+
+	if info, ok := c.k(1).Process(pid); !ok || info.State == kernel.StateForwarder {
+		t.Fatal("stale abort destroyed a cleanly migrated copy")
+	}
+	if info, ok := c.k(2).Process(pid); !ok || info.State != kernel.StateForwarder {
+		t.Fatal("stale abort destroyed the forwarding address")
+	}
+	if s := c.k(1).Stats(); s.MigrationsFailed != 0 {
+		t.Fatalf("new home recorded %d failed migrations", s.MigrationsFailed)
+	}
+
+	// Traffic through the stale address still lands exactly once.
+	c.k(3).GiveMessageTo(addr.At(pid, 2), addr.KernelAddr(3), []byte("hit"))
+	c.run()
+	b, ok := c.k(1).BodyOf(pid)
+	if !ok {
+		t.Fatal("process body missing on m1")
+	}
+	if got := b.(*counterBody).Count; got != 1 {
+		t.Fatalf("counted %d, want 1", got)
+	}
+}
+
+// TestLateCleanupDisarmsTimeoutCommit: the source commits (forwarder
+// installed, MigrateDone sent) but its cleanup message is trapped by a
+// partition, so the destination commits on watchdog timeout with the
+// conflict flag set. The late cleanup crossing MigrateDone must clear that
+// flag — a stale abort arriving afterwards is a no-op, not a yield.
+func TestLateCleanupDisarmsTimeoutCommit(t *testing.T) {
+	c := newTCNet(t, 3, arqCfg(),
+		func(cfg *kernel.Config) { cfg.MigrateTimeout = 200_000 })
+	pid, err := c.k(1).Spawn(kernel.SpawnSpec{Body: &counterBody{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gun, _ := c.k(3).Spawn(kernel.SpawnSpec{
+		Body: &aborterBody{Target: pid, Claim: 1, Kernel: 2}, Privileged: true})
+	c.runFor(2_000)
+
+	// Sever 1-2 the instant the source has committed (step 7 done) but
+	// before message 8 can leave: the cleanup goes into retransmission.
+	cut := false
+	c.k(1).SetFaultHook(func(kp kernel.KillPoint, _ addr.ProcessID) {
+		if kp == kernel.KPSourceCommitted && !cut {
+			cut = true
+			c.net.Partition(1, 2)
+		}
+	})
+	c.migrate(3, pid, 1, 2)
+
+	c.runFor(450_000)
+	if !cut {
+		t.Fatal("migration never reached KPSourceCommitted")
+	}
+	if info, ok := c.k(2).Process(pid); !ok || info.State == kernel.StateForwarder {
+		t.Fatal("destination did not timeout-commit while the cleanup was trapped")
+	}
+	if s := c.k(1).Stats(); s.MigrationsOut != 1 {
+		t.Fatalf("source MigrationsOut = %d, want 1 (it committed before the partition)", s.MigrationsOut)
+	}
+
+	// Heal: the late cleanup arrives, proving the source is a forwarder
+	// and no abort is coming.
+	c.net.Heal(1, 2)
+	c.run()
+
+	// A stale abort after MigrateDone must not make the copy yield.
+	_ = c.k(3).GiveMessage(gun, addr.KernelAddr(3), []byte("fire"))
+	c.run()
+	if info, ok := c.k(2).Process(pid); !ok || info.State == kernel.StateForwarder {
+		t.Fatal("stale abort destroyed a cleanly-committed copy after late cleanup")
+	}
+	if s := c.k(2).Stats(); s.MigrationsFailed != 0 {
+		t.Fatalf("destination recorded %d failed migrations", s.MigrationsFailed)
+	}
+	if info, ok := c.k(1).Process(pid); !ok || info.State != kernel.StateForwarder {
+		t.Fatal("source is not a forwarder after committing")
+	}
+	done := c.k(3).DoneMigrations()
+	if len(done) != 1 || !done[0].OK {
+		t.Fatalf("requester saw %+v, want one OK completion", done)
+	}
+
+	// Traffic through the stale source address reaches the survivor.
+	c.k(3).GiveMessageTo(addr.At(pid, 1), addr.KernelAddr(3), []byte("hit"))
+	c.run()
+	b, ok := c.k(2).BodyOf(pid)
+	if !ok {
+		t.Fatal("process body missing on m2")
+	}
+	if got := b.(*counterBody).Count; got != 1 {
+		t.Fatalf("counted %d, want 1", got)
+	}
+}

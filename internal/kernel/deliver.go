@@ -15,6 +15,7 @@ import (
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) route(m *msg.Message) {
 	if k.crashed {
+		k.dropCrashed(m)
 		return
 	}
 	k.stats.MsgsRouted++
@@ -31,6 +32,7 @@ func (k *Kernel) route(m *msg.Message) {
 // DeliverFrame implements netw.Endpoint.
 func (k *Kernel) DeliverFrame(m *msg.Message) {
 	if k.crashed {
+		k.dropCrashed(m)
 		return
 	}
 	k.deliverLocal(m)
@@ -211,6 +213,9 @@ func (k *Kernel) unknownProcess(m *msg.Message) {
 		k.bounce(m) // m lives on as the bounce's Orig
 		return
 	}
+	if k.restarts > 0 && k.searchFallback(m) {
+		return // rerouted or held by the post-crash search (restart.go)
+	}
 	k.stats.DeadLetters++
 	if k.traceOn {
 		k.trace(trace.CatDeliver, "dead-letter", fmt.Sprintf("%v for %v", m.Kind, m.To.ID))
@@ -292,6 +297,10 @@ func (k *Kernel) handleLocateReply(m *msg.Message) {
 	}
 	for _, orig := range held {
 		orig.To.LastKnown = pm.Machine
+		// One resubmission per message: if the located machine turns out
+		// not to know the pid either (e.g. it crashed again), the message
+		// dead-letters instead of re-entering the search loop.
+		orig.Searched = true
 		if p := k.lookup(orig.From.ID); p != nil && p.links != nil {
 			k.stats.LinksFixed += uint64(p.links.UpdateAddr(pm.PID, pm.Machine))
 		}

@@ -25,6 +25,7 @@ func newTCNet(t *testing.T, machines int, ncfg netw.Config, mut func(*kernel.Con
 	reg := proc.NewRegistry()
 	reg.Register("counter", func() proc.Body { return &counterBody{} })
 	reg.Register("blackhole", func() proc.Body { return &blackholeBody{} })
+	reg.Register("aborter", func() proc.Body { return &aborterBody{} })
 	c := &tc{t: t, eng: eng, net: net, tr: tr, ks: map[addr.MachineID]*kernel.Kernel{}}
 	for i := 1; i <= machines; i++ {
 		cfg := kernel.Config{Tracer: tr, Registry: reg}

@@ -126,6 +126,11 @@ type Config struct {
 	// timer re-arms on every protocol step, so it only fires when the
 	// peer has actually gone silent (e.g. crashed mid-transfer).
 	MigrateTimeout sim.Time
+	// CheckpointOnArrival writes a migrated process to the destination's
+	// stable storage as soon as step 8 restarts it, so stable storage
+	// follows the process (§1) and a crash of the new host remains
+	// recoverable. Off by default.
+	CheckpointOnArrival bool
 	// Accept decides whether to accept an inbound migration (§3.2
 	// autonomy: "If the destination machine refuses, the process cannot
 	// be migrated"). nil accepts whenever memory fits.
@@ -194,6 +199,11 @@ type Process struct {
 	image      *memory.Image
 	privileged bool
 	cameFrom   addr.MachineID // previous host, for death-notice GC
+	// timeoutCommit marks a copy the destination committed on watchdog
+	// timeout (cleanup never arrived). If the source turns out to have
+	// restored its own copy, its abort message yields this one; the
+	// flag clears when a late cleanup confirms the source committed.
+	timeoutCommit bool
 
 	// Forwarder fields (state == StateForwarder).
 	fwdTo addr.MachineID
@@ -283,8 +293,9 @@ type Kernel struct {
 	local []*Process
 
 	// pool recycles message envelopes on the kernel-to-kernel fast path.
-	// nil when the network is lossy: the ARQ retains message pointers for
-	// retransmission, which is incompatible with recycling.
+	// Safe on a lossy network too: the ARQ copies on retain (netw/fault.go
+	// clones a pooled envelope for retransmission and retires the original
+	// through ReleaseFrame), so pooling no longer depends on the loss mode.
 	pool *msg.Pool
 	// pendingFree recycles deferred-delivery records (local latency hops
 	// and paced data packets), mirroring netw's pooled delivery records.
@@ -321,6 +332,17 @@ type Kernel struct {
 	stats   Stats
 	reports []MigrationReport
 	crashed bool
+
+	// Fault plane (restart.go). stable simulates the §1 stable storage a
+	// checkpoint survives a crash in; lostPIDs records processes a crash
+	// wiped without a checkpoint (so invariant checks can tell "lost to a
+	// crash" from "should still exist"); restarts counts recoveries and
+	// gates the search fallback for orphaned forwarding addresses.
+	stable       map[addr.ProcessID][]byte
+	lostPIDs     map[addr.ProcessID]bool
+	restarts     uint64
+	faultHook    func(kp KillPoint, pid addr.ProcessID)
+	loadReportEv sim.Event
 }
 
 // New creates a kernel for machine m, attaches it to the network, and
@@ -345,11 +367,11 @@ func New(m addr.MachineID, eng *sim.Engine, net *netw.Network, cfg Config) *Kern
 		pendingLocate: make(map[addr.ProcessID][]*msg.Message),
 		console:       make(map[addr.ProcessID][]string),
 		exits:         make(map[addr.ProcessID]ExitInfo),
+		stable:        make(map[addr.ProcessID][]byte),
+		lostPIDs:      make(map[addr.ProcessID]bool),
 		stats:         newStats(),
 	}
-	if !net.Lossy() {
-		k.pool = msg.NewPool()
-	}
+	k.pool = msg.NewPool()
 	k.runSliceFn = k.runSlice
 	k.sliceCtx.k = k
 	k.ctxI = &k.sliceCtx
@@ -808,6 +830,12 @@ func (d *pending) run() {
 	d.m = nil
 	d.next = k.pendingFree
 	k.pendingFree = d
+	if k.crashed {
+		// The kernel crashed while this local hop was in flight: the
+		// message dies with the machine, but not silently.
+		k.dropCrashed(m)
+		return
+	}
 	if res {
 		k.route(m)
 	} else {

@@ -52,6 +52,10 @@ type inMigration struct {
 	stage    msg.Region
 	bufs     map[msg.Region][]byte
 	watchdog sim.Event
+	// established is set once the process is fully assembled and
+	// message 7 has been sent: from here on this copy is the process,
+	// and a silent source must not make the watchdog discard it.
+	established bool
 }
 
 // armOutWatchdog (re)starts the source-side progress timer. If the
@@ -61,6 +65,9 @@ type inMigration struct {
 func (k *Kernel) armOutWatchdog(om *outMigration) {
 	k.eng.Cancel(om.watchdog)
 	om.watchdog = k.eng.After(k.cfg.MigrateTimeout, "kernel:migrate-watchdog", func() {
+		if k.crashed {
+			return // Restart discards the migration wholesale
+		}
 		if _, live := k.out[om.p.id]; !live {
 			return
 		}
@@ -77,7 +84,23 @@ func (k *Kernel) armOutWatchdog(om *outMigration) {
 func (k *Kernel) armInWatchdog(im *inMigration) {
 	k.eng.Cancel(im.watchdog)
 	im.watchdog = k.eng.After(k.cfg.MigrateTimeout, "kernel:migrate-watchdog", func() {
+		if k.crashed {
+			return // Restart discards the migration wholesale
+		}
 		if _, live := k.in[im.pid]; !live {
+			return
+		}
+		if im.established {
+			// Step 5 completed: this copy IS the process, and the
+			// source has gone silent — crashed before step 7, or its
+			// cleanup is stuck in retransmission. Committing cannot
+			// fork: a crashed source wiped its copy (and invalidated
+			// its stale checkpoint when it learned we were
+			// established), and a source that instead aborted and
+			// restored its copy sends OpMigrateAbort, which a
+			// timeout-committed copy yields to.
+			k.trace(trace.CatMigrate, "timeout-commit", im.pid.String())
+			k.commitIncoming(im, "committed on watchdog timeout", true)
 			return
 		}
 		abort := k.newControl(msg.OpMigrateAbort, addr.KernelAddr(im.src))
@@ -100,7 +123,37 @@ func (k *Kernel) handleMigrateAbort(m *msg.Message) {
 	}
 	if im, ok := k.in[pm.PID]; ok {
 		k.failIncoming(im, fmt.Errorf("aborted by %v", pm.Machine))
+		return
 	}
+	// An abort reaching a copy committed on watchdog timeout means the
+	// source restored its own copy before learning we were established:
+	// exactly-one requires the younger copy to yield. Duplicate or stale
+	// aborts find no process, or a cleanly-committed one (timeoutCommit
+	// false), and fall through as no-ops.
+	if p := k.lookup(pm.PID); p != nil && p.timeoutCommit && p.state != StateForwarder {
+		k.yieldTimeoutCommit(p, pm.Machine)
+	}
+}
+
+// yieldTimeoutCommit discards a timeout-committed copy in favour of the
+// source's restored one. Queued messages die here and are accounted as
+// dead letters; the local stable checkpoint is invalidated so a later
+// restart cannot resurrect the yielded copy.
+func (k *Kernel) yieldTimeoutCommit(p *Process, src addr.MachineID) {
+	k.trace(trace.CatMigrate, "timeout-commit-yield",
+		fmt.Sprintf("%v yields to restored copy on %v", p.id, src))
+	k.removeFromRunq(p)
+	if p.image != nil {
+		k.memUsed -= p.image.Size()
+		p.image.Discard()
+	}
+	for p.queue.Len() > 0 {
+		k.stats.DeadLetters++
+		k.putMsg(p.queue.pop())
+	}
+	delete(k.stable, p.id)
+	k.delProc(p.id)
+	k.stats.MigrationsFailed++
 }
 
 // sendAdmin accounts for one administrative message — globally and (if rep
@@ -196,6 +249,9 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 	om.rep.SwappableBytes = len(om.swappable)
 	om.rep.ProgramBytes = len(om.program)
 	k.out[p.id] = om
+	if k.killpoint(KPSourceFrozen, p.id) {
+		return
+	}
 
 	// Step 2: "A message is sent to the kernel on the destination
 	// processor, asking it to migrate the process to its machine."
@@ -211,6 +267,9 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 	am := k.newControl(msg.OpMigrateAsk, addr.KernelAddr(req.Dest))
 	am.Body = ask.AppendTo(am.Body[:0])
 	k.sendAdmin(am, &om.rep)
+	if k.killpoint(KPSourceAsked, p.id) {
+		return
+	}
 	k.armOutWatchdog(om)
 }
 
@@ -323,6 +382,13 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 	om.rep.AdminMsgs++
 	om.rep.AdminBytes += len(m.Body)
 	p := om.p
+	// The destination's copy is now the process: any checkpoint of the
+	// source copy is stale, and reviving it after a crash here would
+	// fork the process.
+	delete(k.stable, p.id)
+	if k.killpoint(KPSourceEstablished, p.id) {
+		return
+	}
 
 	// Step 6: "the source kernel resends all messages that were in the
 	// queue when the migration started, or that have arrived since...
@@ -366,6 +432,12 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 
 	if k.cfg.EagerUpdate {
 		k.broadcastEagerUpdate(p.id, om.dest)
+	}
+	// The process now lives at the destination: a checkpoint taken here is
+	// stale, and reviving it after a crash would fork the process.
+	delete(k.stable, p.id)
+	if k.killpoint(KPSourceCommitted, p.id) {
+		return
 	}
 
 	// Step 8 trigger: tell the destination it may restart the process.
@@ -459,6 +531,9 @@ func (k *Kernel) handleMigrateAsk(m *msg.Message) {
 	k.in[ask.PID] = im
 	k.trace(trace.CatMigrate, "step3-allocate-state",
 		fmt.Sprintf("%v from %v (reserving %dB)", ask.PID, src, programBytes))
+	if k.killpoint(KPDestAllocated, ask.PID) {
+		return
+	}
 	k.sendPIDMachine(addr.KernelAddr(src), msg.OpMigrateAccept,
 		msg.PIDMachine{PID: ask.PID, Machine: k.machine}, nil)
 	k.armInWatchdog(im)
@@ -494,9 +569,15 @@ func (k *Kernel) regionArrived(im *inMigration, region msg.Region, data []byte) 
 		im.stage = msg.RegionSwappable
 		k.pullRegion(im)
 	case msg.RegionSwappable:
+		if k.killpoint(KPDestMidTransfer, im.pid) {
+			return
+		}
 		im.stage = msg.RegionProgram
 		k.pullRegion(im)
 	case msg.RegionProgram:
+		if k.killpoint(KPDestTransferred, im.pid) {
+			return
+		}
 		k.assembleProcess(im)
 	}
 }
@@ -548,6 +629,7 @@ func (k *Kernel) assembleProcess(im *inMigration) {
 	p.msgsIn = res.msgsIn
 	p.msgsOut = res.msgsOut
 	k.stats.MigrationsIn++
+	im.established = true
 	k.sendPIDMachine(addr.KernelAddr(im.src), msg.OpMigrateEstablished,
 		msg.PIDMachine{PID: im.pid, Machine: k.machine}, nil)
 	k.armInWatchdog(im) // the cleanup message must still arrive
@@ -579,11 +661,28 @@ func (k *Kernel) handleMigrateCleanup(m *msg.Message) {
 	}
 	im, ok := k.in[c.PID]
 	if !ok {
+		// Already committed on watchdog timeout: this late cleanup
+		// confirms the source made itself a forwarder, so no abort is
+		// coming and the conflict flag can clear.
+		if p := k.lookup(c.PID); p != nil && p.timeoutCommit {
+			p.timeoutCommit = false
+		}
+		return
+	}
+	if k.killpoint(KPDestCleanup, c.PID) {
 		return
 	}
 	k.eng.Cancel(im.watchdog)
-	delete(k.in, c.PID)
+	k.commitIncoming(im, fmt.Sprintf("%d pending had been forwarded", c.Forwarded), false)
+}
+
+// commitIncoming finishes step 8 for an assembled process: drain the
+// messages queued while incoming, restore the pre-migration state, and (if
+// configured) follow the process with a stable-storage checkpoint.
+func (k *Kernel) commitIncoming(im *inMigration, note string, viaTimeout bool) {
+	delete(k.in, im.pid)
 	p := im.p
+	p.timeoutCommit = viaTimeout
 
 	// Messages queued here while incoming: DELIVERTOKERNEL ones go to
 	// the kernel now; the rest rotate back to the tail for the process.
@@ -612,7 +711,10 @@ func (k *Kernel) handleMigrateCleanup(m *msg.Message) {
 		k.enqueueRun(p)
 	}
 	k.trace(trace.CatMigrate, "step8-restart",
-		fmt.Sprintf("%v restarted as %v (%d pending had been forwarded)", p.id, p.state, c.Forwarded))
+		fmt.Sprintf("%v restarted as %v (%s)", p.id, p.state, note))
+	if k.cfg.CheckpointOnArrival {
+		_ = k.SaveCheckpoint(p.id)
+	}
 }
 
 // --- resident / swappable encodings ----------------------------------------

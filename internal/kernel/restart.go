@@ -1,0 +1,453 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/trace"
+)
+
+// This file is the kernel half of the fault-injection plane (ISSUE 4): named
+// kill-points at each step of the §3.1 migration protocol, crash/restart
+// with checkpoint revival from simulated stable storage (§1), and the §4
+// "search" escape hatch for messages whose forwarding addresses a crash
+// orphaned ("Occasionally a message will arrive for a process that is
+// neither resident nor has a forwarding address... the only recourse is to
+// search for the process").
+
+// KillPoint names a protocol stage at which a chaos scenario may crash the
+// source or destination kernel. The eight points cover the eight steps of
+// §3.1: two on the source before the transfer, three on the destination
+// during it, two on the source at commit time, one on the destination at
+// restart time.
+type KillPoint uint8
+
+const (
+	// KPSourceFrozen: source, end of step 1 — process frozen and payloads
+	// snapshotted, the ask not yet sent.
+	KPSourceFrozen KillPoint = iota + 1
+	// KPSourceAsked: source, end of step 2 — ask sent, watchdog not armed.
+	KPSourceAsked
+	// KPDestAllocated: destination, step 3 — empty state allocated, the
+	// accept not yet sent.
+	KPDestAllocated
+	// KPDestMidTransfer: destination, step 4 — resident and swappable
+	// regions buffered, program pull not yet issued.
+	KPDestMidTransfer
+	// KPDestTransferred: destination, end of step 5 — all three regions
+	// buffered, the process not yet assembled, established not sent.
+	KPDestTransferred
+	// KPSourceEstablished: source, start of step 6 — established received,
+	// pending queue not yet forwarded, process state intact.
+	KPSourceEstablished
+	// KPSourceCommitted: source, end of step 7 — forwarding address
+	// installed and process state reclaimed, cleanup not yet sent.
+	KPSourceCommitted
+	// KPDestCleanup: destination, step 8 — cleanup received, the process
+	// not yet restarted.
+	KPDestCleanup
+)
+
+// KillPointCount is the number of defined kill-points.
+const KillPointCount = int(KPDestCleanup)
+
+// KillPoints lists all kill-points in protocol order (chaos drivers cycle
+// through it for deterministic coverage).
+func KillPoints() []KillPoint {
+	out := make([]KillPoint, 0, KillPointCount)
+	for kp := KPSourceFrozen; kp <= KPDestCleanup; kp++ {
+		out = append(out, kp)
+	}
+	return out
+}
+
+func (kp KillPoint) String() string {
+	switch kp {
+	case KPSourceFrozen:
+		return "src-frozen"
+	case KPSourceAsked:
+		return "src-asked"
+	case KPDestAllocated:
+		return "dst-allocated"
+	case KPDestMidTransfer:
+		return "dst-mid-transfer"
+	case KPDestTransferred:
+		return "dst-transferred"
+	case KPSourceEstablished:
+		return "src-established"
+	case KPSourceCommitted:
+		return "src-committed"
+	case KPDestCleanup:
+		return "dst-cleanup"
+	default:
+		return fmt.Sprintf("killpoint(%d)", uint8(kp))
+	}
+}
+
+// SetFaultHook installs the chaos callback invoked at each kill-point with
+// the migrating pid. The hook may call Crash(); the interrupted handler then
+// returns immediately, freezing the machine mid-protocol.
+func (k *Kernel) SetFaultHook(fn func(kp KillPoint, pid addr.ProcessID)) {
+	k.faultHook = fn
+}
+
+// killpoint fires the fault hook (if any) and reports whether the hook
+// crashed this kernel — in which case the calling handler must abandon the
+// protocol step exactly where it stands.
+func (k *Kernel) killpoint(kp KillPoint, pid addr.ProcessID) bool {
+	if k.faultHook != nil {
+		k.faultHook(kp, pid)
+	}
+	return k.crashed
+}
+
+// --- stable storage ---------------------------------------------------------
+
+// SaveCheckpoint writes a checkpoint of a local process to this kernel's
+// simulated stable storage, where Restart finds it after a crash (§1: "If
+// the information necessary to transport a process is saved in stable
+// storage, it may be possible to 'migrate' a process from a processor that
+// has crashed to a working one."). The checkpoint is invalidated when the
+// process migrates away or dies.
+func (k *Kernel) SaveCheckpoint(pid addr.ProcessID) error {
+	b, err := k.Checkpoint(pid)
+	if err != nil {
+		return err
+	}
+	k.stable[pid] = b
+	k.stats.CheckpointsSaved++
+	return nil
+}
+
+// StableCheckpoint returns the stored checkpoint bytes for pid (for
+// cross-machine revival by a recovery driver).
+func (k *Kernel) StableCheckpoint(pid addr.ProcessID) ([]byte, bool) {
+	b, ok := k.stable[pid]
+	return b, ok
+}
+
+// StableCheckpoints lists the pids with a checkpoint in stable storage, in
+// deterministic order.
+func (k *Kernel) StableCheckpoints() []addr.ProcessID {
+	return sortedPIDKeys(len(k.stable), func(f func(addr.ProcessID)) {
+		for pid := range k.stable {
+			f(pid)
+		}
+	})
+}
+
+// --- crash / restart --------------------------------------------------------
+
+// Restart recovers a crashed kernel: everything volatile — processes,
+// forwarding addresses, link tables, in-flight migrations, held messages —
+// is wiped (with full accounting), the machine rejoins the network, and
+// checkpointed processes are revived from stable storage. The wipe is the
+// paper's §4 fragility made concrete: every forwarding address this kernel
+// held is gone, and traffic that depended on one now relies on the search
+// fallback below.
+func (k *Kernel) Restart() error {
+	if !k.crashed {
+		return fmt.Errorf("kernel %v: not crashed", k.machine)
+	}
+
+	// Abandon in-flight migrations. Watchdogs are canceled (their closures
+	// also carry a crashed-guard, for events already past Cancel's reach).
+	for _, om := range k.out {
+		k.eng.Cancel(om.watchdog)
+	}
+	for _, im := range k.in {
+		k.eng.Cancel(im.watchdog)
+	}
+	k.stats.MigrationsFailed += uint64(len(k.out) + len(k.in))
+
+	// Wipe volatile process state, accounting for every destroyed message
+	// and process so the cluster ledger still balances.
+	for _, p := range k.sortedProcs() {
+		for p.queue.Len() > 0 {
+			k.noteCrashWiped(p.queue.pop())
+		}
+		if p.image != nil {
+			p.image.Discard()
+		}
+		if p.state == StateForwarder {
+			k.stats.ForwarderBytes -= ForwarderWireSize
+		} else {
+			k.lostPIDs[p.id] = true
+			k.stats.CrashLostProcs++
+		}
+	}
+	for _, pid := range sortedPIDKeys(len(k.pendingLocate), func(f func(addr.ProcessID)) {
+		for pid := range k.pendingLocate {
+			f(pid)
+		}
+	}) {
+		for _, m := range k.pendingLocate[pid] {
+			k.noteCrashWiped(m)
+		}
+	}
+
+	k.procs = make(map[addr.ProcessID]*Process)
+	k.local = nil
+	k.runq = ring[*Process]{}
+	k.out = make(map[addr.ProcessID]*outMigration)
+	k.in = make(map[addr.ProcessID]*inMigration)
+	k.xfersIn = make(map[uint16]*inStream)
+	k.moveOps = make(map[uint16]*moveOp)
+	k.pendingLocate = make(map[addr.ProcessID][]*msg.Message)
+	k.memUsed = 0
+	k.cpuFreeAt = k.eng.Now()
+
+	k.crashed = false
+	k.restarts++
+	k.stats.Restarts++
+	k.net.SetDown(k.machine, false)
+	k.trace(trace.CatProc, "restart",
+		fmt.Sprintf("m%d back up (restart %d)", uint16(k.machine), k.restarts))
+
+	// Revive checkpointed processes in deterministic order. A revived pid
+	// is no longer lost.
+	for _, pid := range k.StableCheckpoints() {
+		if _, err := k.Revive(k.stable[pid]); err == nil {
+			delete(k.lostPIDs, pid)
+		} else {
+			k.trace(trace.CatProc, "revive-failed", fmt.Sprintf("%v: %v", pid, err))
+		}
+	}
+
+	// Re-arm the periodic load report (its weak event chain died with the
+	// crash-guard; Cancel tolerates an already-fired event).
+	if k.cfg.LoadReportEvery > 0 {
+		k.eng.Cancel(k.loadReportEv)
+		k.scheduleLoadReport()
+	}
+	return nil
+}
+
+// noteCrashWiped accounts one queued message destroyed by a crash and
+// recycles its envelope (the pool itself survives the crash, keeping the
+// cluster-wide envelope conservation exact).
+func (k *Kernel) noteCrashWiped(m *msg.Message) {
+	k.stats.CrashWipedMsgs++
+	if m.Orig != nil {
+		k.putMsg(m.Orig)
+	}
+	k.putMsg(m)
+}
+
+// dropCrashed accounts a message that reached this kernel while it was
+// down (stale local-delivery events, frames racing the crash instant).
+func (k *Kernel) dropCrashed(m *msg.Message) {
+	k.stats.DroppedWhileCrashed++
+	if m.Orig != nil {
+		k.putMsg(m.Orig)
+	}
+	k.putMsg(m)
+}
+
+// Restarts reports how many times this kernel recovered from a crash.
+func (k *Kernel) Restarts() uint64 { return k.restarts }
+
+// PendingMigrations reports in-flight migrations (both directions) — zero
+// at quiescence on a live kernel, or the migration is stuck.
+func (k *Kernel) PendingMigrations() int { return len(k.out) + len(k.in) }
+
+// LostPIDs lists processes wiped by a crash and never revived, in
+// deterministic order.
+func (k *Kernel) LostPIDs() []addr.ProcessID {
+	return sortedPIDKeys(len(k.lostPIDs), func(f func(addr.ProcessID)) {
+		for pid := range k.lostPIDs {
+			f(pid)
+		}
+	})
+}
+
+// PoolStats reports this kernel's envelope-pool ledger: envelopes the pool
+// constructed, envelopes on the free list, and pooled envelopes currently
+// held in process queues and locate buffers. At quiescence, cluster-wide,
+// ΣNews == ΣFree + ΣHeld — anything else is a leaked or double-released
+// envelope (chaos.CheckInvariants asserts this).
+func (k *Kernel) PoolStats() (news, free, held int) {
+	news, free = k.pool.News(), k.pool.Free()
+	for _, p := range k.procs {
+		for i := 0; i < p.queue.Len(); i++ {
+			held += countPooled(p.queue.at(i))
+		}
+	}
+	for _, msgs := range k.pendingLocate {
+		for _, m := range msgs {
+			held += countPooled(m)
+		}
+	}
+	return news, free, held
+}
+
+func countPooled(m *msg.Message) int {
+	n := 0
+	if m.Pooled() {
+		n++
+	}
+	if m.Orig != nil && m.Orig.Pooled() {
+		n++
+	}
+	return n
+}
+
+// --- netw.FrameOwner --------------------------------------------------------
+
+// ReleaseFrame implements netw.FrameOwner: the network took a private copy
+// of a pooled envelope this kernel sent (ARQ copy-on-retain) and the
+// original can be recycled.
+func (k *Kernel) ReleaseFrame(m *msg.Message) { k.putMsg(m) }
+
+// UndeliverableFrame implements netw.FrameOwner: the network abandoned a
+// frame this kernel sent — receiver down, pair partitioned, or retries
+// exhausted. Counted separately from DeadLetters (which means "delivered
+// to a machine that had no such process").
+func (k *Kernel) UndeliverableFrame(to addr.MachineID, m *msg.Message) {
+	k.stats.Undeliverable++
+	if k.traceOn {
+		k.trace(trace.CatDeliver, "undeliverable",
+			fmt.Sprintf("%v for %v: m%d unreachable", m.Kind, m.To.ID, uint16(to)))
+	}
+	if m.Orig != nil {
+		k.putMsg(m.Orig)
+	}
+	k.putMsg(m)
+}
+
+// --- the §4 search escape hatch ---------------------------------------------
+
+// searchFallback handles a message for a pid this kernel has no record of,
+// on a kernel that has crashed at least once — the orphaned-forwarding-
+// address case. Returns true if it consumed (rerouted or held) the message.
+//
+// Two regimes:
+//   - Foreign pid: reroute once toward the pid's creator machine. Births
+//     are the one location fact no crash here can erase, and the creator
+//     either hosts the process, holds a forwarder, has its exit record, or
+//     runs the broadcast search below.
+//   - Home-born pid: hold the message and broadcast a search query to every
+//     machine; the first useful reply resends held traffic (reusing the
+//     locate-reply machinery). A strong timeout dead-letters the held
+//     messages if nobody answers.
+func (k *Kernel) searchFallback(m *msg.Message) bool {
+	pid := m.To.ID
+	if m.Searched {
+		return false // one search per message: no reroute loops
+	}
+	if _, exited := k.exits[pid]; exited {
+		return false // authoritatively dead here
+	}
+	if pid.Creator != k.machine {
+		m.Searched = true
+		m.To.LastKnown = pid.Creator
+		k.stats.SearchForwards++
+		if k.traceOn {
+			k.trace(trace.CatForward, "search-reroute",
+				fmt.Sprintf("%v for %v -> creator m%d", m.Kind, pid, uint16(pid.Creator)))
+		}
+		k.route(m)
+		return true
+	}
+	if k.lostPIDs[pid] {
+		return false // wiped here with no checkpoint: it is gone for good
+	}
+	if len(k.cfg.Machines) == 0 {
+		return false // nobody to ask
+	}
+	if len(k.pendingLocate[pid]) >= PendingLocateCap {
+		return false // overflow: caller dead-letters
+	}
+	k.pendingLocate[pid] = append(k.pendingLocate[pid], m)
+	if len(k.pendingLocate[pid]) > 1 {
+		return true // search already outstanding
+	}
+	k.stats.SearchesSent++
+	if k.traceOn {
+		k.trace(trace.CatForward, "search-broadcast", pid.String())
+	}
+	for _, mach := range k.cfg.Machines {
+		if mach == k.machine {
+			continue
+		}
+		q := k.newControl(msg.OpSearchQuery, addr.KernelAddr(mach))
+		q.Body = msg.PIDMachine{PID: pid, Machine: k.machine}.AppendTo(q.Body[:0])
+		k.route(q)
+	}
+	k.armSearchTimeout(pid)
+	return true
+}
+
+// armSearchTimeout bounds a broadcast search: messages still held when it
+// fires become dead letters, keeping pendingLocate from pinning envelopes
+// forever when every peer is silent (down, partitioned, or ignorant).
+func (k *Kernel) armSearchTimeout(pid addr.ProcessID) {
+	k.eng.After(k.cfg.MigrateTimeout, "kernel:search-timeout", func() {
+		if k.crashed {
+			return
+		}
+		held := k.pendingLocate[pid]
+		if len(held) == 0 {
+			return
+		}
+		delete(k.pendingLocate, pid)
+		k.stats.DeadLetters += uint64(len(held))
+		if k.traceOn {
+			k.trace(trace.CatForward, "search-timeout",
+				fmt.Sprintf("%v: %d held messages dead-lettered", pid, len(held)))
+		}
+		for _, hm := range held {
+			if hm.Orig != nil {
+				k.putMsg(hm.Orig)
+			}
+			k.putMsg(hm)
+		}
+	})
+}
+
+// handleSearchQuery answers a peer's broadcast search from local knowledge:
+// a live (or arriving) copy here, a forwarding address, or an exit record.
+// A kernel that knows nothing stays silent — the searcher's timeout, not a
+// flood of "don't know" replies, resolves the negative case.
+func (k *Kernel) handleSearchQuery(m *msg.Message) {
+	pm, err := msg.DecodePIDMachine(m.Body)
+	if err != nil {
+		return
+	}
+	var at addr.MachineID
+	if p := k.lookup(pm.PID); p != nil {
+		if p.state == StateForwarder {
+			at = p.fwdTo
+		} else {
+			at = k.machine
+		}
+	} else if _, exited := k.exits[pm.PID]; exited {
+		at = addr.NoMachine // authoritatively dead
+	} else {
+		return
+	}
+	if k.traceOn {
+		k.trace(trace.CatForward, "search-reply",
+			fmt.Sprintf("%v is at m%d (asked by m%d)", pm.PID, uint16(at), uint16(pm.Machine)))
+	}
+	r := k.newControl(msg.OpLocateReply, addr.KernelAddr(pm.Machine))
+	r.Body = msg.PIDMachine{PID: pm.PID, Machine: at}.AppendTo(r.Body[:0])
+	k.route(r)
+}
+
+// sortedPIDKeys collects pids from a map-iterating visitor and sorts them —
+// the deterministic-order helper shared by the fault-plane accessors.
+func sortedPIDKeys(n int, visit func(func(addr.ProcessID))) []addr.ProcessID {
+	out := make([]addr.ProcessID, 0, n)
+	visit(func(pid addr.ProcessID) { out = append(out, pid) })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Creator != b.Creator {
+			return a.Creator < b.Creator
+		}
+		return a.Local < b.Local
+	})
+	return out
+}

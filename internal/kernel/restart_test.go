@@ -1,0 +1,171 @@
+package kernel_test
+
+// Crash/restart recovery and the §4 search escape hatch: a restarted kernel
+// has lost every forwarding address it held, so messages that relied on one
+// must either reroute toward the pid's creator, trigger a broadcast search,
+// or die as accounted dead letters.
+
+import (
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+)
+
+// TestRestartWipesAndRevives: a crash wipes volatile state with full
+// accounting; Restart brings the machine back and revives exactly the
+// processes that had a checkpoint in stable storage.
+func TestRestartWipesAndRevives(t *testing.T) {
+	c := newTC(t, 2, nil)
+	saved, err := c.k(1).Spawn(kernel.SpawnSpec{Body: &counterBody{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := c.k(1).Spawn(kernel.SpawnSpec{Body: &blackholeBody{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.runFor(2_000)
+
+	if err := c.k(1).Restart(); err == nil {
+		t.Fatal("Restart on a live kernel must fail")
+	}
+	if err := c.k(1).SaveCheckpoint(saved); err != nil {
+		t.Fatal(err)
+	}
+	c.k(1).Crash()
+	if err := c.k(1).Restart(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := c.k(1).Restarts(); got != 1 {
+		t.Fatalf("Restarts = %d, want 1", got)
+	}
+	if _, ok := c.k(1).Process(saved); !ok {
+		t.Fatal("checkpointed process was not revived")
+	}
+	if _, ok := c.k(1).Process(doomed); ok {
+		t.Fatal("uncheckpointed process survived the crash")
+	}
+	lost := c.k(1).LostPIDs()
+	if len(lost) != 1 || lost[0] != doomed {
+		t.Fatalf("LostPIDs = %v, want exactly [%v]", lost, doomed)
+	}
+	s := c.k(1).Stats()
+	if s.CrashLostProcs != 2 {
+		t.Fatalf("CrashLostProcs = %d, want 2 (both were wiped; one came back)", s.CrashLostProcs)
+	}
+	if s.Revived != 1 {
+		t.Fatalf("Revived = %d, want 1", s.Revived)
+	}
+
+	// The revived process still works end to end.
+	if err := c.k(1).GiveMessage(saved, addr.KernelAddr(2), []byte("die")); err != nil {
+		t.Fatal(err)
+	}
+	c.run()
+	if _, m := c.exitOf(saved); m != 1 {
+		t.Fatalf("revived process exited on m%d, want m1", m)
+	}
+}
+
+// migrateAway spawns a counter on m1 and completes a migration to m2,
+// leaving a forwarding address on m1.
+func migrateAway(c *tc) addr.ProcessID {
+	c.t.Helper()
+	pid, err := c.k(1).Spawn(kernel.SpawnSpec{Body: &counterBody{}})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.runFor(2_000)
+	c.migrate(3, pid, 1, 2)
+	c.run()
+	if info, ok := c.k(2).Process(pid); !ok || info.State == kernel.StateForwarder {
+		c.t.Fatal("setup migration 1->2 did not complete")
+	}
+	return pid
+}
+
+// TestSearchRerouteForeignPID: a message lands on a restarted machine that
+// never knew the pid. The one fact no crash can erase is the creator
+// encoded in the pid itself, so the message is rerouted there once and
+// follows the creator's forwarding address to the live copy.
+func TestSearchRerouteForeignPID(t *testing.T) {
+	c := newTC(t, 3, nil)
+	pid := migrateAway(c) // born m1, lives on m2, forwarder on m1
+
+	c.k(3).Crash()
+	if err := c.k(3).Restart(); err != nil {
+		t.Fatal(err)
+	}
+	// A stale address pointing at m3: no record, but the pid says "born
+	// on m1".
+	c.k(3).GiveMessageTo(addr.At(pid, 3), addr.KernelAddr(3), []byte("hit"))
+	c.run()
+
+	if s := c.k(3).Stats(); s.SearchForwards != 1 {
+		t.Fatalf("SearchForwards = %d, want 1", s.SearchForwards)
+	}
+	b, ok := c.k(2).BodyOf(pid)
+	if !ok {
+		t.Fatal("live copy missing on m2")
+	}
+	if got := b.(*counterBody).Count; got != 1 {
+		t.Fatalf("counted %d, want 1 (reroute must deliver exactly once)", got)
+	}
+}
+
+// TestSearchBroadcastFindsLiveCopy: the creator machine itself crashed and
+// lost the forwarding address. A message for the home-born pid is held
+// while a broadcast search asks every machine; the holder of the live copy
+// answers and the held message is resent.
+func TestSearchBroadcastFindsLiveCopy(t *testing.T) {
+	c := newTC(t, 3, nil)
+	pid := migrateAway(c)
+
+	c.k(1).Crash() // the forwarder for pid dies with m1
+	if err := c.k(1).Restart(); err != nil {
+		t.Fatal(err)
+	}
+	c.k(1).GiveMessageTo(addr.At(pid, 1), addr.KernelAddr(1), []byte("hit"))
+	c.run()
+
+	s := c.k(1).Stats()
+	if s.SearchesSent != 1 {
+		t.Fatalf("SearchesSent = %d, want 1", s.SearchesSent)
+	}
+	if s.DeadLetters != 0 {
+		t.Fatalf("DeadLetters = %d, want 0 (the search should have found m2)", s.DeadLetters)
+	}
+	b, ok := c.k(2).BodyOf(pid)
+	if !ok {
+		t.Fatal("live copy missing on m2")
+	}
+	if got := b.(*counterBody).Count; got != 1 {
+		t.Fatalf("counted %d, want 1 (search must deliver exactly once)", got)
+	}
+}
+
+// TestSearchTimeoutDeadLetters: every machine that could answer the search
+// is dead, so the timeout fires and the held messages become accounted
+// dead letters instead of pinned envelopes.
+func TestSearchTimeoutDeadLetters(t *testing.T) {
+	c := newTC(t, 3, func(cfg *kernel.Config) { cfg.MigrateTimeout = 100_000 })
+	pid := migrateAway(c)
+
+	c.k(1).Crash()
+	if err := c.k(1).Restart(); err != nil {
+		t.Fatal(err)
+	}
+	c.k(2).Crash() // the live copy is gone too; m3 knows nothing
+	c.k(1).GiveMessageTo(addr.At(pid, 1), addr.KernelAddr(1), []byte("hit"))
+	c.run()
+
+	s := c.k(1).Stats()
+	if s.SearchesSent != 1 {
+		t.Fatalf("SearchesSent = %d, want 1", s.SearchesSent)
+	}
+	if s.DeadLetters != 1 {
+		t.Fatalf("DeadLetters = %d, want 1 (search timeout must account the held message)", s.DeadLetters)
+	}
+}

@@ -132,6 +132,7 @@ func (k *Kernel) terminate(p *Process, code int32, err error) {
 		k.putMsg(p.queue.pop())
 	}
 	k.delProc(p.id)
+	delete(k.stable, p.id) // a dead process must not be revivable
 	k.exits[p.id] = ExitInfo{Code: code, Err: err, At: k.eng.Now()}
 	if err != nil {
 		k.stats.Crashes++
@@ -149,7 +150,7 @@ func (k *Kernel) terminate(p *Process, code int32, err error) {
 // Reports are weak events: they fire while the system is alive but do not
 // keep an otherwise idle simulation running.
 func (k *Kernel) scheduleLoadReport() {
-	k.eng.AfterWeak(k.cfg.LoadReportEvery, "kernel:load-report", func() {
+	k.loadReportEv = k.eng.AfterWeak(k.cfg.LoadReportEvery, "kernel:load-report", func() {
 		if k.crashed {
 			return
 		}

@@ -63,6 +63,18 @@ type Stats struct {
 	// counted here rather than growing kernel memory.
 	LocateDropped  uint64 // messages dropped at PendingLocateCap
 	ConsoleDropped uint64 // console lines dropped at ConsoleLineCap
+
+	// Fault plane (restart.go). Together with netw's fault counters these
+	// make every lost message attributable: the chaos invariant checker
+	// balances user sends against deliveries + dead letters + these.
+	Restarts            uint64 // crash recoveries of this kernel
+	CrashWipedMsgs      uint64 // queued messages destroyed by a crash
+	CrashLostProcs      uint64 // processes wiped by a crash (before any revival)
+	CheckpointsSaved    uint64 // checkpoints written to stable storage
+	Undeliverable       uint64 // frames the network returned as undeliverable
+	DroppedWhileCrashed uint64 // messages consumed while this kernel was down
+	SearchForwards      uint64 // messages rerouted to a pid's creator machine
+	SearchesSent        uint64 // search broadcasts for home-born pids
 }
 
 func newStats() Stats {

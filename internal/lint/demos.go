@@ -57,6 +57,12 @@ var demosLayers = map[string][]string{
 	"demosmp/internal/workload": {"demosmp/internal/dvm", "demosmp/internal/link",
 		"demosmp/internal/proc", "demosmp/internal/sim"},
 
+	// fault-injection plane: drives a composed cluster, so it sits above
+	// core; nothing inside the simulator may import it back
+	"demosmp/internal/chaos": {"demosmp/internal/addr", "demosmp/internal/core",
+		"demosmp/internal/kernel", "demosmp/internal/msg", "demosmp/internal/netw",
+		"demosmp/internal/sim", "demosmp/internal/workload"},
+
 	// composition root and public surface
 	"demosmp/internal/core": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/fs",
 		"demosmp/internal/kernel", "demosmp/internal/link", "demosmp/internal/memsched",
@@ -92,9 +98,13 @@ func DemosAnalyzers() []Analyzer {
 	return []Analyzer{
 		Determinism{
 			Prefix: ModulePath + "/internal/",
-			// sim owns the seeded PRNG: it is the one place allowed to
-			// construct math/rand state.
-			Exempt: map[string]bool{ModulePath + "/internal/sim": true},
+			// sim owns the seeded PRNG; chaos carries its own explicitly
+			// seeded stream so fault schedules replay independently of
+			// how much randomness the simulation itself consumed.
+			Exempt: map[string]bool{
+				ModulePath + "/internal/sim":   true,
+				ModulePath + "/internal/chaos": true,
+			},
 		},
 		MapOrder{},
 		Layering{Module: ModulePath, Allow: demosLayers},

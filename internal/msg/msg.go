@@ -99,6 +99,7 @@ const (
 	OpLocate         // kernel -> process manager: where is pid? (baseline)
 	OpLocateReply    // process manager -> kernel: pid's current machine (baseline)
 	OpEagerUpdate    // broadcast link update at migration time (ablation)
+	OpSearchQuery    // restarted kernel's search for a pid whose forwarder it lost (§4 escape hatch)
 )
 
 var opNames = map[Op]string{
@@ -114,6 +115,7 @@ var opNames = map[Op]string{
 	OpTimer: "timer", OpDeathNotice: "death-notice",
 	OpNotDeliverable: "not-deliverable", OpLocate: "locate",
 	OpLocateReply: "locate-reply", OpEagerUpdate: "eager-update",
+	OpSearchQuery: "search-query",
 }
 
 func (o Op) String() string {
@@ -169,6 +171,7 @@ type Message struct {
 	SentAt   sim.Time // first submission time
 	Forwards uint8    // times re-routed through a forwarding address
 	Hops     uint8    // network transmissions
+	Searched bool     // already rerouted once by a restarted kernel's search fallback
 
 	// Orig carries the bounced message inside an OpNotDeliverable
 	// control message (the return-to-sender baseline of §4). Its wire

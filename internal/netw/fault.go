@@ -1,0 +1,271 @@
+// Fault-injection plane for the network (see internal/chaos for the
+// scenario driver). Everything here is cold-path: Send tests one boolean
+// (n.faulty) and otherwise never enters this file, which is what keeps the
+// hotpath zero-alloc guards passing with the fault plane compiled in.
+//
+// Accounting contract: a frame the network consumes without delivering is
+// never silently lost. It is counted (SendFromDown / PartitionDropped /
+// BurstDropped / Dead / Dropped) AND handed to a sink — OnDead if set,
+// otherwise the sending machine's FrameOwner — so cluster-wide dead-letter
+// and pooled-envelope ledgers balance after a chaos run.
+package netw
+
+import (
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/sim"
+)
+
+// FrameOwner is the envelope-return interface a machine's endpoint may
+// implement (kernels do). The network calls it when it is done with a frame
+// the owner submitted:
+//
+//   - ReleaseFrame: the network took a private copy (the ARQ retains only
+//     heap clones) and the pooled original can be recycled.
+//   - UndeliverableFrame: the frame was abandoned — sender down, pair
+//     partitioned, burst loss in lossless mode, or retries exhausted.
+//
+// Both are invoked one engine step after the triggering Send (same sim
+// time, later event), never synchronously: senders may legally read an
+// envelope's routing fields immediately after Send returns.
+type FrameOwner interface {
+	ReleaseFrame(m *msg.Message)
+	UndeliverableFrame(to addr.MachineID, m *msg.Message)
+}
+
+// sinkItem is one deferred envelope handoff.
+type sinkItem struct {
+	owner FrameOwner // nil: dead frame for the OnDead callback
+	m     *msg.Message
+	to    addr.MachineID
+	dead  bool
+}
+
+// queueSink schedules a deferred handoff. All queued items run in one
+// "netw:sink" event at the current sim time, after the in-flight callback
+// (typically a Send caller) has finished with the envelope.
+func (n *Network) queueSink(it sinkItem) {
+	n.sinkQ = append(n.sinkQ, it)
+	if !n.sinkArmed {
+		n.sinkArmed = true
+		n.eng.After(0, "netw:sink", n.sinkFn)
+	}
+}
+
+// runSink drains the handoff queue. Handlers may trigger further sends
+// (and thus further queueSink calls); the index loop picks those up in the
+// same pass, and the re-armed event then finds an empty queue.
+func (n *Network) runSink() {
+	n.sinkArmed = false
+	for i := 0; i < len(n.sinkQ); i++ {
+		it := n.sinkQ[i]
+		n.sinkQ[i] = sinkItem{}
+		switch {
+		case !it.dead:
+			if it.owner != nil {
+				it.owner.ReleaseFrame(it.m)
+			}
+		case it.owner != nil:
+			it.owner.UndeliverableFrame(it.to, it.m)
+		case n.OnDead != nil:
+			n.OnDead(it.to, it.m)
+		}
+	}
+	n.sinkQ = n.sinkQ[:0]
+}
+
+// retire returns a pooled original the ARQ replaced with a heap clone.
+func (n *Network) retire(from addr.MachineID, m *msg.Message) {
+	if o := n.owners[from]; o != nil {
+		n.queueSink(sinkItem{owner: o, m: m})
+	}
+}
+
+// deadFrame routes an abandoned frame to its sink. OnDead, when set, takes
+// precedence (it is the pre-existing test hook); otherwise the sending
+// machine's FrameOwner gets it.
+func (n *Network) deadFrame(from, to addr.MachineID, m *msg.Message) {
+	if n.OnDead != nil {
+		n.queueSink(sinkItem{m: m, to: to, dead: true})
+		return
+	}
+	if o := n.owners[from]; o != nil {
+		n.queueSink(sinkItem{owner: o, m: m, to: to, dead: true})
+	}
+}
+
+// dropFromDown accounts a send attempted by a crashed machine (satellite
+// fix: this used to vanish without a counter).
+func (n *Network) dropFromDown(from, to addr.MachineID, m *msg.Message) {
+	n.stats.sendFromDown++
+	n.deadFrame(from, to, m)
+}
+
+// dropToDown accounts a frame arriving at a down machine. In lossless mode
+// that loss is final, so the frame is sunk; in ARQ mode the retransmit/dead
+// path owns the accounting (sinking here too would double-count a frame
+// that a later retry delivers after restart).
+func (n *Network) dropToDown(to addr.MachineID, m *msg.Message) {
+	n.stats.dropped++
+	if n.cfg.LossRate <= 0 {
+		n.deadFrame(m.From.LastKnown, to, m)
+	}
+}
+
+// normPair returns the order-normalized key for a bidirectional pair.
+func normPair(a, b addr.MachineID) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Partition severs the pair (a,b) in both directions. With an ARQ
+// (LossRate > 0) frames queue as retransmissions and flow again after Heal,
+// unless MaxRetries expires first; in lossless mode the loss is final and
+// fully accounted (PartitionDropped + undeliverable sink).
+func (n *Network) Partition(a, b addr.MachineID) {
+	n.parts[normPair(a, b)] = struct{}{}
+	n.refault()
+}
+
+// Heal reconnects a pair severed by Partition.
+func (n *Network) Heal(a, b addr.MachineID) {
+	delete(n.parts, normPair(a, b))
+	n.refault()
+}
+
+// Partitioned reports whether the pair is currently severed.
+func (n *Network) Partitioned(a, b addr.MachineID) bool {
+	_, cut := n.parts[normPair(a, b)]
+	return cut
+}
+
+func (n *Network) partitioned(from, to addr.MachineID) bool {
+	if len(n.parts) == 0 {
+		return false
+	}
+	_, cut := n.parts[normPair(from, to)]
+	return cut
+}
+
+// LossBurst raises the frame-loss probability to rate until the given sim
+// time (a noisy interval). In lossless mode burst losses are final and
+// accounted; with an ARQ they surface as extra retransmissions.
+func (n *Network) LossBurst(rate float64, until sim.Time) {
+	n.burstRate, n.burstEnd = rate, until
+	n.refault()
+}
+
+// DuplicateNext injects a duplicate wire copy for the next count frames
+// sent from->to. With an ARQ the duplicate carries the same frame id and is
+// suppressed by receiver dedup; in lossless mode the receiver genuinely
+// sees the message twice (there is no dedup layer to test against).
+func (n *Network) DuplicateNext(from, to addr.MachineID, count int) {
+	if count <= 0 {
+		delete(n.dupNext, pair{from, to})
+	} else {
+		n.dupNext[pair{from, to}] = count
+	}
+	n.refault()
+}
+
+// DelayNext adds extra transit time to the next frame sent from->to, so a
+// later frame can overtake it (reorder injection).
+func (n *Network) DelayNext(from, to addr.MachineID, extra sim.Time) {
+	if extra <= 0 {
+		delete(n.delayNext, pair{from, to})
+	} else {
+		n.delayNext[pair{from, to}] = extra
+	}
+	n.refault()
+}
+
+// refault recomputes the hot-path guard: true only while some injected
+// condition could still alter a send.
+func (n *Network) refault() {
+	n.faulty = len(n.parts) > 0 || n.burstEnd > n.eng.Now() ||
+		len(n.dupNext) > 0 || len(n.delayNext) > 0
+}
+
+// sendFaulty is the slow-path Send taken while any fault is armed. It
+// re-derives which injections apply to this frame and then follows the
+// normal lossless or ARQ route with the injections folded in.
+func (n *Network) sendFaulty(from, to addr.MachineID, m *msg.Message) {
+	n.refault() // self-clear once expired bursts/one-shots are gone
+	size := m.WireSize()
+	n.account(from, to, m, size)
+
+	key := pair{from, to}
+	var extra sim.Time
+	if d, ok := n.delayNext[key]; ok {
+		delete(n.delayNext, key)
+		n.stats.delayInjected++
+		extra = d
+	}
+	dup := false
+	if c, ok := n.dupNext[key]; ok {
+		if c <= 1 {
+			delete(n.dupNext, key)
+		} else {
+			n.dupNext[key] = c - 1
+		}
+		n.stats.dupInjected++
+		dup = true
+	}
+
+	if n.cfg.LossRate > 0 {
+		n.sendARQ(from, to, m, size, extra, dup)
+		return
+	}
+
+	// Lossless mode: no retransmission exists, so a severed or lost frame
+	// is gone for good — count it and sink the envelope.
+	if n.partitioned(from, to) {
+		n.stats.dropped++
+		n.stats.partitionDropped++
+		n.deadFrame(from, to, m)
+		return
+	}
+	if n.burstEnd > n.eng.Now() && n.eng.Rand().Float64() < n.burstRate {
+		n.stats.dropped++
+		n.stats.burstDropped++
+		n.deadFrame(from, to, m)
+		return
+	}
+	m.Hops++
+	d := n.getDelivery(to, m)
+	n.eng.After(n.transit(from, to, size)+extra, "netw:deliver", d.fn)
+	if dup {
+		dm := m.Clone()
+		dm.Hops = m.Hops
+		dd := n.getDelivery(to, dm)
+		n.eng.After(n.transit(from, to, size)+extra+1, "netw:dup", dd.fn)
+	}
+}
+
+// sendARQ submits one frame to the retransmission machinery. A pooled
+// envelope is never retained: the ARQ transmits a heap clone and retires
+// the original to its owner (copy-on-retain), so the pooled fast path and
+// the lossy network are no longer mutually exclusive. An injected duplicate
+// reuses the frame id, exercising receiver dedup rather than user-visible
+// duplication.
+func (n *Network) sendARQ(from, to addr.MachineID, m *msg.Message, size int, extra sim.Time, dup bool) {
+	if m.Pooled() {
+		c := m.Clone()
+		n.retire(from, m)
+		m = c
+	}
+	id := n.nextFrameID
+	n.nextFrameID++
+	n.transmit(from, to, m, size, id, 0, extra)
+	if dup {
+		dm := m
+		n.eng.After(n.transit(from, to, size)+extra+1, "netw:dup", func() {
+			if n.down[to] || n.partitioned(from, to) {
+				return
+			}
+			n.arrive(from, to, dm, id)
+		})
+	}
+}

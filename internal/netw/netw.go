@@ -90,6 +90,16 @@ type Stats struct {
 	Retransmits uint64
 	Duplicates  uint64 // retransmissions suppressed at the receiver
 	Dead        uint64 // frames abandoned after MaxRetries
+
+	// Fault-injection accounting (see fault.go). Every dropped frame is
+	// both counted here and handed to the undeliverable sink, so dead
+	// letters balance cluster-wide.
+	SendFromDown     uint64 // sends attempted by a crashed machine
+	PartitionDropped uint64 // lossless frames severed by a partition
+	BurstDropped     uint64 // lossless frames lost to a loss burst
+	DupInjected      uint64 // duplicate wire copies injected
+	DelayInjected    uint64 // frames given extra transit (reordering)
+
 	ByKind      map[msg.Kind]uint64
 	BytesByKind map[msg.Kind]uint64
 	PerMachine  map[addr.MachineID]MachineStats
@@ -130,6 +140,13 @@ type counters struct {
 	retransmits uint64
 	duplicates  uint64
 	dead        uint64
+
+	sendFromDown     uint64
+	partitionDropped uint64
+	burstDropped     uint64
+	dupInjected      uint64
+	delayInjected    uint64
+
 	byKind      [msg.KindCount]uint64
 	bytesByKind [msg.KindCount]uint64
 	perMachine  []MachineStats // indexed by uint16(MachineID)
@@ -151,9 +168,12 @@ func (c *counters) snapshot() Stats {
 		Frames: c.frames, Bytes: c.bytes, Delivered: c.delivered,
 		Dropped: c.dropped, Retransmits: c.retransmits,
 		Duplicates: c.duplicates, Dead: c.dead,
-		ByKind:      make(map[msg.Kind]uint64),
-		BytesByKind: make(map[msg.Kind]uint64),
-		PerMachine:  make(map[addr.MachineID]MachineStats),
+		SendFromDown: c.sendFromDown, PartitionDropped: c.partitionDropped,
+		BurstDropped: c.burstDropped, DupInjected: c.dupInjected,
+		DelayInjected: c.delayInjected,
+		ByKind:        make(map[msg.Kind]uint64),
+		BytesByKind:   make(map[msg.Kind]uint64),
+		PerMachine:    make(map[addr.MachineID]MachineStats),
 	}
 	for k, v := range c.byKind {
 		if v > 0 {
@@ -241,8 +261,27 @@ type Network struct {
 	nextFrameID uint64
 	delivered   map[pair]*dedup
 
+	// Fault-injection state (fault.go). faulty is the single hot-path
+	// guard: it is true only while some injected condition could alter a
+	// send, so the annotated fast path pays one boolean test when the
+	// fault plane is idle.
+	faulty    bool
+	parts     map[pair]struct{} // severed pairs, normalized from<to
+	burstRate float64
+	burstEnd  sim.Time
+	dupNext   map[pair]int      // directional: duplicate the next n frames
+	delayNext map[pair]sim.Time // directional: extra transit for next frame
+
+	// Frame ownership (fault.go): per-machine sinks that receive released
+	// and undeliverable envelopes, captured at Attach time.
+	owners    map[addr.MachineID]FrameOwner
+	sinkQ     []sinkItem
+	sinkArmed bool
+	sinkFn    func()
+
 	// OnDead receives frames abandoned after MaxRetries (typically
-	// because the destination machine is down). May be nil.
+	// because the destination machine is down). When nil, abandoned
+	// frames go to the sending machine's FrameOwner instead (fault.go).
 	OnDead func(to addr.MachineID, m *msg.Message)
 }
 
@@ -251,29 +290,42 @@ type pair struct{ from, to addr.MachineID }
 // New creates a network driven by eng.
 func New(eng *sim.Engine, cfg Config) *Network {
 	cfg.fillDefaults()
-	return &Network{
+	n := &Network{
 		eng:       eng,
 		cfg:       cfg,
 		eps:       make(map[addr.MachineID]Endpoint),
 		down:      make(map[addr.MachineID]bool),
 		delivered: make(map[pair]*dedup),
+		parts:     make(map[pair]struct{}),
+		dupNext:   make(map[pair]int),
+		delayNext: make(map[pair]sim.Time),
+		owners:    make(map[addr.MachineID]FrameOwner),
 	}
+	n.sinkFn = n.runSink
+	return n
 }
 
 // Config returns the active configuration.
 func (n *Network) Config() Config { return n.cfg }
 
 // Lossy reports whether frames can be dropped and retransmitted (the ARQ
-// is armed). A lossy network retains message pointers for retransmission,
-// so kernels must not recycle envelopes through a pool on top of one.
+// is armed). Pooled envelopes are safe on a lossy network: the ARQ never
+// retains them — Send copies a pooled envelope to the heap for delivery
+// and retransmission and retires the original to its owner (fault.go).
 func (n *Network) Lossy() bool { return n.cfg.LossRate > 0 }
 
-// Attach registers the endpoint for machine m.
+// Attach registers the endpoint for machine m. An endpoint that also
+// implements FrameOwner becomes the sink for envelopes this machine sent
+// that the network consumed (retired pooled originals) or abandoned
+// (partition, crash, retries exhausted).
 func (n *Network) Attach(m addr.MachineID, ep Endpoint) {
 	if _, dup := n.eps[m]; dup {
 		panic(fmt.Sprintf("netw: machine %v attached twice", m))
 	}
 	n.eps[m] = ep
+	if o, ok := ep.(FrameOwner); ok {
+		n.owners[m] = o
+	}
 	n.stats.machine(m) // pre-size the dense per-machine counters
 }
 
@@ -305,8 +357,9 @@ func (n *Network) transit(from, to addr.MachineID, size int) sim.Time {
 
 // Send transmits m from machine 'from' to machine 'to'. Delivery is
 // asynchronous; with a configured loss rate the frame is retransmitted
-// until acknowledged. Sending from a down machine silently drops (a crashed
-// kernel cannot transmit).
+// until acknowledged. Sending from a down machine drops the frame into the
+// undeliverable accounting path (a crashed kernel cannot transmit, but the
+// loss must not be silent).
 //
 //demos:hotpath — the lossless path must stay allocation-free: checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/netw-send and BenchmarkNetwSend in bench_hotpath_test.go.
 func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
@@ -317,6 +370,11 @@ func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 		panicNoEndpoint(to)
 	}
 	if n.down[from] {
+		n.dropFromDown(from, to, m)
+		return
+	}
+	if n.faulty {
+		n.sendFaulty(from, to, m)
 		return
 	}
 	size := m.WireSize()
@@ -327,9 +385,7 @@ func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 		n.eng.After(n.transit(from, to, size), "netw:deliver", d.fn)
 		return
 	}
-	id := n.nextFrameID
-	n.nextFrameID++
-	n.transmit(from, to, m, size, id, 0)
+	n.sendARQ(from, to, m, size, 0, false)
 }
 
 // panicLocalSend and panicNoEndpoint keep fmt's formatting machinery (and
@@ -391,7 +447,7 @@ func (n *Network) account(from, to addr.MachineID, m *msg.Message, size int) {
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/netw-send in bench_hotpath_test.go.
 func (n *Network) deliver(to addr.MachineID, m *msg.Message) {
 	if n.down[to] {
-		n.stats.dropped++
+		n.dropToDown(to, m)
 		return
 	}
 	n.stats.delivered++
@@ -406,31 +462,47 @@ func (n *Network) dedupSize(from, to addr.MachineID) int {
 	return 0
 }
 
+// arrive lands one ARQ frame copy at the receiver, suppressing duplicate
+// ids (retransmissions and injected duplicates alike). Returns whether the
+// frame was actually delivered.
+func (n *Network) arrive(from, to addr.MachineID, m *msg.Message, id uint64) bool {
+	key := pair{from, to}
+	seen := n.delivered[key]
+	if seen == nil {
+		seen = newDedup()
+		n.delivered[key] = seen
+	}
+	if seen.seen(id) {
+		n.stats.duplicates++
+		return false
+	}
+	seen.add(id)
+	n.deliver(to, m)
+	return true
+}
+
 // transmit is one ARQ attempt. The ack travels as a zero-cost event (the
 // real ack bytes are negligible and not part of the paper's accounting).
-func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id uint64, attempt int) {
+// extra delays only this attempt's delivery (reorder injection); a
+// partition or an active loss burst raises the effective loss probability
+// per attempt, so retries outlasting the fault still get through.
+func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id uint64, attempt int, extra sim.Time) {
 	if attempt > 0 {
 		n.stats.retransmits++
 	}
-	lostFrame := n.eng.Rand().Float64() < n.cfg.LossRate || n.down[to]
-	lostAck := n.eng.Rand().Float64() < n.cfg.LossRate
+	rate := n.cfg.LossRate
+	if n.burstEnd > n.eng.Now() && n.burstRate > rate {
+		rate = n.burstRate
+	}
+	cut := n.partitioned(from, to)
+	lostFrame := n.eng.Rand().Float64() < rate || n.down[to] || cut
+	lostAck := n.eng.Rand().Float64() < rate || cut
 	acked := false
 
 	if !lostFrame {
 		m.Hops++
-		n.eng.After(n.transit(from, to, size), "netw:deliver", func() {
-			key := pair{from, to}
-			seen := n.delivered[key]
-			if seen == nil {
-				seen = newDedup()
-				n.delivered[key] = seen
-			}
-			if seen.seen(id) {
-				n.stats.duplicates++
-			} else {
-				seen.add(id)
-				n.deliver(to, m)
-			}
+		n.eng.After(n.transit(from, to, size)+extra, "netw:deliver", func() {
+			n.arrive(from, to, m, id)
 			if !lostAck {
 				n.eng.After(n.cfg.Latency, "netw:ack", func() { acked = true })
 			}
@@ -439,17 +511,15 @@ func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id
 		n.stats.dropped++
 	}
 
-	n.eng.After(n.cfg.RetransTimeout, "netw:retrans-check", func() {
+	n.eng.After(n.cfg.RetransTimeout+extra, "netw:retrans-check", func() {
 		if acked {
 			return
 		}
 		if attempt+1 >= n.cfg.MaxRetries {
 			n.stats.dead++
-			if n.OnDead != nil {
-				n.OnDead(to, m)
-			}
+			n.deadFrame(from, to, m)
 			return
 		}
-		n.transmit(from, to, m, size, id, attempt+1)
+		n.transmit(from, to, m, size, id, attempt+1, 0)
 	})
 }

@@ -591,6 +591,54 @@ func (n *Null) Snapshot() ([]byte, error) { return nil, nil }
 // Restore implements proc.Body.
 func (n *Null) Restore([]byte) error { return nil }
 
+// RecorderKind is the registry name of Recorder.
+const RecorderKind = "wl-recorder"
+
+// Recorder consumes sequence-stamped deliveries — a 4-byte little-endian
+// sequence number at the head of the body — and counts arrivals per
+// sequence. The chaos invariant checker reads Seen to prove at-most-once
+// delivery under faults: a count above one is a duplicate, and a missing
+// sequence is legal only when the cluster accounted a matching loss.
+type Recorder struct {
+	Seen map[uint32]uint32
+	Junk int // deliveries too short to carry a sequence number
+}
+
+// Kind implements proc.Body.
+func (r *Recorder) Kind() string { return RecorderKind }
+
+// Step implements proc.Body.
+func (r *Recorder) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	for {
+		d, ok := ctx.Recv()
+		if !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+		if len(d.Body) < 4 {
+			r.Junk++
+			continue
+		}
+		if r.Seen == nil {
+			r.Seen = make(map[uint32]uint32)
+		}
+		seq := uint32(d.Body[0]) | uint32(d.Body[1])<<8 |
+			uint32(d.Body[2])<<16 | uint32(d.Body[3])<<24
+		r.Seen[seq]++
+	}
+}
+
+// Snapshot implements proc.Body.
+func (r *Recorder) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(r)
+	return buf.Bytes(), err
+}
+
+// Restore implements proc.Body.
+func (r *Recorder) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(r)
+}
+
 // Registry returns a process registry with every workload body kind
 // registered (plus the VM kind that proc.NewRegistry pre-registers), so
 // drivers outside the kernel can build migratable clusters without
@@ -604,5 +652,6 @@ func Registry() *proc.Registry {
 	reg.Register(EchoKind, func() proc.Body { return &Echo{} })
 	reg.Register(CounterKind, func() proc.Body { return &Counter{} })
 	reg.Register(NullKind, func() proc.Body { return &Null{} })
+	reg.Register(RecorderKind, func() proc.Body { return &Recorder{} })
 	return reg
 }

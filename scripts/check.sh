@@ -18,6 +18,9 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== chaos soak (short mode, fixed seeds: 4242 / 99 / 7)"
+go test -short -count=1 ./internal/chaos/
+
 echo "== hot-path allocation guards + benchmarks (1 iteration smoke)"
 go test -run TestHotPathZeroAlloc \
   -bench 'EngineSchedule|EngineDispatchDepth64|NetwSend|MsgEncode|Kernel' \

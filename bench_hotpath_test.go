@@ -16,6 +16,7 @@ import (
 	"demosmp/internal/link"
 	"demosmp/internal/msg"
 	"demosmp/internal/netw"
+	"demosmp/internal/obs"
 	"demosmp/internal/proc"
 	"demosmp/internal/sim"
 )
@@ -188,6 +189,13 @@ func benchCluster(n int) (*sim.Engine, []*kernel.Kernel) {
 	for i := range ks {
 		ks[i] = kernel.New(addr.MachineID(i+1), e, nw, kernel.Config{Registry: reg})
 	}
+	// Instrumentation on: the zero-allocation guards below must hold with
+	// the obs plane attached, exactly as core.New runs it.
+	oreg, oled := obs.NewRegistry(), obs.NewLedger()
+	for _, k := range ks {
+		k.SetObs(oreg, oled)
+	}
+	nw.RegisterObs(oreg)
 	return e, ks
 }
 
@@ -370,6 +378,7 @@ func TestHotPathZeroAlloc(t *testing.T) {
 	t.Run("netw-send", func(t *testing.T) {
 		e := sim.NewEngine(1)
 		nw := netw.New(e, netw.Config{})
+		nw.RegisterObs(obs.NewRegistry())
 		nw.Attach(1, &benchSink{})
 		nw.Attach(2, &benchSink{})
 		m := benchMessage()

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	demosnet [-machines 3] [-trace] [-fs] [-migrate]
+//	         [-obs-json snapshot.json] [-trace-out timeline.json]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"demosmp/internal/addr"
 	"demosmp/internal/kernel"
 	"demosmp/internal/link"
+	"demosmp/internal/obs"
 )
 
 var (
@@ -24,6 +26,8 @@ var (
 	withFS   = flag.Bool("fs", true, "boot the four-process file system and run clients")
 	migrate  = flag.Bool("migrate", true, "migrate a worker and the file server mid-run")
 	seed     = flag.Int64("seed", 1, "simulation seed")
+	obsJSON  = flag.String("obs-json", "", "write the post-run metrics registry snapshot (JSON) to this path")
+	traceOut = flag.String("trace-out", "", "write a post-run Chrome trace_event timeline JSON to this path")
 )
 
 func main() {
@@ -39,10 +43,17 @@ func main() {
 	if *doTrace {
 		opts.TraceSink = os.Stderr
 	}
+	if *traceOut != "" && opts.TraceCap == 0 {
+		opts.TraceCap = 8192
+	}
 	c, err := demosmp.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "demosnet:", err)
 		os.Exit(1)
+	}
+	var sampler *obs.EngineSampler
+	if *traceOut != "" {
+		sampler = obs.SampleEngine(c.Engine(), 2000)
 	}
 
 	fmt.Printf("booted %d machines; system processes: switchboard=%v pm=%v\n",
@@ -104,6 +115,33 @@ func main() {
 	for _, r := range c.Reports() {
 		fmt.Printf("  migration %v m%d->m%d: %d B state in %d packets, %d admin msgs, latency %v\n",
 			r.PID, uint16(r.From), uint16(r.To), r.StateBytes(), r.DataPackets, r.AdminMsgs, r.Latency())
+	}
+
+	if *obsJSON != "" {
+		f, err := os.Create(*obsJSON)
+		fail(err)
+		fail(c.ObsSnapshot().WriteJSON(f))
+		fail(f.Close())
+		fmt.Printf("metrics snapshot: %s\n", *obsJSON)
+	}
+	if *traceOut != "" {
+		var samples []obs.CounterSample
+		if sampler != nil {
+			samples = sampler.Samples()
+		}
+		tl := obs.BuildTimeline(c.Tracer().Records(), c.Ledger(), samples)
+		f, err := os.Create(*traceOut)
+		fail(err)
+		fail(tl.WriteJSON(f))
+		fail(f.Close())
+		fmt.Printf("timeline: %s (open in chrome://tracing)\n", *traceOut)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demosnet:", err)
+		os.Exit(1)
 	}
 }
 

@@ -33,6 +33,8 @@ var (
 	runFlag             = flag.String("run", "", "comma-separated experiment ids (default: all)")
 	benchJSONFlag       = flag.String("bench-json", "", "measure the simulator hot paths and append to this JSON trajectory file, then exit")
 	checkRegressionFlag = flag.Bool("check-regression", false, "re-measure the hot paths and exit nonzero if any tracked ns/op regressed >20% vs the last run recorded in -bench-json (default BENCH_hotpath.json)")
+	obsJSONFlag         = flag.String("obs-json", "", "run the obs export scenario and write the metrics registry snapshot (JSON) to this path, then exit")
+	traceOutFlag        = flag.String("trace-out", "", "with the obs export scenario, also write a Chrome trace_event timeline JSON to this path")
 )
 
 type experiment struct {
@@ -53,6 +55,10 @@ func main() {
 	}
 	if *benchJSONFlag != "" {
 		benchJSON(*benchJSONFlag)
+		return
+	}
+	if *obsJSONFlag != "" || *traceOutFlag != "" {
+		obsExport(*obsJSONFlag, *traceOutFlag)
 		return
 	}
 	exps := []experiment{

@@ -1,6 +1,7 @@
 package chaos_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -11,6 +12,7 @@ import (
 	"demosmp/internal/core"
 	"demosmp/internal/kernel"
 	"demosmp/internal/netw"
+	"demosmp/internal/obs"
 	"demosmp/internal/sim"
 	"demosmp/internal/workload"
 )
@@ -48,6 +50,14 @@ type soakResult struct {
 	delivery    []string
 	netFrames   uint64
 	crashedLeft int
+
+	// Post-run obs exports, byte-for-byte comparable across same-seed
+	// runs: the text metrics snapshot and the Chrome timeline JSON.
+	obsText  []byte
+	timeline []byte
+
+	// The quiescent cluster itself, for audits that need direct reads.
+	cluster *core.Cluster
 }
 
 // runSoak builds a cluster, spawns a Recorder plus a movable fleet, drives
@@ -148,9 +158,10 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 	c.Run()
 
 	res := soakResult{
-		fired: eng.Fired(),
-		now:   c.Now(),
-		seen:  map[uint32]uint32{},
+		fired:   eng.Fired(),
+		now:     c.Now(),
+		seen:    map[uint32]uint32{},
+		cluster: c,
 	}
 	if inj != nil {
 		res.trace = inj.Trace()
@@ -179,7 +190,23 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 		}
 	}
 
+	// Post-run obs snapshot: exported for the determinism comparison and
+	// cross-checked against direct struct reads (including the envelope
+	// conservation law re-derived purely from registry values).
+	snap := c.ObsSnapshot()
+	var sb, tb bytes.Buffer
+	if err := snap.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	tl := obs.BuildTimeline(c.Tracer().Records(), c.Ledger(), nil)
+	if err := tl.WriteJSON(&tb); err != nil {
+		t.Fatal(err)
+	}
+	res.obsText = sb.Bytes()
+	res.timeline = tb.Bytes()
+
 	res.violations = chaos.CheckInvariants(c)
+	res.violations = append(res.violations, chaos.CheckRegistry(c, snap)...)
 	if !res.recLost {
 		res.delivery = chaos.CheckDelivery(c, res.seen, uint32(p.sends))
 	} else if !pidLost(c, recPID, p.machines) {

@@ -11,6 +11,7 @@ import (
 	"demosmp/internal/addr"
 	"demosmp/internal/core"
 	"demosmp/internal/kernel"
+	"demosmp/internal/obs"
 )
 
 // CheckInvariants audits a quiescent cluster and returns one human-readable
@@ -193,4 +194,83 @@ func sortPIDs(pids []addr.ProcessID) {
 		}
 		return pids[i].Local < pids[j].Local
 	})
+}
+
+// CheckRegistry cross-checks an obs snapshot against direct struct reads:
+// because the registry samples every value from its single owner, any
+// disagreement means a metric was wired to the wrong source (or a second
+// live copy of a counter crept back in). It also re-derives the envelope
+// conservation law purely from registry values — the soak's post-run
+// snapshot must balance exactly like the PoolStats audit in
+// CheckInvariants.
+func CheckRegistry(c *core.Cluster, s obs.Snapshot) []string {
+	var bad []string
+	var regNews, regFree, regHeld uint64
+	for m := 1; m <= c.Machines(); m++ {
+		k := c.Kernel(m)
+		ks := k.Stats()
+		p := fmt.Sprintf("kernel.m%d.", m)
+		checks := []struct {
+			name string
+			want uint64
+		}{
+			{"msgs_routed", ks.MsgsRouted},
+			{"dead_letters", ks.DeadLetters},
+			{"forwarded", ks.Forwarded},
+			{"link_updates_sent", ks.LinkUpdatesSent},
+			{"migrations_out", ks.MigrationsOut},
+			{"migrations_in", ks.MigrationsIn},
+			{"admin_bytes", ks.AdminBytes},
+			{"admin_total", ks.AdminTotal()},
+			{"data_packets_sent", ks.DataPacketsSent},
+			{"acks_sent", ks.AcksSent},
+			{"locate_dropped", ks.LocateDropped},
+			{"console_dropped", ks.ConsoleDropped},
+			{"restarts", ks.Restarts},
+			{"crash_wiped_msgs", ks.CrashWipedMsgs},
+		}
+		for _, ch := range checks {
+			if got := s.Value(p + ch.name); got != ch.want {
+				bad = append(bad, fmt.Sprintf("registry %s%s = %d, struct says %d",
+					p, ch.name, got, ch.want))
+			}
+		}
+		news, free, held := k.PoolStats()
+		for _, ch := range []struct {
+			name string
+			want int
+		}{{"pool_news", news}, {"pool_free", free}, {"pool_held", held}} {
+			if v := s.Value(p + ch.name); v != uint64(ch.want) {
+				bad = append(bad, fmt.Sprintf("registry %s%s = %d, PoolStats says %d",
+					p, ch.name, v, ch.want))
+			}
+		}
+		regNews += s.Value(p + "pool_news")
+		regFree += s.Value(p + "pool_free")
+		regHeld += s.Value(p + "pool_held")
+	}
+	if regNews != regFree+regHeld {
+		bad = append(bad, fmt.Sprintf(
+			"registry envelope conservation broken: news=%d != free=%d + held=%d",
+			regNews, regFree, regHeld))
+	}
+
+	ns := c.Network().Stats()
+	netChecks := []struct {
+		name string
+		want uint64
+	}{
+		{"netw.frames", ns.Frames},
+		{"netw.delivered", ns.Delivered},
+		{"netw.dropped", ns.Dropped},
+		{"netw.retransmits", ns.Retransmits},
+		{"netw.dead", ns.Dead},
+		{"netw.send_from_down", ns.SendFromDown},
+	}
+	for _, ch := range netChecks {
+		if got := s.Value(ch.name); got != ch.want {
+			bad = append(bad, fmt.Sprintf("registry %s = %d, netw says %d", ch.name, got, ch.want))
+		}
+	}
+	return bad
 }

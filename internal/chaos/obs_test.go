@@ -1,0 +1,92 @@
+package chaos_test
+
+// Observability-plane audits over the chaos harness: same-seed runs must
+// export byte-identical snapshots and timelines, and the single-ownership
+// rule for stats (kernel owns protocol counts, netw owns wire counts) must
+// reconcile exactly on a lossless run.
+
+import (
+	"bytes"
+	"testing"
+
+	"demosmp/internal/kernel"
+	"demosmp/internal/msg"
+)
+
+// TestObsExportDeterministic runs the full fault schedule twice with one
+// seed and demands byte-identical obs exports: the text metrics snapshot
+// and the Chrome trace_event timeline JSON. Sorted metric names, fixed
+// registration order, and struct-driven JSON encoding are what make this
+// hold — any map-range sneaking into an exporter breaks it (and demoslint
+// maporder flags it statically).
+func TestObsExportDeterministic(t *testing.T) {
+	p := shortParams()
+	a := runSoak(t, 4242, p)
+	b := runSoak(t, 4242, p)
+	if len(a.obsText) == 0 || len(a.timeline) == 0 {
+		t.Fatal("empty obs export")
+	}
+	if !bytes.Equal(a.obsText, b.obsText) {
+		t.Fatalf("metrics snapshots differ between same-seed runs (%dB vs %dB)",
+			len(a.obsText), len(b.obsText))
+	}
+	if !bytes.Equal(a.timeline, b.timeline) {
+		t.Fatalf("timeline JSON differs between same-seed runs (%dB vs %dB)",
+			len(a.timeline), len(b.timeline))
+	}
+}
+
+// TestStatsSingleSource is the never-disagree audit for the ownership
+// split between kernel.Stats (protocol-level: packets and acks initiated)
+// and the netw flat arrays (wire-level: frames by kind). On a lossless
+// no-fault soak every data packet and ack crosses the wire exactly once,
+// so the two layers must reconcile exactly; the registry reads each number
+// from exactly one of them (CheckRegistry, run inside runSoak, already
+// failed the run if any sampler disagreed with its owning struct).
+func TestStatsSingleSource(t *testing.T) {
+	p := shortParams()
+	p.chaosOn = false
+	p.lossy = false
+	p.maxKills = 0
+	res := runSoak(t, 7, p)
+	for _, v := range res.violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+
+	c := res.cluster
+	var dataSent, acksSent, acksRecv uint64
+	for m := 1; m <= p.machines; m++ {
+		ks := c.Kernel(m).Stats()
+		dataSent += ks.DataPacketsSent
+		acksSent += ks.AcksSent
+		acksRecv += ks.AcksReceived
+	}
+	ns := c.Network().Stats()
+	if dataSent == 0 {
+		t.Fatal("soak moved no data packets; the audit is vacuous")
+	}
+	if wire := ns.ByKind[msg.KindData]; dataSent != wire {
+		t.Errorf("kernel counted %d data packets sent, netw carried %d data frames", dataSent, wire)
+	}
+	if wire := ns.ByKind[msg.KindAck]; acksSent != wire {
+		t.Errorf("kernel counted %d acks sent, netw carried %d ack frames", acksSent, wire)
+	}
+	if acksSent != acksRecv {
+		t.Errorf("acks sent %d != acks received %d on a lossless network", acksSent, acksRecv)
+	}
+
+	// Forwarder storage is owned once too. The gauge can sit below
+	// (installed - reclaimed) * 8: a process migrating back onto a machine
+	// that still holds its forwarding address supersedes the record, which
+	// releases the storage without a death-notice reclaim. It can never
+	// exceed the bound or go fractional.
+	for m := 1; m <= p.machines; m++ {
+		ks := c.Kernel(m).Stats()
+		bound := (ks.ForwardersInstalled - ks.ForwardersReclaimed) * kernel.ForwarderWireSize
+		if ks.ForwarderBytes%kernel.ForwarderWireSize != 0 || ks.ForwarderBytes > bound {
+			t.Errorf("m%d forwarder bytes %d out of bounds (installed %d, reclaimed %d, record size %d)",
+				m, ks.ForwarderBytes, ks.ForwardersInstalled, ks.ForwardersReclaimed,
+				kernel.ForwarderWireSize)
+		}
+	}
+}

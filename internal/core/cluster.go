@@ -17,6 +17,7 @@ import (
 	"demosmp/internal/link"
 	"demosmp/internal/memsched"
 	"demosmp/internal/netw"
+	"demosmp/internal/obs"
 	"demosmp/internal/policy"
 	"demosmp/internal/proc"
 	"demosmp/internal/procmgr"
@@ -80,6 +81,12 @@ type Cluster struct {
 	reg  *proc.Registry
 	ks   map[addr.MachineID]*kernel.Kernel
 
+	// Observability plane: always built (registration is cold; the hot
+	// paths pay only nil-checked histogram updates), so every composed
+	// cluster can export a snapshot, a §6 ledger, and a timeline.
+	obsReg *obs.Registry
+	obsLed *obs.Ledger
+
 	// System process identities (zero if not booted).
 	SwitchboardPID addr.ProcessID
 	PMPID          addr.ProcessID
@@ -133,6 +140,12 @@ func New(opts Options) (*Cluster, error) {
 		kcfg.Machines = append([]addr.MachineID(nil), machineList(opts.Machines)...)
 		c.ks[addr.MachineID(m)] = kernel.New(addr.MachineID(m), c.eng, c.net, kcfg)
 	}
+	c.obsReg = obs.NewRegistry()
+	c.obsLed = obs.NewLedger()
+	for m := 1; m <= opts.Machines; m++ {
+		c.ks[addr.MachineID(m)].SetObs(c.obsReg, c.obsLed)
+	}
+	c.net.RegisterObs(c.obsReg)
 	if err := c.boot(); err != nil {
 		return nil, err
 	}
@@ -304,6 +317,20 @@ func (c *Cluster) Tracer() *trace.Tracer { return c.tr }
 
 // Network returns the network substrate.
 func (c *Cluster) Network() *netw.Network { return c.net }
+
+// Obs returns the cluster's metrics registry. It is always non-nil:
+// every kernel's stats and the network's wire counters are registered at
+// build time, so Obs().Snapshot(c.Now()) is a complete cluster view.
+func (c *Cluster) Obs() *obs.Registry { return c.obsReg }
+
+// Ledger returns the cluster's migration cost ledger (§6): one record per
+// completed outbound migration, including post-completion forwarding and
+// link-update attribution.
+func (c *Cluster) Ledger() *obs.Ledger { return c.obsLed }
+
+// ObsSnapshot is shorthand for a registry snapshot stamped with the
+// current simulated time.
+func (c *Cluster) ObsSnapshot() obs.Snapshot { return c.obsReg.Snapshot(c.eng.Now()) }
 
 // Kernel returns machine m's kernel.
 func (c *Cluster) Kernel(m int) *kernel.Kernel { return c.ks[addr.MachineID(m)] }

@@ -8,6 +8,7 @@ import (
 	"demosmp/internal/addr"
 	"demosmp/internal/kernel"
 	"demosmp/internal/link"
+	"demosmp/internal/obs"
 	"demosmp/internal/proc"
 )
 
@@ -61,6 +62,23 @@ func TestPendingLocateBounded(t *testing.T) {
 	if s1.DeadLetters < extra {
 		t.Fatalf("DeadLetters = %d, want >= %d (each drop is a dead letter)", s1.DeadLetters, extra)
 	}
+
+	// The same counters must surface through the obs registry — capped
+	// buffer overflow is part of the exported snapshot, never silent. The
+	// samplers read the kernel's live stats, so attaching after the run
+	// still sees everything.
+	reg := obs.NewRegistry()
+	c.k(1).SetObs(reg, nil)
+	snap := reg.Snapshot(0)
+	if v := snap.Value("kernel.m1.locate_dropped"); v != extra {
+		t.Fatalf("obs locate_dropped = %d, want %d", v, extra)
+	}
+	if v := snap.Value("kernel.m1.dead_letters"); v != s1.DeadLetters {
+		t.Fatalf("obs dead_letters = %d, stats say %d", v, s1.DeadLetters)
+	}
+	if m, ok := snap.Get("kernel.m1.console_dropped"); !ok || m.Value != 0 {
+		t.Fatalf("obs console_dropped missing or nonzero: %+v", m)
+	}
 }
 
 // chattyBody prints more console lines than the cap allows in one slice.
@@ -103,5 +121,12 @@ func TestConsoleBounded(t *testing.T) {
 	}
 	if s := c.k(1).Stats(); s.ConsoleDropped != extra {
 		t.Fatalf("ConsoleDropped = %d, want %d", s.ConsoleDropped, extra)
+	}
+
+	// And through the registry snapshot.
+	reg := obs.NewRegistry()
+	c.k(1).SetObs(reg, nil)
+	if v := reg.Snapshot(0).Value("kernel.m1.console_dropped"); v != extra {
+		t.Fatalf("obs console_dropped = %d, want %d", v, extra)
 	}
 }

@@ -89,6 +89,9 @@ func (k *Kernel) enqueue(p *Process, m *msg.Message) {
 	p.queue.push(m)
 	p.msgsIn++
 	k.stats.MsgsEnqueued++
+	if k.hLat != nil {
+		k.hLat.Observe(uint64(k.eng.Now() - m.SentAt))
+	}
 	if p.queue.Len() > p.queueHighWater {
 		p.queueHighWater = p.queue.Len()
 	}
@@ -109,6 +112,9 @@ func (k *Kernel) forward(f *Process, m *msg.Message) {
 	k.stats.Forwarded++
 	if k.traceOn {
 		k.traceForward(m, f.fwdTo)
+	}
+	if f.obsRec != nil {
+		k.ledgerForward(f, m)
 	}
 	k.route(m)
 	if k.shouldSendLinkUpdate(m) {

@@ -19,6 +19,7 @@ import (
 	"demosmp/internal/memory"
 	"demosmp/internal/msg"
 	"demosmp/internal/netw"
+	"demosmp/internal/obs"
 	"demosmp/internal/proc"
 	"demosmp/internal/sim"
 	"demosmp/internal/trace"
@@ -205,8 +206,15 @@ type Process struct {
 	// flag clears when a late cleanup confirms the source committed.
 	timeoutCommit bool
 
-	// Forwarder fields (state == StateForwarder).
-	fwdTo addr.MachineID
+	// Forwarder fields (state == StateForwarder). obsRec, when the obs
+	// ledger is attached, is the migration this forwarder resulted from:
+	// §4 forwards and §5 link updates absorbed here accrue to that record
+	// even though the migration itself completed long ago. fwdSenders
+	// tracks per-sender stale-send runs for the §6 convergence length; it
+	// lives on the cold attribution path only (see Kernel.ledgerForward).
+	fwdTo      addr.MachineID
+	obsRec     *obs.MigrationRecord
+	fwdSenders map[addr.ProcessID]uint64
 
 	// Accounting.
 	createdAt      sim.Time
@@ -343,6 +351,13 @@ type Kernel struct {
 	restarts     uint64
 	faultHook    func(kp KillPoint, pid addr.ProcessID)
 	loadReportEv sim.Event
+
+	// Observability plane (obs.go): the cluster-wide migration ledger and
+	// the kernel's registry-owned histograms. Both nil until SetObs; every
+	// hot-path touch is behind a nil check, so a bare kernel pays one
+	// predictable branch.
+	led  *obs.Ledger
+	hLat *obs.Histogram // user-message delivery latency (route -> enqueue), µs
 }
 
 // New creates a kernel for machine m, attaches it to the network, and

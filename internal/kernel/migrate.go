@@ -166,8 +166,7 @@ func (k *Kernel) sendAdmin(m *msg.Message, rep *MigrationReport) {
 	k.stats.AdminSent[m.Op]++
 	k.stats.AdminBytes += uint64(len(m.Body))
 	if rep != nil {
-		rep.AdminMsgs++
-		rep.AdminBytes += len(m.Body)
+		rep.noteAdmin(len(m.Body))
 	}
 	k.route(m)
 }
@@ -216,8 +215,7 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 		PID: p.id, From: k.machine, To: req.Dest, Start: k.eng.Now(),
 	}
 	// Count the request we just received.
-	om.rep.AdminMsgs++
-	om.rep.AdminBytes += len(m.Body)
+	om.rep.noteAdmin(len(m.Body))
 
 	// Step 1: "The process is marked as 'in migration'. If it had been
 	// ready, it is removed from the run queue. No change is made to the
@@ -306,8 +304,7 @@ func (k *Kernel) handleMigrateAccept(m *msg.Message) {
 		return
 	}
 	if om, ok := k.out[pm.PID]; ok {
-		om.rep.AdminMsgs++
-		om.rep.AdminBytes += len(m.Body)
+		om.rep.noteAdmin(len(m.Body))
 		k.armOutWatchdog(om)
 		k.trace(trace.CatMigrate, "accepted", fmt.Sprintf("%v by %v", pm.PID, pm.Machine))
 	}
@@ -322,8 +319,7 @@ func (k *Kernel) handleMigrateRefuse(m *msg.Message) {
 	if !ok {
 		return
 	}
-	om.rep.AdminMsgs++
-	om.rep.AdminBytes += len(m.Body)
+	om.rep.noteAdmin(len(m.Body))
 	k.eng.Cancel(om.watchdog)
 	k.trace(trace.CatMigrate, "refused",
 		fmt.Sprintf("%v refused by %v (§3.2: the process cannot be migrated)", pm.PID, pm.Machine))
@@ -344,8 +340,8 @@ func (k *Kernel) handleMoveDataReq(m *msg.Message) {
 	if !ok {
 		return
 	}
-	om.rep.AdminMsgs++
-	om.rep.AdminBytes += len(m.Body)
+	om.rep.noteAdmin(len(m.Body))
+	om.rep.MoveDataTransfers++
 	k.armOutWatchdog(om)
 	var payload []byte
 	switch req.Region {
@@ -379,8 +375,7 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 		return
 	}
 	k.eng.Cancel(om.watchdog)
-	om.rep.AdminMsgs++
-	om.rep.AdminBytes += len(m.Body)
+	om.rep.noteAdmin(len(m.Body))
 	p := om.p
 	// The destination's copy is now the process: any checkpoint of the
 	// source copy is stale, and reviving it after a crash here would
@@ -416,8 +411,9 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 	}
 	backPtr := p.cameFrom
 	k.delProc(p.id)
+	var fwd *Process
 	if k.cfg.Mode == ModeForward {
-		fwd := &Process{
+		fwd = &Process{
 			id:       p.id,
 			state:    StateForwarder,
 			fwdTo:    om.dest,
@@ -452,6 +448,15 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 	om.rep.OK = true
 	k.stats.MigrationsOut++
 	k.reports = append(k.reports, om.rep)
+	if k.led != nil {
+		// The ledger keeps the record by pointer; the forwarder holds it
+		// too, so §4/§5 residual traffic keeps accruing to this migration
+		// after completion (see Kernel.ledgerForward).
+		rec := k.led.Add(ledgerRecord(om.rep))
+		if fwd != nil {
+			fwd.obsRec = rec
+		}
+	}
 	if k.cfg.OnReport != nil {
 		k.cfg.OnReport(om.rep)
 	}

@@ -8,6 +8,18 @@ import (
 
 // Stats aggregates one kernel's activity. The experiment harness diffs
 // snapshots around a scenario to produce the paper's cost rows.
+//
+// Ownership rule (shared with the obs registry): this struct is the single
+// source for *protocol-level* counts — what the kernel decided to do:
+// messages routed/enqueued, admin messages and their payload bytes, data
+// packets and acks initiated, forwards, link updates. The netw flat arrays
+// are the single source for *wire-level* counts — what actually crossed the
+// network: frames and wire bytes (header + payload) by kind, drops,
+// retransmits. The registry samples each number from exactly one of the two
+// owners and never mirrors a value into a second live location;
+// chaos.CheckRegistry and the single-source soak test enforce that the
+// layers reconcile (e.g. Σ DataPacketsSent == data frames on a lossless
+// run) without either side keeping a duplicate.
 type Stats struct {
 	// Process lifecycle.
 	Spawned uint64
@@ -111,21 +123,42 @@ type MigrationReport struct {
 	End   sim.Time // step 7 complete: source sent cleanup + done
 
 	// State transfer cost (§6): the three data moves.
-	ProgramBytes   int
-	ResidentBytes  int
-	SwappableBytes int
-	DataPackets    int
+	MoveDataTransfers int // distinct move-data streams served (paper: 3)
+	ProgramBytes      int
+	ResidentBytes     int
+	SwappableBytes    int
+	DataPackets       int
 
 	// Administrative cost (§6): control messages seen at the source
-	// (sent or received), and their payload bytes.
-	AdminMsgs  int
-	AdminBytes int
+	// (sent or received), their payload bytes, and the smallest/largest
+	// single payload (paper: "nine messages ... of 6–12 bytes each").
+	AdminMsgs     int
+	AdminBytes    int
+	AdminMinBytes int
+	AdminMaxBytes int
 
 	// Messages that were waiting in the queue and were forwarded in
 	// step 6.
 	PendingForwarded int
 
 	OK bool
+}
+
+// noteAdmin accounts one administrative message (sent or received) against
+// the report: count, payload bytes, and the min/max single-payload range.
+// It is the only mutator of these fields, so every §6 admin site stays
+// consistent.
+//
+//demos:hotpath — called from sendAdmin: checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode in bench_hotpath_test.go.
+func (r *MigrationReport) noteAdmin(payloadLen int) {
+	r.AdminMsgs++
+	r.AdminBytes += payloadLen
+	if r.AdminMinBytes == 0 || payloadLen < r.AdminMinBytes {
+		r.AdminMinBytes = payloadLen
+	}
+	if payloadLen > r.AdminMaxBytes {
+		r.AdminMaxBytes = payloadLen
+	}
 }
 
 // StateBytes returns the total bytes of the three data moves.

@@ -29,9 +29,14 @@ var demosLayers = map[string][]string{
 	"demosmp/internal/msg":    {"demosmp/internal/addr", "demosmp/internal/link", "demosmp/internal/sim"},
 	"demosmp/internal/trace":  {"demosmp/internal/addr", "demosmp/internal/sim"},
 
+	// observability plane: vocabulary-tier (imports nothing above trace) so
+	// netw, kernel, chaos, and core can all report through it
+	"demosmp/internal/obs": {"demosmp/internal/addr", "demosmp/internal/sim", "demosmp/internal/trace"},
+
 	// machine substrate
-	"demosmp/internal/dvm":  {"demosmp/internal/memory"},
-	"demosmp/internal/netw": {"demosmp/internal/addr", "demosmp/internal/msg", "demosmp/internal/sim"},
+	"demosmp/internal/dvm": {"demosmp/internal/memory"},
+	"demosmp/internal/netw": {"demosmp/internal/addr", "demosmp/internal/msg", "demosmp/internal/obs",
+		"demosmp/internal/sim"},
 
 	// process layer
 	"demosmp/internal/proc": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/link",
@@ -43,7 +48,8 @@ var demosLayers = map[string][]string{
 	// kernel layer: the only package allowed to drive netw delivery
 	"demosmp/internal/kernel": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/link",
 		"demosmp/internal/memory", "demosmp/internal/msg", "demosmp/internal/netw",
-		"demosmp/internal/proc", "demosmp/internal/sim", "demosmp/internal/trace"},
+		"demosmp/internal/obs", "demosmp/internal/proc", "demosmp/internal/sim",
+		"demosmp/internal/trace"},
 
 	// user-level services (message-only: no kernel, no netw)
 	"demosmp/internal/fs": {"demosmp/internal/link", "demosmp/internal/msg",
@@ -61,18 +67,19 @@ var demosLayers = map[string][]string{
 	// core; nothing inside the simulator may import it back
 	"demosmp/internal/chaos": {"demosmp/internal/addr", "demosmp/internal/core",
 		"demosmp/internal/kernel", "demosmp/internal/msg", "demosmp/internal/netw",
-		"demosmp/internal/sim", "demosmp/internal/workload"},
+		"demosmp/internal/obs", "demosmp/internal/sim", "demosmp/internal/workload"},
 
 	// composition root and public surface
 	"demosmp/internal/core": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/fs",
 		"demosmp/internal/kernel", "demosmp/internal/link", "demosmp/internal/memsched",
-		"demosmp/internal/netw", "demosmp/internal/policy", "demosmp/internal/proc",
-		"demosmp/internal/procmgr", "demosmp/internal/shell", "demosmp/internal/sim",
-		"demosmp/internal/switchboard", "demosmp/internal/trace", "demosmp/internal/workload"},
+		"demosmp/internal/netw", "demosmp/internal/obs", "demosmp/internal/policy",
+		"demosmp/internal/proc", "demosmp/internal/procmgr", "demosmp/internal/shell",
+		"demosmp/internal/sim", "demosmp/internal/switchboard", "demosmp/internal/trace",
+		"demosmp/internal/workload"},
 	"demosmp": {"demosmp/internal/addr", "demosmp/internal/core", "demosmp/internal/dvm",
 		"demosmp/internal/fs", "demosmp/internal/kernel", "demosmp/internal/link",
-		"demosmp/internal/netw", "demosmp/internal/policy", "demosmp/internal/sim",
-		"demosmp/internal/workload"},
+		"demosmp/internal/netw", "demosmp/internal/obs", "demosmp/internal/policy",
+		"demosmp/internal/sim", "demosmp/internal/workload"},
 
 	// analysis layer: stdlib only, nothing from the simulator
 	"demosmp/internal/lint": {},
@@ -81,10 +88,11 @@ var demosLayers = map[string][]string{
 	"demosmp/cmd/demosh":    {"demosmp", "demosmp/internal/kernel"},
 	"demosmp/cmd/demoslint": {"demosmp/internal/lint"},
 	"demosmp/cmd/demosnet": {"demosmp", "demosmp/internal/addr", "demosmp/internal/kernel",
-		"demosmp/internal/link"},
+		"demosmp/internal/link", "demosmp/internal/obs"},
 	"demosmp/cmd/experiments": {"demosmp", "demosmp/internal/addr", "demosmp/internal/kernel",
 		"demosmp/internal/link", "demosmp/internal/msg", "demosmp/internal/netw",
-		"demosmp/internal/sim", "demosmp/internal/trace", "demosmp/internal/workload"},
+		"demosmp/internal/obs", "demosmp/internal/sim", "demosmp/internal/trace",
+		"demosmp/internal/workload"},
 	"demosmp/examples/faulttolerance": {"demosmp"},
 	"demosmp/examples/fileserver":     {"demosmp"},
 	"demosmp/examples/loadbalance":    {"demosmp"},

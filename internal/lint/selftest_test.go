@@ -75,6 +75,13 @@ func TestHotpathAnnotationSet(t *testing.T) {
 			"Kernel.ack", "Kernel.handleAck", "Kernel.handleDataPacket",
 			// Ring buffer.
 			"ring.push", "ring.pop",
+			// §6 per-migration accounting inside sendAdmin.
+			"MigrationReport.noteAdmin",
+		},
+		// Observability plane: the registry slots the instrumented hot
+		// paths write through.
+		"demosmp/internal/obs": {
+			"Counter.Inc", "Counter.Add", "Histogram.Observe",
 		},
 	}
 	got := HotpathFuncs(loadSelf(t))

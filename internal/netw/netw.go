@@ -20,6 +20,7 @@ import (
 
 	"demosmp/internal/addr"
 	"demosmp/internal/msg"
+	"demosmp/internal/obs"
 	"demosmp/internal/sim"
 )
 
@@ -283,6 +284,10 @@ type Network struct {
 	// because the destination machine is down). When nil, abandoned
 	// frames go to the sending machine's FrameOwner instead (fault.go).
 	OnDead func(to addr.MachineID, m *msg.Message)
+
+	// Observability (obs.go): registry-owned frame-size histogram, nil
+	// until RegisterObs; account touches it behind one nil check.
+	hFrame *obs.Histogram
 }
 
 type pair struct{ from, to addr.MachineID }
@@ -442,6 +447,9 @@ func (n *Network) account(from, to addr.MachineID, m *msg.Message, size int) {
 	ts := c.machine(to)
 	ts.FramesIn++
 	ts.BytesIn += uint64(size)
+	if n.hFrame != nil {
+		n.hFrame.Observe(uint64(size))
+	}
 }
 
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/netw-send in bench_hotpath_test.go.

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/sim"
+)
+
+// MigrationRecord is the ledger's per-migration cost breakdown, one row of
+// the paper's §6 measurements. The source kernel fills the transfer and
+// administrative fields when the migration completes (step 7); the
+// residual-dependency fields (forwards absorbed, link updates, convergence)
+// keep growing afterwards as stale senders hit the forwarding address, so
+// the ledger stores records by pointer and the forwarder keeps that pointer
+// for post-completion attribution.
+type MigrationRecord struct {
+	PID  addr.ProcessID `json:"pid"`
+	From addr.MachineID `json:"from"`
+	To   addr.MachineID `json:"to"`
+
+	Start sim.Time `json:"start_us"` // step 1: removed from execution
+	End   sim.Time `json:"end_us"`   // step 7: cleanup + done sent
+
+	// State transfer (§6): the three move-data transfers.
+	MoveDataTransfers int `json:"move_data_transfers"` // distinct MoveDataReq streams (paper: 3)
+	ProgramBytes      int `json:"program_bytes"`
+	ResidentBytes     int `json:"resident_bytes"`
+	SwappableBytes    int `json:"swappable_bytes"`
+	DataPackets       int `json:"data_packets"`
+
+	// Administrative messages seen at the source, sent or received
+	// (paper: 9 messages of 6–12 bytes).
+	AdminMsgs     int `json:"admin_msgs"`
+	AdminBytes    int `json:"admin_bytes"`
+	AdminMinBytes int `json:"admin_min_bytes"`
+	AdminMaxBytes int `json:"admin_max_bytes"`
+
+	// Residual dependencies (§4/§5): queue forwards at step 6, then
+	// post-completion traffic absorbed by the forwarding address.
+	PendingForwarded    int    `json:"pending_forwarded"`
+	ForwardsAbsorbed    uint64 `json:"forwards_absorbed"`
+	LinkUpdatesSent     uint64 `json:"link_updates_sent"`
+	ConvergenceForwards uint64 `json:"convergence_forwards"` // worst stale-sends by one sender (paper: 1–2)
+
+	OK bool `json:"ok"`
+}
+
+// FreezeMicros is the freeze time — how long the process was removed from
+// execution, in simulated microseconds.
+func (r *MigrationRecord) FreezeMicros() sim.Time { return r.End - r.Start }
+
+// BytesMoved is the total payload of the three state transfers.
+func (r *MigrationRecord) BytesMoved() int {
+	return r.ProgramBytes + r.ResidentBytes + r.SwappableBytes
+}
+
+// Ledger collects migration records for a whole cluster. Records are added
+// by source kernels at step 7 and mutated afterwards through the pointers
+// the forwarders hold; all reads are cold.
+type Ledger struct {
+	recs []*MigrationRecord
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Add appends a record and returns the stored pointer for later
+// attribution (forward/link-update accounting on the source).
+func (l *Ledger) Add(rec MigrationRecord) *MigrationRecord {
+	p := &rec
+	l.recs = append(l.recs, p)
+	return p
+}
+
+// Len returns the number of recorded migrations.
+func (l *Ledger) Len() int { return len(l.recs) }
+
+// Records returns copies of every record, sorted by (Start, PID) so the
+// order is deterministic regardless of which kernel finished first.
+func (l *Ledger) Records() []MigrationRecord {
+	out := make([]MigrationRecord, 0, len(l.recs))
+	for _, r := range l.recs {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].PID.Creator != out[j].PID.Creator {
+			return out[i].PID.Creator < out[j].PID.Creator
+		}
+		return out[i].PID.Local < out[j].PID.Local
+	})
+	return out
+}
+
+// WriteJSON renders the sorted records as indented JSON.
+func (l *Ledger) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Migrations []MigrationRecord `json:"migrations"`
+	}{Migrations: l.Records()})
+}

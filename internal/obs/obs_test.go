@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/sim"
+	"demosmp/internal/trace"
+)
+
+func TestRegistrySnapshotSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("z.counter")
+	h := r.Histogram("a.hist")
+	var src uint64 = 41
+	r.Sample("m.sampled", func() uint64 { return src })
+	r.SampleGauge("g.level", func() uint64 { return 7 })
+
+	c.Inc()
+	c.Add(2)
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(5)
+	src++
+
+	s := r.Snapshot(1234)
+	if s.AtMicros != 1234 {
+		t.Fatalf("AtMicros = %d", s.AtMicros)
+	}
+	var names []string
+	for _, m := range s.Metrics {
+		names = append(names, m.Name)
+	}
+	want := []string{"a.hist", "g.level", "m.sampled", "z.counter"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot not name-sorted: %v", names)
+		}
+	}
+	if v := s.Value("z.counter"); v != 3 {
+		t.Errorf("counter = %d, want 3", v)
+	}
+	if v := s.Value("m.sampled"); v != 42 {
+		t.Errorf("sampled = %d, want 42 (live read)", v)
+	}
+	if m, _ := s.Get("g.level"); m.Kind != "gauge" || m.Value != 7 {
+		t.Errorf("gauge = %+v", m)
+	}
+	hm, ok := s.Get("a.hist")
+	if !ok || hm.Count != 3 || hm.Sum != 10 {
+		t.Fatalf("hist = %+v", hm)
+	}
+	// Observe(0) lands in the le=0 bucket; Observe(5) twice in le=7.
+	if len(hm.Buckets) != 2 || hm.Buckets[0] != (Bucket{Le: 0, N: 1}) || hm.Buckets[1] != (Bucket{Le: 7, N: 2}) {
+		t.Fatalf("buckets = %+v", hm.Buckets)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("Get(missing) reported present")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup")
+	r.Counter("dup")
+}
+
+func TestSnapshotWriteDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		r.Counter("b").Add(5)
+		r.Histogram("a").Observe(100)
+		r.Sample("c", func() uint64 { return 9 })
+		return r.Snapshot(77)
+	}
+	var t1, t2, j1, j2 bytes.Buffer
+	s1, s2 := build(), build()
+	if err := s1.WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatalf("text snapshots differ:\n%s\n---\n%s", t1.Bytes(), t2.Bytes())
+	}
+	if err := s1.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("JSON snapshots differ")
+	}
+	var dec Snapshot
+	if err := json.Unmarshal(j1.Bytes(), &dec); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if len(dec.Metrics) != 3 {
+		t.Fatalf("decoded %d metrics", len(dec.Metrics))
+	}
+}
+
+func TestLedgerPointerAttribution(t *testing.T) {
+	l := NewLedger()
+	rec := l.Add(MigrationRecord{
+		PID:   addr.ProcessID{Creator: 1, Local: 5},
+		From:  1, To: 2,
+		Start: 1000, End: 3500,
+		MoveDataTransfers: 3, AdminMsgs: 9, OK: true,
+		ProgramBytes: 256, ResidentBytes: 128, SwappableBytes: 64,
+	})
+	// Post-completion residual traffic mutates through the pointer.
+	rec.ForwardsAbsorbed = 4
+	rec.ConvergenceForwards = 2
+
+	later := l.Add(MigrationRecord{PID: addr.ProcessID{Creator: 1, Local: 6}, Start: 500, End: 900})
+	_ = later
+
+	recs := l.Records()
+	if len(recs) != 2 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if recs[0].Start != 500 || recs[1].Start != 1000 {
+		t.Fatalf("not sorted by start: %+v", recs)
+	}
+	got := recs[1]
+	if got.ForwardsAbsorbed != 4 || got.ConvergenceForwards != 2 {
+		t.Fatalf("post-completion mutation lost: %+v", got)
+	}
+	if got.FreezeMicros() != 2500 || got.BytesMoved() != 448 {
+		t.Fatalf("derived fields: freeze=%d bytes=%d", got.FreezeMicros(), got.BytesMoved())
+	}
+
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("ledger JSON invalid")
+	}
+}
+
+func TestTimelineExport(t *testing.T) {
+	l := NewLedger()
+	l.Add(MigrationRecord{PID: addr.ProcessID{Creator: 1, Local: 2}, From: 1, To: 3, Start: 100, End: 400, AdminMsgs: 9})
+	recs := []trace.Record{
+		{T: 50, Machine: 1, Cat: trace.CatMigrate, Event: "step1-remove-from-execution", Detail: "pid"},
+		{T: 60, Machine: 2, Cat: trace.CatForward, Event: "forwarded"},
+	}
+	samples := []CounterSample{{At: 1000, Pending: 3, Fired: 10}, {At: 2000, Pending: 1, Fired: 25}}
+
+	build := func() []byte {
+		tl := BuildTimeline(recs, l, samples)
+		var buf bytes.Buffer
+		if err := tl.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	b1, b2 := build(), build()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("timeline JSON differs between identical builds")
+	}
+	var doc struct {
+		TraceEvents []TimelineEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("timeline JSON invalid: %v", err)
+	}
+	// 2 instants + 1 migration span + 2 samples × 2 series.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	var phases = map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+	}
+	if phases["i"] != 2 || phases["X"] != 1 || phases["C"] != 4 {
+		t.Fatalf("phase mix: %v", phases)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && (ev.TS != 100 || ev.Dur != 300 || ev.PID != 1) {
+			t.Fatalf("migration span wrong: %+v", ev)
+		}
+	}
+}
+
+func TestEngineSampler(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := SampleEngine(eng, 2_000)
+	for i := 1; i <= 10; i++ {
+		at := sim.Time(i * 1_000)
+		eng.At(at, "tick", func() {})
+	}
+	eng.Run()
+	samples := s.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	var last sim.Time
+	for _, cs := range samples {
+		if cs.At < last {
+			t.Fatalf("samples out of order: %+v", samples)
+		}
+		last = cs.At
+	}
+	// Boundary crossing at 2k, 4k, 6k, 8k, 10k.
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5: %+v", len(samples), samples)
+	}
+	if samples[4].Fired != 9 { // the 10th event hasn't fired when the hook runs
+		t.Fatalf("last sample fired=%d", samples[4].Fired)
+	}
+}

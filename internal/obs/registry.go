@@ -1,0 +1,238 @@
+// Package obs is the cluster observability plane: a deterministic metrics
+// registry, the per-migration cost ledger (§6), and exporters (text/JSON
+// snapshots, Chrome trace_event timelines).
+//
+// Design rules, in priority order:
+//
+//  1. Zero allocations on the hot path. Counters and histogram buckets are
+//     plain uint64 slots updated by pointer; no maps, no locks, no
+//     interfaces anywhere a per-message code path can reach. Everything
+//     else — registration, snapshotting, export — is cold and may allocate
+//     freely.
+//  2. Exactly one source per value. Existing kernel/netw stats structs stay
+//     the owners of their counters; the registry adopts them through
+//     sampler closures read only at snapshot time, so a number can never
+//     drift between "the struct" and "the registry". Only genuinely new
+//     metrics (latency/size histograms) live in registry-owned slots.
+//  3. Deterministic output. Snapshots are sorted by metric name and
+//     rendered through explicit structs — no map iteration feeds an
+//     exporter (demoslint maporder), so two same-seed runs emit
+//     byte-identical bytes.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"demosmp/internal/sim"
+)
+
+// Counter is a registry-owned monotonic uint64 slot. Use it only for new
+// metrics with no existing owner; adopting an existing stats field goes
+// through Registry.Sample instead (rule 2 above).
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+//
+//demos:hotpath — a single uint64 increment: checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip with obs attached.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc with obs attached.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count (cold; snapshots use it).
+func (c *Counter) Value() uint64 { return c.v }
+
+// HistBuckets is the number of power-of-two histogram buckets: bucket 0
+// counts observations of exactly 0, bucket i (1..64) counts observations
+// whose bit length is i, i.e. values in [2^(i-1), 2^i).
+const HistBuckets = 65
+
+// Histogram is a fixed-size power-of-two-bucket histogram. Observe is a
+// bits.Len64 plus three increments — cheap enough for per-message paths.
+type Histogram struct {
+	count   uint64
+	sum     uint64
+	buckets [HistBuckets]uint64
+}
+
+// Observe records one value.
+//
+//demos:hotpath — fixed-array bucketing via bits.Len64, no bounds math on the heap: checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip and /netw-send with obs attached.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of observations (cold).
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values (cold).
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// metric is one registered slot: exactly one of ctr, hist, fn is set.
+type metric struct {
+	name  string
+	kind  string // "counter", "gauge", "histogram"
+	ctr   *Counter
+	hist  *Histogram
+	fn    func() uint64
+	gauge bool // sampler semantics: gauge (level) vs counter (monotonic)
+}
+
+// Registry holds the cluster's metric slots and samplers. It is built once
+// at boot; registration is not safe concurrently with snapshots, which is
+// fine in a single-threaded discrete-event simulator.
+type Registry struct {
+	metrics []metric
+	names   map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func (r *Registry) register(m metric) {
+	if _, dup := r.names[m.name]; dup {
+		panic("obs: duplicate metric name " + m.name)
+	}
+	r.names[m.name] = struct{}{}
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a registry-owned counter slot.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.register(metric{name: name, kind: "counter", ctr: c})
+	return c
+}
+
+// Histogram registers and returns a registry-owned power-of-two histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.register(metric{name: name, kind: "histogram", hist: h})
+	return h
+}
+
+// Sample registers a counter whose value is read from fn at snapshot time.
+// This is how the registry adopts counters that already have an owner
+// (kernel.Stats fields, netw flat arrays): the owner keeps the only live
+// copy and the registry reads it cold, so the two can never disagree.
+func (r *Registry) Sample(name string, fn func() uint64) {
+	r.register(metric{name: name, kind: "counter", fn: fn})
+}
+
+// SampleGauge is Sample with gauge semantics: the value is a level (pool
+// occupancy, live forwarder bytes), not a monotonic count.
+func (r *Registry) SampleGauge(name string, fn func() uint64) {
+	r.register(metric{name: name, kind: "gauge", fn: fn, gauge: true})
+}
+
+// Bucket is one histogram bucket in a snapshot: N observations with
+// values <= Le (Le = 2^i - 1; the zero bucket has Le = 0).
+type Bucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// Metric is one rendered metric in a snapshot.
+type Metric struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Value   uint64   `json:"value"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time rendering of every registered metric, sorted
+// by name. It is plain data: safe to hold across further simulation.
+type Snapshot struct {
+	AtMicros uint64   `json:"at_us"`
+	Metrics  []Metric `json:"metrics"`
+}
+
+// Snapshot reads every slot and sampler (cold) and returns a name-sorted
+// snapshot stamped with the given simulated time.
+func (r *Registry) Snapshot(at sim.Time) Snapshot {
+	s := Snapshot{AtMicros: uint64(at), Metrics: make([]Metric, 0, len(r.metrics))}
+	for _, m := range r.metrics {
+		out := Metric{Name: m.name, Kind: m.kind}
+		switch {
+		case m.ctr != nil:
+			out.Value = m.ctr.v
+		case m.hist != nil:
+			out.Count = m.hist.count
+			out.Sum = m.hist.sum
+			out.Value = m.hist.count
+			for i, n := range m.hist.buckets {
+				if n == 0 {
+					continue
+				}
+				le := uint64(0)
+				if i > 0 {
+					le = 1<<uint(i) - 1
+				}
+				out.Buckets = append(out.Buckets, Bucket{Le: le, N: n})
+			}
+		default:
+			out.Value = m.fn()
+		}
+		s.Metrics = append(s.Metrics, out)
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
+	return s
+}
+
+// Get returns the metric with the given name, if present.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return Metric{}, false
+}
+
+// Value returns the named metric's value, or 0 if absent.
+func (s Snapshot) Value(name string) uint64 {
+	m, _ := s.Get(name)
+	return m.Value
+}
+
+// WriteText renders the snapshot as stable "name kind value" lines, one
+// metric per line, histograms with count/sum/bucket columns.
+func (s Snapshot) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# obs snapshot at t=%dus metrics=%d\n", s.AtMicros, len(s.Metrics))
+	for _, m := range s.Metrics {
+		if m.Kind == "histogram" {
+			fmt.Fprintf(bw, "%s histogram count=%d sum=%d", m.Name, m.Count, m.Sum)
+			for _, b := range m.Buckets {
+				fmt.Fprintf(bw, " le%d=%d", b.Le, b.N)
+			}
+			fmt.Fprintln(bw)
+			continue
+		}
+		fmt.Fprintf(bw, "%s %s %d\n", m.Name, m.Kind, m.Value)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders the snapshot as indented JSON. Field order comes from
+// the struct definitions and metric order from the name sort, so the bytes
+// are deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,45 @@
+package obs
+
+import "demosmp/internal/sim"
+
+// CounterSample is one timestamped engine reading.
+type CounterSample struct {
+	At      sim.Time
+	Pending int
+	Fired   uint64
+}
+
+// EngineSampler records engine counters whenever simulated time advances
+// past the next sampling boundary, via the engine's OnAdvance span hook.
+// It schedules nothing and observes only — installing it cannot change the
+// firing order, so the golden trace is safe. Sampling is opt-in: benches
+// and tests that pin zero allocations simply never install one.
+type EngineSampler struct {
+	eng     *sim.Engine
+	every   sim.Time
+	next    sim.Time
+	samples []CounterSample
+}
+
+// SampleEngine installs an OnAdvance hook sampling every `every`
+// microseconds of simulated time. It replaces any previous OnAdvance hook.
+func SampleEngine(eng *sim.Engine, every sim.Time) *EngineSampler {
+	if every == 0 {
+		every = 1000
+	}
+	s := &EngineSampler{eng: eng, every: every, next: every}
+	eng.OnAdvance = s.onAdvance
+	return s
+}
+
+func (s *EngineSampler) onAdvance(from, to sim.Time) {
+	if to < s.next {
+		return
+	}
+	s.samples = append(s.samples, CounterSample{At: to, Pending: s.eng.Pending(), Fired: s.eng.Fired()})
+	// Catch up past idle gaps without emitting one sample per boundary.
+	s.next = (to/s.every + 1) * s.every
+}
+
+// Samples returns the collected readings in time order.
+func (s *EngineSampler) Samples() []CounterSample { return s.samples }

@@ -83,6 +83,14 @@ type Engine struct {
 	// OnFire, when non-nil, observes every event just before it runs.
 	// The determinism tests use it to assert exact firing order.
 	OnFire func(name string, at Time)
+
+	// OnAdvance, when non-nil, observes simulated time moving forward: it
+	// runs once per distinct timestamp, just before the first event at the
+	// new time fires. The hook must not schedule events — it is a span
+	// boundary for observers (obs timeline sampling), and keeping it
+	// read-only is what guarantees installing one cannot perturb the
+	// golden firing order.
+	OnAdvance func(from, to Time)
 }
 
 // NewEngine returns an engine at time zero with a PRNG seeded by seed.
@@ -245,6 +253,9 @@ func (e *Engine) Step() bool {
 		if s.fn == nil { // cancelled while queued
 			e.freeSlot(idx)
 			continue
+		}
+		if s.at > e.now && e.OnAdvance != nil {
+			e.OnAdvance(e.now, s.at)
 		}
 		e.now = s.at
 		fn, name, at := s.fn, s.name, s.at

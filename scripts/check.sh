@@ -26,4 +26,8 @@ go test -run TestHotPathZeroAlloc \
   -bench 'EngineSchedule|EngineDispatchDepth64|NetwSend|MsgEncode|Kernel' \
   -benchtime 1x .
 
+echo "== obs smoke export (metrics snapshot + Chrome timeline)"
+mkdir -p artifacts
+go run ./cmd/experiments -obs-json artifacts/obs_snapshot.json -trace-out artifacts/obs_timeline.json
+
 echo "OK: all checks passed"

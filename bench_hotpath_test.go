@@ -345,6 +345,59 @@ func BenchmarkKernelForwardedSend(b *testing.B) {
 	}
 }
 
+// TestMigrationSteadyStateAllocs is the dynamic guard behind the
+// //demos:hotpath annotations on the migration fast path (pooled
+// out/inMigration records, gather encoders, pooled streams, recycled
+// Process records). A process bouncing between two warm kernels reaches a
+// steady state where one full 8-step migration performs exactly one heap
+// allocation: the arriving body instance from Registry.New, which is
+// inherent to re-instantiating the process. Everything else — envelopes,
+// region buffers, link table, watchdogs, records — recycles.
+func TestMigrationSteadyStateAllocs(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := netw.New(e, netw.Config{})
+	reg := proc.NewRegistry()
+	reg.Register("bench-sink", func() proc.Body { return &benchSinkBody{} })
+	done := 0
+	mk := func(m addr.MachineID) *kernel.Kernel {
+		return kernel.New(m, e, nw, kernel.Config{
+			Registry: reg,
+			OnReport: func(r kernel.MigrationReport) {
+				if r.OK {
+					done++
+				}
+			},
+		})
+	}
+	ks := []*kernel.Kernel{mk(1), mk(2)}
+	pid, err := ks[0].Spawn(kernel.SpawnSpec{Body: &benchSinkBody{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 0
+	migrate := func() {
+		dst := 1 - cur
+		ks[cur].RequestMigrationOf(addr.At(pid, ks[cur].Machine()), ks[dst].Machine())
+		target := done + 1
+		for done < target {
+			if !e.Step() {
+				t.Fatal("engine idle mid-migration")
+			}
+		}
+		for e.Step() {
+		}
+		cur = dst
+	}
+	// Warm both directions: each kernel needs its own pools, free lists,
+	// and region buffers populated.
+	for i := 0; i < 4; i++ {
+		migrate()
+	}
+	if n := testing.AllocsPerRun(50, migrate); n > 1 {
+		t.Fatalf("steady-state migration allocates %.1f/op, want <= 1 (the Registry.New body)", n)
+	}
+}
+
 // TestHotPathZeroAlloc locks in the zero-allocation invariants. It uses
 // testing.AllocsPerRun after a warm-up pass, so arena/heap/pool growth is
 // excluded and only the steady state is measured.
@@ -425,12 +478,12 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		pool := msg.NewPool()
 		pid := addr.ProcessID{Creator: 1, Local: 7}
 		encoders := []func([]byte) []byte{
-			msg.MigrateRequest{PID: pid, Dest: 2}.AppendTo,           // 1 request
+			msg.MigrateRequest{PID: pid, Dest: 2}.AppendTo,                           // 1 request
 			msg.MigrateAsk{PID: pid, Program: 4, Resident: 1, Swappable: 1}.AppendTo, // 2 ask
-			msg.PIDMachine{PID: pid, Machine: 2}.AppendTo,            // 3 accept / 7 established
-			msg.MoveDataReq{PID: pid, Region: msg.RegionResident, Xfer: 9}.AppendTo, // 4-6 pulls
-			msg.MigrateCleanup{PID: pid, Forwarded: 3}.AppendTo,      // 8 cleanup
-			msg.MigrateDone{PID: pid, Machine: 2, OK: true}.AppendTo, // 9 done
+			msg.PIDMachine{PID: pid, Machine: 2}.AppendTo,                            // 3 accept / 7 established
+			msg.MoveDataReq{PID: pid, Region: msg.RegionResident, Xfer: 9}.AppendTo,  // 4-6 pulls
+			msg.MigrateCleanup{PID: pid, Forwarded: 3}.AppendTo,                      // 8 cleanup
+			msg.MigrateDone{PID: pid, Machine: 2, OK: true}.AppendTo,                 // 9 done
 		}
 		cycle := func() {
 			for _, enc := range encoders {

@@ -61,6 +61,7 @@ type benchSample struct {
 	KernelMigrationNsOp      float64 `json:"kernel_migration_ns_op,omitempty"`
 	KernelForwardNsOp        float64 `json:"kernel_forward_ns_op,omitempty"`
 	KernelLocalRTAllocsOp    float64 `json:"kernel_local_rt_allocs_op,omitempty"`
+	KernelMigrationAllocsOp  float64 `json:"kernel_migration_allocs_op"`
 	KernelPingPongMsgsPerSec float64 `json:"kernel_pingpong_msgs_per_sec,omitempty"`
 	DispatchSpeedupVsSeed    float64 `json:"dispatch_speedup_vs_seed,omitempty"`
 	PingPongSpeedupVsSeed    float64 `json:"pingpong_speedup_vs_seed,omitempty"`
@@ -73,8 +74,11 @@ type benchFile struct {
 }
 
 // timeIt runs fn(iters) reps times and returns the best ns/op (the standard
-// microbenchmark min-of-N to shed scheduler noise).
+// microbenchmark min-of-N to shed scheduler noise). In -bench-short mode
+// (CI) the iteration count is scaled down; reps are never reduced, since
+// min-of-N is what sheds noisy-neighbor interference.
 func timeIt(reps int, iters int, fn func(iters int)) float64 {
+	iters = scaleIters(iters)
 	best := 0.0
 	for r := 0; r < reps; r++ {
 		start := time.Now()
@@ -85,6 +89,18 @@ func timeIt(reps int, iters int, fn func(iters int)) float64 {
 		}
 	}
 	return best
+}
+
+// scaleIters applies -bench-short: a tenth of the full iteration budget,
+// floored so allocation rates stay statistically meaningful.
+func scaleIters(iters int) int {
+	if !benchShort {
+		return iters
+	}
+	if iters >= 10_000 {
+		return iters / 10
+	}
+	return iters
 }
 
 func measureHotpath() benchSample {
@@ -135,7 +151,7 @@ func measureHotpath() benchSample {
 				}
 			}
 		})
-		s.NetwSendAllocsOp = allocsPerOp(100_000, func(n int) {
+		s.NetwSendAllocsOp = allocsPerOp(scaleIters(100_000), func(n int) {
 			for i := 0; i < n; i++ {
 				nw.Send(1, 2, m)
 				for e.Step() {
@@ -173,7 +189,7 @@ func measureHotpath() benchSample {
 		}
 		for e.Step() {
 		}
-		s.EngineScheduleAllocsOp = allocsPerOp(200_000, func(n int) {
+		s.EngineScheduleAllocsOp = allocsPerOp(scaleIters(200_000), func(n int) {
 			for i := 0; i < n; i++ {
 				e.At(e.Now()+1, "bench", nop)
 				e.Step()
@@ -240,7 +256,7 @@ func measureKernel(s *benchSample) {
 		s.KernelLocalRTNsOp = timeIt(3, 500_000, func(n int) {
 			expRunRounds(e, a, a.Rounds+n)
 		})
-		s.KernelLocalRTAllocsOp = allocsPerOp(200_000, func(n int) {
+		s.KernelLocalRTAllocsOp = allocsPerOp(scaleIters(200_000), func(n int) {
 			expRunRounds(e, a, a.Rounds+n)
 		})
 	}
@@ -292,6 +308,16 @@ func measureKernel(s *benchSample) {
 		migrate() // warm both kernels
 		migrate()
 		s.KernelMigrationNsOp = timeIt(3, 5_000, func(n int) {
+			for i := 0; i < n; i++ {
+				migrate()
+			}
+		})
+		// Steady-state allocation rate of one full migration. Null's body is
+		// a zero-size struct, so even the arriving side's Registry.New does
+		// not reach the allocator: with the pools warm this measures 0, and
+		// checkRegression gates it absolutely. Stateful bodies add exactly
+		// their own body allocation (see TestMigrationSteadyStateAllocs).
+		s.KernelMigrationAllocsOp = allocsPerOp(scaleIters(10_000), func(n int) {
 			for i := 0; i < n; i++ {
 				migrate()
 			}
@@ -395,6 +421,7 @@ func benchJSON(path string) {
 		seedBaseline.NetwSendAllocsOp, run.NetwSendAllocsOp)
 	fmt.Printf("| kernel round-trip allocs/op | %.0f | %.0f | |\n",
 		seedBaseline.KernelLocalRTAllocsOp, run.KernelLocalRTAllocsOp)
+	fmt.Printf("| kernel migration allocs/op | | %.1f | |\n", run.KernelMigrationAllocsOp)
 }
 
 // trackedRows lists every ns/op metric the regression gate watches.
@@ -422,6 +449,16 @@ func trackedRows(s *benchSample) []struct {
 // ns/op against the most recent run recorded in path, exiting nonzero if
 // any regresses by more than 20%. Read-only: the trajectory file is not
 // appended to, so the gate can run repeatedly without polluting history.
+//
+// Measurement policy: the whole suite is measured three times and the gate
+// compares the elementwise minimum. Each metric inside a suite pass is
+// already a min-of-reps (timeIt), so a single pass sheds scheduler jitter
+// within one metric; taking the min across three full passes additionally
+// sheds whole-pass interference (GC cycles straddling a metric,
+// noisy-neighbor CPU on shared runners) that a min-of-two still let
+// through often enough to flake the 20% gate. The minimum — not mean or
+// median — is the right estimator here because hot-path cost has a hard
+// floor and all noise is one-sided (additive).
 func checkRegression(path string) {
 	data, err := os.ReadFile(path)
 	die(err)
@@ -431,15 +468,15 @@ func checkRegression(path string) {
 		die(fmt.Errorf("check-regression: %s has no recorded runs", path))
 	}
 	prev := f.Runs[len(f.Runs)-1]
-	// Measure twice and keep the elementwise best: the gate compares
-	// against a single recorded run, so it needs more noise shedding than
-	// the trajectory append does.
-	cur := measureHotpath()
-	second := measureHotpath()
-	curRows, secondRows := trackedRows(&cur), trackedRows(&second)
-	for i := range curRows {
-		if secondRows[i].val < curRows[i].val {
-			curRows[i].val = secondRows[i].val
+	passes := [3]benchSample{measureHotpath(), measureHotpath(), measureHotpath()}
+	cur, second, third := passes[0], passes[1], passes[2]
+	curRows := trackedRows(&cur)
+	for _, p := range []*benchSample{&second, &third} {
+		rows := trackedRows(p)
+		for i := range curRows {
+			if rows[i].val < curRows[i].val {
+				curRows[i].val = rows[i].val
+			}
 		}
 	}
 	prevRows := trackedRows(&prev)
@@ -467,9 +504,9 @@ func checkRegression(path string) {
 		name string
 		val  float64
 	}{
-		{"kernel local round trip", min2(cur.KernelLocalRTAllocsOp, second.KernelLocalRTAllocsOp)},
-		{"netw lossless send+deliver", min2(cur.NetwSendAllocsOp, second.NetwSendAllocsOp)},
-		{"engine schedule", min2(cur.EngineScheduleAllocsOp, second.EngineScheduleAllocsOp)},
+		{"kernel local round trip", min2(cur.KernelLocalRTAllocsOp, min2(second.KernelLocalRTAllocsOp, third.KernelLocalRTAllocsOp))},
+		{"netw lossless send+deliver", min2(cur.NetwSendAllocsOp, min2(second.NetwSendAllocsOp, third.NetwSendAllocsOp))},
+		{"engine schedule", min2(cur.EngineScheduleAllocsOp, min2(second.EngineScheduleAllocsOp, third.EngineScheduleAllocsOp))},
 	}
 	for _, ar := range allocRows {
 		mark := ""
@@ -480,6 +517,22 @@ func checkRegression(path string) {
 			mark = "  <-- instrumentation added allocations"
 		}
 		fmt.Printf("%-34s %24.2f allocs/op (want 0)%s\n", ar.name, ar.val, mark)
+	}
+	// Migration allocation rate. The benchmark migrates a workload.Null,
+	// whose body is a zero-size struct: its Registry.New allocation lands on
+	// the runtime's zero base and never reaches the allocator, so with the
+	// record/buffer/envelope pools warm a full 8-step migration is
+	// allocation-free here and the gate is absolute, like the rows above.
+	// (Real bodies pay exactly their own Registry.New allocation on top;
+	// TestMigrationSteadyStateAllocs pins that at <= 1 with a stateful body.)
+	migAllocs := min2(cur.KernelMigrationAllocsOp, min2(second.KernelMigrationAllocsOp, third.KernelMigrationAllocsOp))
+	{
+		mark := ""
+		if migAllocs > 0.01 {
+			bad++
+			mark = "  <-- migration path gained allocations"
+		}
+		fmt.Printf("%-34s %24.2f allocs/op (want 0)%s\n", "kernel full migration", migAllocs, mark)
 	}
 	if bad > 0 {
 		fmt.Printf("\n%d tracked metric(s) regressed\n", bad)

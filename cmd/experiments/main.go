@@ -35,7 +35,12 @@ var (
 	checkRegressionFlag = flag.Bool("check-regression", false, "re-measure the hot paths and exit nonzero if any tracked ns/op regressed >20% vs the last run recorded in -bench-json (default BENCH_hotpath.json)")
 	obsJSONFlag         = flag.String("obs-json", "", "run the obs export scenario and write the metrics registry snapshot (JSON) to this path, then exit")
 	traceOutFlag        = flag.String("trace-out", "", "with the obs export scenario, also write a Chrome trace_event timeline JSON to this path")
+	benchShortFlag      = flag.Bool("bench-short", false, "scale the hot-path measurement iteration counts down ~10x (for CI smoke runs; noisier, so pair with -check-regression's min-of-three)")
 )
+
+// benchShort is read by scaleIters in bench.go; set from -bench-short after
+// flag.Parse so the measurement helpers don't each consult the flag pointer.
+var benchShort bool
 
 type experiment struct {
 	id    string
@@ -45,6 +50,7 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	benchShort = *benchShortFlag
 	if *checkRegressionFlag {
 		path := *benchJSONFlag
 		if path == "" {

@@ -118,7 +118,8 @@ func (k *Kernel) Revive(checkpoint []byte) (addr.ProcessID, error) {
 	if err != nil {
 		return addr.NilPID, err
 	}
-	body, err := k.cfg.Registry.New(res.kind)
+	kind := k.internKind(res.kind)
+	body, err := k.cfg.Registry.New(kind)
 	if err != nil {
 		return addr.NilPID, err
 	}
@@ -142,7 +143,7 @@ func (k *Kernel) Revive(checkpoint []byte) (addr.ProcessID, error) {
 	p := &Process{
 		id:         pid,
 		body:       body,
-		kind:       res.kind,
+		kind:       kind,
 		links:      table,
 		image:      img,
 		privileged: res.privileged,

@@ -127,6 +127,15 @@ type Config struct {
 	// timer re-arms on every protocol step, so it only fires when the
 	// peer has actually gone silent (e.g. crashed mid-transfer).
 	MigrateTimeout sim.Time
+	// CoalesceLinkUpdates batches the §5 link updates the source owes the
+	// senders of a migrated process's held queue: instead of each sender
+	// learning the new location lazily (one LinkUpdate per forwarded
+	// message, +2 frames per stale send meanwhile), step 6 groups the held
+	// senders by machine and sends one OpLinkUpdateBatch envelope per
+	// machine. Off by default — the §6 conformance pins and the golden
+	// trace fix the per-message protocol — so batching is opt-in for
+	// loaded clusters (see the migration-under-load test and bench).
+	CoalesceLinkUpdates bool
 	// CheckpointOnArrival writes a migrated process to the destination's
 	// stable storage as soon as step 8 restarts it, so stable storage
 	// follows the process (§1) and a crash of the new host remains
@@ -329,6 +338,28 @@ type Kernel struct {
 	xfersIn  map[uint16]*inStream // inbound streams, keyed by locally-allocated xfer id
 	moveOps  map[uint16]*moveOp   // outbound move-data writes awaiting completion
 
+	// Migration fast-path free lists (see DESIGN.md §7): steady-state
+	// migrations recycle their bookkeeping records — the out/in migration
+	// halves (with their region scratch buffers and once-bound watchdog
+	// closures), stream reassembly records, and whole Process records —
+	// so a warm kernel migrates without growing the heap. Records wiped
+	// wholesale by Restart (k.out/k.in reassignment) are simply orphaned
+	// to the GC; the free lists only ever hold released records.
+	omFree     *outMigration
+	imFree     *inMigration
+	streamFree *inStream
+	procFree   []*Process
+	// tableFree recycles link.Table backing between departures and
+	// arrivals: putProcRec donates a released record's table here and
+	// decodeSwappableInto rebuilds an arriving process's table into one.
+	// Kept off the pooled Process records so forwarders and ProcInfo never
+	// see a stale table.
+	tableFree []*link.Table
+	// kinds interns body-kind strings decoded from resident records, so a
+	// process bouncing between machines does not re-allocate its kind
+	// string on every arrival.
+	kinds map[string]string
+
 	pendingLocate map[addr.ProcessID][]*msg.Message
 	console       map[addr.ProcessID][]string
 	exits         map[addr.ProcessID]ExitInfo
@@ -384,6 +415,7 @@ func New(m addr.MachineID, eng *sim.Engine, net *netw.Network, cfg Config) *Kern
 		exits:         make(map[addr.ProcessID]ExitInfo),
 		stable:        make(map[addr.ProcessID][]byte),
 		lostPIDs:      make(map[addr.ProcessID]bool),
+		kinds:         make(map[string]string),
 		stats:         newStats(),
 	}
 	k.pool = msg.NewPool()
@@ -860,6 +892,72 @@ func (d *pending) run() {
 
 func (k *Kernel) trace(cat trace.Category, event, detail string) {
 	k.cfg.Tracer.Emit(k.machine, cat, event, detail)
+}
+
+// getProcRec acquires a Process record for the migration path: recycled
+// when available (retaining the queue ring and accounting maps of a process
+// that previously migrated away), fresh otherwise. The record's links are
+// nil; incoming migrations restore a table via decodeSwappableInto and
+// forwarders never hold one.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) getProcRec() *Process {
+	if n := len(k.procFree); n > 0 {
+		p := k.procFree[n-1]
+		k.procFree[n-1] = nil
+		k.procFree = k.procFree[:n-1]
+		if p.commTo == nil {
+			p.commTo = make(map[addr.MachineID]uint64)
+		}
+		if p.commDelta == nil {
+			p.commDelta = make(map[addr.MachineID]uint64)
+		}
+		return p
+	}
+	return &Process{
+		commTo:    make(map[addr.MachineID]uint64),
+		commDelta: make(map[addr.MachineID]uint64),
+	}
+}
+
+// putProcRec releases a Process record whose identity has left this kernel
+// (migrated away, failed incoming, superseded forwarder). The caller must
+// have drained the queue and removed the record from the tables; the ring
+// and maps survive for the next arrival, and the link table (if any) is
+// donated to tableFree for the next incoming restore.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) putProcRec(p *Process) {
+	if p.queue.Len() != 0 {
+		return // defensive: never recycle a record with live messages
+	}
+	if p.links != nil && len(k.tableFree) < 8 {
+		k.tableFree = append(k.tableFree, p.links)
+	}
+	q := p.queue
+	commTo, commDelta := p.commTo, p.commDelta
+	if commTo != nil {
+		clear(commTo)
+	}
+	if commDelta != nil {
+		clear(commDelta)
+	}
+	*p = Process{queue: q, commTo: commTo, commDelta: commDelta}
+	k.procFree = append(k.procFree, p)
+}
+
+// internKind canonicalizes a body-kind decoded from a resident record. The
+// map probe with a string(b) key does not allocate on hit, so a process
+// that has arrived here before costs one lookup.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) internKind(b []byte) string {
+	if s, ok := k.kinds[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	k.kinds[s] = s
+	return s
 }
 
 // newXferID allocates a transfer id for an inbound stream.

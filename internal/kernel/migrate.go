@@ -31,83 +31,196 @@ import (
 //	9. src -> process manager : OpMigrateDone
 //
 // — nine messages, matching the paper's administrative cost.
+//
+// Fast-path notes (DESIGN.md §7 "migration fast path"): the protocol above
+// is pinned by the conformance tests, but its bookkeeping is not. Both
+// migration halves are pooled records with once-bound watchdog closures;
+// the frozen regions are gather-encoded into scratch buffers that survive
+// recycling; region pulls reassemble into pre-warmed buffers sized from the
+// MigrateAsk announcement; and trace formatting is hoisted behind k.traceOn
+// so a tracerless kernel never touches fmt.
 
+// outMigration is the source half of one in-flight migration. Records are
+// pooled (k.omFree): the scratch buffers and the watchdog closure survive
+// recycling, so a warm kernel freezes a process without allocating.
 type outMigration struct {
 	p         *Process
 	dest      addr.MachineID
 	requester addr.ProcessAddr
 	rep       MigrationReport
 	watchdog  sim.Event
+	wdFn      func() // bound once at construction; identity-checked on fire
 
-	resident  []byte
-	swappable []byte
-	program   []byte
+	// Frozen region payloads (step 1). resident and table are gather-
+	// encoded into scratch that survives recycling; ctl and program are
+	// produced by the body/image and owned until release. swapHdr is the
+	// 4-byte length prefix of the swappable region, kept separate so
+	// handleMoveDataReq can stream the region as a three-vector gather
+	// without re-concatenating table and control state.
+	resident []byte
+	swapHdr  [4]byte
+	table    []byte
+	ctl      []byte
+	program  []byte
+
+	next *outMigration // free list
 }
 
+// inMigration is the destination half. Also pooled (k.imFree); the region
+// reassembly buffers are indexed by msg.Region and keep their backing
+// across migrations, so a process bouncing between two machines reaches a
+// steady state where its transfers touch no allocator.
 type inMigration struct {
 	pid      addr.ProcessID
 	src      addr.MachineID
 	ask      msg.MigrateAsk
 	p        *Process
 	stage    msg.Region
-	bufs     map[msg.Region][]byte
+	bufs     [4][]byte // region reassembly buffers, indexed by msg.Region
 	watchdog sim.Event
+	wdFn     func()
+	// xfer/streaming track the one in-flight region pull so failIncoming
+	// can release the stream record it registered in k.xfersIn.
+	xfer      uint16
+	streaming bool
 	// established is set once the process is fully assembled and
 	// message 7 has been sent: from here on this copy is the process,
 	// and a silent source must not make the watchdog discard it.
 	established bool
+
+	next *inMigration // free list
+}
+
+// ensure pre-sizes one region buffer (the "pre-warmed destination slot"):
+// the MigrateAsk sizes are rounded up to msg.SizeUnit, so a buffer with
+// this capacity never grows during the transfer.
+func (im *inMigration) ensure(r msg.Region, n int) {
+	if cap(im.bufs[r]) < n {
+		im.bufs[r] = make([]byte, 0, n)
+	}
+}
+
+// migrateEnvelopeReserve is how many envelopes the destination pool is
+// topped up to when accepting a migration (step 3): enough for the admin
+// replies and acks of one transfer to find warm envelopes.
+const migrateEnvelopeReserve = 4
+
+func (k *Kernel) getOutMigration() *outMigration {
+	om := k.omFree
+	if om == nil {
+		om = &outMigration{}
+		om.wdFn = func() { k.outWatchdogFired(om) }
+		return om
+	}
+	k.omFree = om.next
+	om.next = nil
+	return om
+}
+
+// putOutMigration releases a source-side record. Callers must have
+// canceled the watchdog and removed the record from k.out; records
+// orphaned by a crash (Restart reassigns k.out wholesale) are simply
+// dropped to the GC and never reach the free list.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) putOutMigration(om *outMigration) {
+	resident, table := om.resident[:0], om.table[:0]
+	wd := om.wdFn
+	*om = outMigration{resident: resident, table: table, wdFn: wd}
+	om.next = k.omFree
+	k.omFree = om
+}
+
+func (k *Kernel) getInMigration() *inMigration {
+	im := k.imFree
+	if im == nil {
+		im = &inMigration{}
+		im.wdFn = func() { k.inWatchdogFired(im) }
+		return im
+	}
+	k.imFree = im.next
+	im.next = nil
+	return im
+}
+
+// putInMigration releases a destination-side record (same contract as
+// putOutMigration: watchdog canceled, k.in entry gone).
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) putInMigration(im *inMigration) {
+	bufs := im.bufs
+	for i := range bufs {
+		bufs[i] = bufs[i][:0]
+	}
+	wd := im.wdFn
+	*im = inMigration{bufs: bufs, wdFn: wd}
+	im.next = k.imFree
+	k.imFree = im
 }
 
 // armOutWatchdog (re)starts the source-side progress timer. If the
 // destination goes silent — crashed mid-transfer, network partition — the
 // source gives up, discards the destination's half-built state, and
 // restores the frozen process as if the migration had been refused.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
 func (k *Kernel) armOutWatchdog(om *outMigration) {
 	k.eng.Cancel(om.watchdog)
-	om.watchdog = k.eng.After(k.cfg.MigrateTimeout, "kernel:migrate-watchdog", func() {
-		if k.crashed {
-			return // Restart discards the migration wholesale
-		}
-		if _, live := k.out[om.p.id]; !live {
-			return
-		}
-		abort := k.newControl(msg.OpMigrateAbort, addr.KernelAddr(om.dest))
-		abort.Body = msg.PIDMachine{PID: om.p.id, Machine: k.machine}.AppendTo(abort.Body[:0])
-		k.sendAdmin(abort, nil)
-		k.abortOutMigration(om, fmt.Errorf("no progress from %v in %v", om.dest, k.cfg.MigrateTimeout))
-	})
+	om.watchdog = k.eng.After(k.cfg.MigrateTimeout, "kernel:migrate-watchdog", om.wdFn)
 }
 
 // armInWatchdog (re)starts the destination-side progress timer: if the
 // source stops streaming (or never sends cleanup), discard the incoming
 // state and tell the source to restore the process.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
 func (k *Kernel) armInWatchdog(im *inMigration) {
 	k.eng.Cancel(im.watchdog)
-	im.watchdog = k.eng.After(k.cfg.MigrateTimeout, "kernel:migrate-watchdog", func() {
-		if k.crashed {
-			return // Restart discards the migration wholesale
-		}
-		if _, live := k.in[im.pid]; !live {
-			return
-		}
-		if im.established {
-			// Step 5 completed: this copy IS the process, and the
-			// source has gone silent — crashed before step 7, or its
-			// cleanup is stuck in retransmission. Committing cannot
-			// fork: a crashed source wiped its copy (and invalidated
-			// its stale checkpoint when it learned we were
-			// established), and a source that instead aborted and
-			// restored its copy sends OpMigrateAbort, which a
-			// timeout-committed copy yields to.
+	im.watchdog = k.eng.After(k.cfg.MigrateTimeout, "kernel:migrate-watchdog", im.wdFn)
+}
+
+// outWatchdogFired is the source-side timeout. The pointer-identity check
+// against k.out makes a stale fire on a recycled record a no-op.
+func (k *Kernel) outWatchdogFired(om *outMigration) {
+	if k.crashed {
+		return // Restart discards the migration wholesale
+	}
+	if om.p == nil || k.out[om.p.id] != om {
+		return
+	}
+	abort := k.newControl(msg.OpMigrateAbort, addr.KernelAddr(om.dest))
+	abort.Body = msg.PIDMachine{PID: om.p.id, Machine: k.machine}.AppendTo(abort.Body[:0])
+	k.sendAdmin(abort, nil)
+	k.abortOutMigration(om, fmt.Errorf("no progress from %v in %v", om.dest, k.cfg.MigrateTimeout))
+}
+
+// inWatchdogFired is the destination-side timeout.
+func (k *Kernel) inWatchdogFired(im *inMigration) {
+	if k.crashed {
+		return // Restart discards the migration wholesale
+	}
+	if k.in[im.pid] != im {
+		return
+	}
+	if im.established {
+		// Step 5 completed: this copy IS the process, and the
+		// source has gone silent — crashed before step 7, or its
+		// cleanup is stuck in retransmission. Committing cannot
+		// fork: a crashed source wiped its copy (and invalidated
+		// its stale checkpoint when it learned we were
+		// established), and a source that instead aborted and
+		// restored its copy sends OpMigrateAbort, which a
+		// timeout-committed copy yields to.
+		if k.traceOn {
 			k.trace(trace.CatMigrate, "timeout-commit", im.pid.String())
-			k.commitIncoming(im, "committed on watchdog timeout", true)
-			return
 		}
-		abort := k.newControl(msg.OpMigrateAbort, addr.KernelAddr(im.src))
-		abort.Body = msg.PIDMachine{PID: im.pid, Machine: k.machine}.AppendTo(abort.Body[:0])
-		k.sendAdmin(abort, nil)
-		k.failIncoming(im, fmt.Errorf("no progress from %v in %v", im.src, k.cfg.MigrateTimeout))
-	})
+		k.commitIncoming(im, 0, true)
+		return
+	}
+	abort := k.newControl(msg.OpMigrateAbort, addr.KernelAddr(im.src))
+	abort.Body = msg.PIDMachine{PID: im.pid, Machine: k.machine}.AppendTo(abort.Body[:0])
+	k.sendAdmin(abort, nil)
+	k.failIncoming(im, fmt.Errorf("no progress from %v in %v", im.src, k.cfg.MigrateTimeout))
 }
 
 // handleMigrateAbort discards whichever half of an in-flight migration
@@ -140,8 +253,10 @@ func (k *Kernel) handleMigrateAbort(m *msg.Message) {
 // dead letters; the local stable checkpoint is invalidated so a later
 // restart cannot resurrect the yielded copy.
 func (k *Kernel) yieldTimeoutCommit(p *Process, src addr.MachineID) {
-	k.trace(trace.CatMigrate, "timeout-commit-yield",
-		fmt.Sprintf("%v yields to restored copy on %v", p.id, src))
+	if k.traceOn {
+		k.trace(trace.CatMigrate, "timeout-commit-yield",
+			fmt.Sprintf("%v yields to restored copy on %v", p.id, src))
+	}
 	k.removeFromRunq(p)
 	if p.image != nil {
 		k.memUsed -= p.image.Size()
@@ -154,6 +269,7 @@ func (k *Kernel) yieldTimeoutCommit(p *Process, src addr.MachineID) {
 	delete(k.stable, p.id)
 	k.delProc(p.id)
 	k.stats.MigrationsFailed++
+	k.putProcRec(p)
 }
 
 // sendAdmin accounts for one administrative message — globally and (if rep
@@ -210,7 +326,8 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 		return
 	}
 
-	om := &outMigration{p: p, dest: req.Dest, requester: m.From}
+	om := k.getOutMigration()
+	om.p, om.dest, om.requester = p, req.Dest, m.From
 	om.rep = MigrationReport{
 		PID: p.id, From: k.machine, To: req.Dest, Start: k.eng.Now(),
 	}
@@ -224,27 +341,31 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 	p.prevState = p.state
 	p.state = StateInMigration
 	k.removeFromRunq(p)
-	k.trace(trace.CatMigrate, "step1-remove-from-execution",
-		fmt.Sprintf("%v was %v", p.id, p.prevState))
+	if k.traceOn {
+		k.traceStep1(p)
+	}
 
-	// Freeze the three payloads at this instant.
-	var err2 error
-	om.resident = k.encodeResident(p)
+	// Freeze the three payloads at this instant, gather-encoding the
+	// resident record and link table into the record's scratch buffers.
+	om.resident = appendResident(om.resident[:0], p)
 	ctl, err := p.body.Snapshot()
 	if err != nil {
 		k.abortOutMigration(om, fmt.Errorf("snapshot: %w", err))
 		return
 	}
-	om.swappable = encodeSwappable(p.links, ctl)
+	om.ctl = ctl
+	om.table = p.links.AppendSnapshot(om.table[:0])
+	binary.LittleEndian.PutUint32(om.swapHdr[:], uint32(len(om.table)))
 	if p.image != nil {
-		om.program, err2 = p.image.Bytes()
-		if err2 != nil {
-			k.abortOutMigration(om, fmt.Errorf("program image: %w", err2))
+		om.program, err = p.image.Bytes()
+		if err != nil {
+			k.abortOutMigration(om, fmt.Errorf("program image: %w", err))
 			return
 		}
 	}
+	swappable := len(om.swapHdr) + len(om.table) + len(om.ctl)
 	om.rep.ResidentBytes = len(om.resident)
-	om.rep.SwappableBytes = len(om.swappable)
+	om.rep.SwappableBytes = swappable
 	om.rep.ProgramBytes = len(om.program)
 	k.out[p.id] = om
 	if k.killpoint(KPSourceFrozen, p.id) {
@@ -257,11 +378,11 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 		PID:       p.id,
 		Program:   msg.ToUnits(len(om.program)),
 		Resident:  msg.ToUnits(len(om.resident)),
-		Swappable: msg.ToUnits(len(om.swappable)),
+		Swappable: msg.ToUnits(swappable),
 	}
-	k.trace(trace.CatMigrate, "step2-ask-destination",
-		fmt.Sprintf("%v -> %v (program=%dB resident=%dB swappable=%dB)",
-			p.id, req.Dest, len(om.program), len(om.resident), len(om.swappable)))
+	if k.traceOn {
+		k.traceStep2(om, swappable)
+	}
 	am := k.newControl(msg.OpMigrateAsk, addr.KernelAddr(req.Dest))
 	am.Body = ask.AppendTo(am.Body[:0])
 	k.sendAdmin(am, &om.rep)
@@ -271,13 +392,27 @@ func (k *Kernel) handleMigrateRequest(m *msg.Message) {
 	k.armOutWatchdog(om)
 }
 
+func (k *Kernel) traceStep1(p *Process) {
+	k.trace(trace.CatMigrate, "step1-remove-from-execution",
+		fmt.Sprintf("%v was %v", p.id, p.prevState))
+}
+
+func (k *Kernel) traceStep2(om *outMigration, swappable int) {
+	k.trace(trace.CatMigrate, "step2-ask-destination",
+		fmt.Sprintf("%v -> %v (program=%dB resident=%dB swappable=%dB)",
+			om.p.id, om.dest, len(om.program), len(om.resident), swappable))
+}
+
 func (k *Kernel) abortOutMigration(om *outMigration, cause error) {
-	k.trace(trace.CatMigrate, "migrate-aborted", fmt.Sprintf("%v: %v", om.p.id, cause))
+	if k.traceOn {
+		k.trace(trace.CatMigrate, "migrate-aborted", fmt.Sprintf("%v: %v", om.p.id, cause))
+	}
 	k.eng.Cancel(om.watchdog)
 	delete(k.out, om.p.id)
 	k.stats.MigrationsFailed++
 	k.restoreFrozen(om.p)
 	k.sendDone(om.requester, msg.MigrateDone{PID: om.p.id, Machine: k.machine, OK: false}, &om.rep)
+	k.putOutMigration(om)
 }
 
 // restoreFrozen puts a process back the way step 1 found it and redelivers
@@ -306,7 +441,9 @@ func (k *Kernel) handleMigrateAccept(m *msg.Message) {
 	if om, ok := k.out[pm.PID]; ok {
 		om.rep.noteAdmin(len(m.Body))
 		k.armOutWatchdog(om)
-		k.trace(trace.CatMigrate, "accepted", fmt.Sprintf("%v by %v", pm.PID, pm.Machine))
+		if k.traceOn {
+			k.trace(trace.CatMigrate, "accepted", fmt.Sprintf("%v by %v", pm.PID, pm.Machine))
+		}
 	}
 }
 
@@ -321,16 +458,24 @@ func (k *Kernel) handleMigrateRefuse(m *msg.Message) {
 	}
 	om.rep.noteAdmin(len(m.Body))
 	k.eng.Cancel(om.watchdog)
-	k.trace(trace.CatMigrate, "refused",
-		fmt.Sprintf("%v refused by %v (§3.2: the process cannot be migrated)", pm.PID, pm.Machine))
+	if k.traceOn {
+		k.trace(trace.CatMigrate, "refused",
+			fmt.Sprintf("%v refused by %v (§3.2: the process cannot be migrated)", pm.PID, pm.Machine))
+	}
 	delete(k.out, pm.PID)
 	k.stats.MigrationsFailed++
 	k.restoreFrozen(om.p)
 	k.sendDone(om.requester, msg.MigrateDone{PID: pm.PID, Machine: k.machine, OK: false}, &om.rep)
+	k.putOutMigration(om)
 }
 
 // handleMoveDataReq serves steps 4-5 from the source: stream the requested
-// region to the destination kernel.
+// region to the destination kernel. The swappable region goes out as a
+// three-vector gather (length prefix, link table, body control state) —
+// byte-identical on the wire to the old concatenating encoder, but without
+// ever building the concatenation.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
 func (k *Kernel) handleMoveDataReq(m *msg.Message) {
 	req, err := msg.DecodeMoveDataReq(m.Body)
 	if err != nil {
@@ -343,19 +488,31 @@ func (k *Kernel) handleMoveDataReq(m *msg.Message) {
 	om.rep.noteAdmin(len(m.Body))
 	om.rep.MoveDataTransfers++
 	k.armOutWatchdog(om)
-	var payload []byte
+	var vecs [3][]byte
+	nv := 1
 	switch req.Region {
 	case msg.RegionResident:
-		payload = om.resident
+		vecs[0] = om.resident
 	case msg.RegionSwappable:
-		payload = om.swappable
+		vecs[0], vecs[1], vecs[2] = om.swapHdr[:], om.table, om.ctl
+		nv = 3
 	case msg.RegionProgram:
-		payload = om.program
+		vecs[0] = om.program
 	}
-	packets := k.streamOut(m.From.LastKnown, req.Xfer, payload)
+	total := 0
+	for _, v := range vecs[:nv] {
+		total += len(v)
+	}
+	packets := k.streamGather(addr.KernelAddr(m.From.LastKnown), false, req.Xfer, 0, vecs[:nv])
 	om.rep.DataPackets += packets
+	if k.traceOn {
+		k.traceStreamRegion(req, total, packets, m.From.LastKnown)
+	}
+}
+
+func (k *Kernel) traceStreamRegion(req msg.MoveDataReq, total, packets int, to addr.MachineID) {
 	k.trace(trace.CatData, "stream-region",
-		fmt.Sprintf("%v %v: %dB in %d packets -> %v", req.PID, req.Region, len(payload), packets, m.From.LastKnown))
+		fmt.Sprintf("%v %v: %dB in %d packets -> %v", req.PID, req.Region, total, packets, to))
 }
 
 // handleMigrateEstablished is steps 6-7 on the source, plus the final
@@ -393,56 +550,66 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 	// (the record becomes a forwarder below), but the bound keeps the
 	// pattern uniform with restoreFrozen.
 	forwarded := p.queue.Len()
+	if k.cfg.CoalesceLinkUpdates && k.cfg.Mode == ModeForward && forwarded > 0 {
+		k.sendCoalescedUpdates(p, om.dest, forwarded)
+	}
 	for n := forwarded; n > 0; n-- {
 		qm := p.queue.pop()
 		qm.To.LastKnown = om.dest
 		k.stats.ForwardedPending++
 		k.route(qm)
 	}
-	k.trace(trace.CatMigrate, "step6-forward-pending",
-		fmt.Sprintf("%v: %d queued messages to %v", p.id, forwarded, om.dest))
+	if k.traceOn {
+		k.trace(trace.CatMigrate, "step6-forward-pending",
+			fmt.Sprintf("%v: %d queued messages to %v", p.id, forwarded, om.dest))
+	}
 	om.rep.PendingForwarded = forwarded
 
 	// Step 7: "all state for the process is removed and space for memory
-	// and tables is reclaimed. A forwarding address is left."
+	// and tables is reclaimed. A forwarding address is left." The dead
+	// record is recycled immediately — in forwarding mode it is reborn as
+	// the forwarding address, so installing one allocates nothing.
 	if p.image != nil {
 		k.memUsed -= p.image.Size()
 		p.image.Discard()
 	}
+	pid := p.id
 	backPtr := p.cameFrom
-	k.delProc(p.id)
+	k.delProc(pid)
+	k.putProcRec(p)
 	var fwd *Process
 	if k.cfg.Mode == ModeForward {
-		fwd = &Process{
-			id:       p.id,
-			state:    StateForwarder,
-			fwdTo:    om.dest,
-			cameFrom: backPtr,
-		}
+		fwd = k.getProcRec()
+		fwd.id = pid
+		fwd.state = StateForwarder
+		fwd.fwdTo = om.dest
+		fwd.cameFrom = backPtr
 		k.addProc(fwd)
 		k.stats.ForwardersInstalled++
 		k.stats.ForwarderBytes += ForwarderWireSize
 	}
-	k.trace(trace.CatMigrate, "step7-cleanup-forwarding-address",
-		fmt.Sprintf("%v: forwarder -> %v (%d bytes)", p.id, om.dest, ForwarderWireSize))
+	if k.traceOn {
+		k.trace(trace.CatMigrate, "step7-cleanup-forwarding-address",
+			fmt.Sprintf("%v: forwarder -> %v (%d bytes)", pid, om.dest, ForwarderWireSize))
+	}
 
 	if k.cfg.EagerUpdate {
-		k.broadcastEagerUpdate(p.id, om.dest)
+		k.broadcastEagerUpdate(pid, om.dest)
 	}
 	// The process now lives at the destination: a checkpoint taken here is
 	// stale, and reviving it after a crash would fork the process.
-	delete(k.stable, p.id)
-	if k.killpoint(KPSourceCommitted, p.id) {
+	delete(k.stable, pid)
+	if k.killpoint(KPSourceCommitted, pid) {
 		return
 	}
 
 	// Step 8 trigger: tell the destination it may restart the process.
 	cm := k.newControl(msg.OpMigrateCleanup, addr.KernelAddr(om.dest))
-	cm.Body = msg.MigrateCleanup{PID: p.id, Forwarded: uint16(forwarded)}.AppendTo(cm.Body[:0])
+	cm.Body = msg.MigrateCleanup{PID: pid, Forwarded: uint16(forwarded)}.AppendTo(cm.Body[:0])
 	k.sendAdmin(cm, &om.rep)
 
 	// Message 9: report success to the requester (process manager).
-	k.sendDone(om.requester, msg.MigrateDone{PID: p.id, Machine: om.dest, OK: true}, &om.rep)
+	k.sendDone(om.requester, msg.MigrateDone{PID: pid, Machine: om.dest, OK: true}, &om.rep)
 
 	om.rep.End = k.eng.Now()
 	om.rep.OK = true
@@ -460,7 +627,71 @@ func (k *Kernel) handleMigrateEstablished(m *msg.Message) {
 	if k.cfg.OnReport != nil {
 		k.cfg.OnReport(om.rep)
 	}
-	delete(k.out, p.id)
+	delete(k.out, pid)
+	k.putOutMigration(om)
+}
+
+// sendCoalescedUpdates walks the held queue of a process about to be
+// forwarded (step 6) and repairs every stale sender proactively: one
+// OpLinkUpdateBatch admin envelope per sender machine, instead of each
+// sender paying +2 frames per stale send and one LinkUpdate each on the
+// lazy path. Cold and flag-gated (Config.CoalesceLinkUpdates): the §6
+// conformance pins fix the default protocol's message counts.
+func (k *Kernel) sendCoalescedUpdates(p *Process, dest addr.MachineID, n int) {
+	type bucket struct {
+		mach    addr.MachineID
+		senders []addr.ProcessID
+	}
+	var buckets []bucket
+	for i := 0; i < n; i++ {
+		qm := p.queue.at(i)
+		if !k.shouldSendLinkUpdate(qm) {
+			continue
+		}
+		mach := qm.From.LastKnown
+		if mach == addr.NoMachine {
+			continue
+		}
+		var b *bucket
+		for j := range buckets {
+			if buckets[j].mach == mach {
+				b = &buckets[j]
+				break
+			}
+		}
+		if b == nil {
+			buckets = append(buckets, bucket{mach: mach})
+			b = &buckets[len(buckets)-1]
+		}
+		dup := false
+		for _, s := range b.senders {
+			if s == qm.From.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			b.senders = append(b.senders, qm.From.ID)
+		}
+	}
+	for _, b := range buckets {
+		for off := 0; off < len(b.senders); off += msg.MaxBatchSenders {
+			hi := off + msg.MaxBatchSenders
+			if hi > len(b.senders) {
+				hi = len(b.senders)
+			}
+			u := msg.LinkUpdateBatch{Migrated: p.id, Machine: dest, Senders: b.senders[off:hi]}
+			bm := k.newControl(msg.OpLinkUpdateBatch, addr.KernelAddr(b.mach))
+			bm.Body = u.AppendTo(bm.Body[:0])
+			k.stats.LinkUpdateBatchesSent++
+			k.stats.LinkUpdatesBatched += uint64(hi - off)
+			if k.traceOn {
+				k.trace(trace.CatLinkUpdate, "linkupdate-batch",
+					fmt.Sprintf("to m%d: %v now on %v (%d senders)", uint16(b.mach), p.id, dest, hi-off))
+			}
+			k.route(bm)
+		}
+	}
 }
 
 func (k *Kernel) broadcastEagerUpdate(pid addr.ProcessID, dest addr.MachineID) {
@@ -518,24 +749,29 @@ func (k *Kernel) handleMigrateAsk(m *msg.Message) {
 		// forwarding address; the real process supersedes it.
 		k.stats.ForwarderBytes -= ForwarderWireSize
 		k.delProc(ask.PID)
+		k.putProcRec(old)
 	}
-	p := &Process{
-		id:        ask.PID,
-		state:     StateIncoming,
-		cameFrom:  src,
-		createdAt: k.eng.Now(),
-		commTo:    make(map[addr.MachineID]uint64),
-		commDelta: make(map[addr.MachineID]uint64),
-	}
+	p := k.getProcRec()
+	p.id = ask.PID
+	p.state = StateIncoming
+	p.cameFrom = src
+	p.createdAt = k.eng.Now()
 	k.addProc(p)
-	im := &inMigration{
-		pid: ask.PID, src: src, ask: ask, p: p,
-		stage: msg.RegionResident,
-		bufs:  make(map[msg.Region][]byte),
-	}
+	im := k.getInMigration()
+	im.pid, im.src, im.ask, im.p = ask.PID, src, ask, p
+	im.stage = msg.RegionResident
+	// Pre-warmed destination slots: size the region reassembly buffers
+	// from the announced (unit-rounded) sizes and top up the envelope
+	// pool now, so steps 4-8 do no growth or map work.
+	im.ensure(msg.RegionResident, int(ask.Resident)*msg.SizeUnit)
+	im.ensure(msg.RegionSwappable, int(ask.Swappable)*msg.SizeUnit)
+	im.ensure(msg.RegionProgram, programBytes)
+	k.pool.Reserve(migrateEnvelopeReserve)
 	k.in[ask.PID] = im
-	k.trace(trace.CatMigrate, "step3-allocate-state",
-		fmt.Sprintf("%v from %v (reserving %dB)", ask.PID, src, programBytes))
+	if k.traceOn {
+		k.trace(trace.CatMigrate, "step3-allocate-state",
+			fmt.Sprintf("%v from %v (reserving %dB)", ask.PID, src, programBytes))
+	}
 	if k.killpoint(KPDestAllocated, ask.PID) {
 		return
 	}
@@ -546,27 +782,46 @@ func (k *Kernel) handleMigrateAsk(m *msg.Message) {
 }
 
 // pullRegion requests the next region (steps 4 and 5: "Using the move data
-// facility, the destination kernel copies...").
+// facility, the destination kernel copies..."). The stream record carries
+// the migration pointer directly, so region completion dispatches without
+// a per-pull closure.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
 func (k *Kernel) pullRegion(im *inMigration) {
 	xfer := k.newXferID()
 	region := im.stage
-	k.registerInStream(xfer, func(data []byte) {
-		k.regionArrived(im, region, data)
-	})
-	step := "step4-transfer-state"
-	if region == msg.RegionProgram {
-		step = "step5-transfer-program"
+	st := k.getInStream()
+	st.im = im
+	st.region = region
+	st.buf = im.bufs[region][:0]
+	k.xfersIn[xfer] = st
+	im.xfer, im.streaming = xfer, true
+	if k.traceOn {
+		k.tracePullRegion(im.pid, region)
 	}
-	k.trace(trace.CatMigrate, step, fmt.Sprintf("%v pull %v", im.pid, region))
 	rm := k.newControl(msg.OpMoveDataReq, addr.KernelAddr(im.src))
 	rm.Body = msg.MoveDataReq{PID: im.pid, Region: region, Xfer: xfer}.AppendTo(rm.Body[:0])
 	k.sendAdmin(rm, nil)
 }
 
+func (k *Kernel) tracePullRegion(pid addr.ProcessID, region msg.Region) {
+	step := "step4-transfer-state"
+	if region == msg.RegionProgram {
+		step = "step5-transfer-program"
+	}
+	k.trace(trace.CatMigrate, step, fmt.Sprintf("%v pull %v", pid, region))
+}
+
+// regionArrived stores a reassembled region and advances the pull state
+// machine. The pointer-identity check makes late completions of an aborted
+// (and possibly recycled) migration no-ops.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
 func (k *Kernel) regionArrived(im *inMigration, region msg.Region, data []byte) {
-	if _, live := k.in[im.pid]; !live {
+	if k.in[im.pid] != im {
 		return // aborted while the stream was in flight
 	}
+	im.streaming = false // the stream record was released by its completer
 	k.armInWatchdog(im)
 	im.bufs[region] = data
 	switch region {
@@ -596,18 +851,19 @@ func (k *Kernel) assembleProcess(im *inMigration) {
 		k.failIncoming(im, fmt.Errorf("resident state: %w", err))
 		return
 	}
-	table, ctl, err := decodeSwappable(im.bufs[msg.RegionSwappable])
+	ctl, err := k.decodeSwappableInto(p, im.bufs[msg.RegionSwappable])
 	if err != nil {
 		k.failIncoming(im, fmt.Errorf("swappable state: %w", err))
 		return
 	}
-	body, err := k.cfg.Registry.New(res.kind)
+	kind := k.internKind(res.kind)
+	body, err := k.cfg.Registry.New(kind)
 	if err != nil {
 		k.failIncoming(im, err)
 		return
 	}
 	if err := body.Restore(ctl); err != nil {
-		k.failIncoming(im, fmt.Errorf("restoring %s body: %w", res.kind, err))
+		k.failIncoming(im, fmt.Errorf("restoring %s body: %w", kind, err))
 		return
 	}
 	program := im.bufs[msg.RegionProgram]
@@ -625,8 +881,7 @@ func (k *Kernel) assembleProcess(im *inMigration) {
 		k.relieveMemory()
 	}
 	p.body = body
-	p.kind = res.kind
-	p.links = table
+	p.kind = kind
 	p.image = img
 	p.privileged = res.privileged
 	p.prevState = res.prevState
@@ -641,20 +896,37 @@ func (k *Kernel) assembleProcess(im *inMigration) {
 }
 
 func (k *Kernel) failIncoming(im *inMigration, cause error) {
-	k.trace(trace.CatMigrate, "incoming-failed", fmt.Sprintf("%v: %v", im.pid, cause))
+	if k.traceOn {
+		k.trace(trace.CatMigrate, "incoming-failed", fmt.Sprintf("%v: %v", im.pid, cause))
+	}
 	k.eng.Cancel(im.watchdog)
-	if im.p != nil {
-		if im.p.image != nil {
-			k.memUsed -= im.p.image.Size()
-			im.p.image.Discard()
+	if im.streaming {
+		// Unregister the in-flight pull so late packets go stray instead
+		// of completing into a recycled record.
+		if st, ok := k.xfersIn[im.xfer]; ok && st.im == im {
+			delete(k.xfersIn, im.xfer)
+			st.buf = nil
+			k.putInStream(st)
 		}
-		for im.p.queue.Len() > 0 {
-			k.putMsg(im.p.queue.pop())
+		im.streaming = false
+	}
+	p := im.p
+	if p != nil {
+		if p.image != nil {
+			k.memUsed -= p.image.Size()
+			p.image.Discard()
+		}
+		for p.queue.Len() > 0 {
+			k.putMsg(p.queue.pop())
 		}
 	}
 	delete(k.in, im.pid)
 	k.delProc(im.pid)
 	k.stats.MigrationsFailed++
+	if p != nil {
+		k.putProcRec(p)
+	}
+	k.putInMigration(im)
 }
 
 // handleMigrateCleanup is step 8: "The process is restarted in whatever
@@ -678,13 +950,16 @@ func (k *Kernel) handleMigrateCleanup(m *msg.Message) {
 		return
 	}
 	k.eng.Cancel(im.watchdog)
-	k.commitIncoming(im, fmt.Sprintf("%d pending had been forwarded", c.Forwarded), false)
+	k.commitIncoming(im, int(c.Forwarded), false)
 }
 
 // commitIncoming finishes step 8 for an assembled process: drain the
 // messages queued while incoming, restore the pre-migration state, and (if
-// configured) follow the process with a stable-storage checkpoint.
-func (k *Kernel) commitIncoming(im *inMigration, note string, viaTimeout bool) {
+// configured) follow the process with a stable-storage checkpoint. The
+// migration record is released back to the pool at the end.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) commitIncoming(im *inMigration, forwarded int, viaTimeout bool) {
 	delete(k.in, im.pid)
 	p := im.p
 	p.timeoutCommit = viaTimeout
@@ -715,19 +990,31 @@ func (k *Kernel) commitIncoming(im *inMigration, note string, viaTimeout bool) {
 	default:
 		k.enqueueRun(p)
 	}
-	k.trace(trace.CatMigrate, "step8-restart",
-		fmt.Sprintf("%v restarted as %v (%s)", p.id, p.state, note))
+	if k.traceOn {
+		k.traceStep8(p, forwarded, viaTimeout)
+	}
 	if k.cfg.CheckpointOnArrival {
 		_ = k.SaveCheckpoint(p.id)
 	}
+	k.putInMigration(im)
+}
+
+func (k *Kernel) traceStep8(p *Process, forwarded int, viaTimeout bool) {
+	note := fmt.Sprintf("%d pending had been forwarded", forwarded)
+	if viaTimeout {
+		note = "committed on watchdog timeout"
+	}
+	k.trace(trace.CatMigrate, "step8-restart",
+		fmt.Sprintf("%v restarted as %v (%s)", p.id, p.state, note))
 }
 
 // --- resident / swappable encodings ----------------------------------------
 
 // residentState is the kernel process record moved as the non-swappable
-// state (§6: "The non-swappable state uses about 250 bytes").
+// state (§6: "The non-swappable state uses about 250 bytes"). kind aliases
+// the decoded buffer; assembleProcess interns it before retaining.
 type residentState struct {
-	kind       string
+	kind       []byte
 	prevState  ProcState
 	privileged bool
 	imageSize  int
@@ -736,12 +1023,16 @@ type residentState struct {
 	msgsOut    uint64
 }
 
-func (k *Kernel) encodeResident(p *Process) []byte {
+// appendResident gather-encodes the resident record into b — the
+// reusable-buffer form the migration fast path freezes into pooled
+// scratch.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func appendResident(b []byte, p *Process) []byte {
 	imgSize := 0
 	if p.image != nil {
 		imgSize = p.image.Size()
 	}
-	b := make([]byte, 0, 64+len(p.kind))
 	b = append(b, byte(len(p.kind)))
 	b = append(b, p.kind...)
 	b = append(b, byte(p.prevState))
@@ -759,6 +1050,11 @@ func (k *Kernel) encodeResident(p *Process) []byte {
 	return b
 }
 
+// encodeResident is the allocating form (checkpointing).
+func (k *Kernel) encodeResident(p *Process) []byte {
+	return appendResident(make([]byte, 0, 64+len(p.kind)), p)
+}
+
 func decodeResident(b []byte) (residentState, error) {
 	var r residentState
 	if len(b) < 1 {
@@ -769,7 +1065,7 @@ func decodeResident(b []byte) (residentState, error) {
 	if len(b) < n+2+4+8+8+8+8+4 {
 		return r, fmt.Errorf("short resident record")
 	}
-	r.kind = string(b[:n])
+	r.kind = b[:n]
 	b = b[n:]
 	r.prevState = ProcState(b[0])
 	r.privileged = b[1] != 0
@@ -782,6 +1078,9 @@ func decodeResident(b []byte) (residentState, error) {
 
 // encodeSwappable packs the link table and the body control state —
 // the swappable state whose size "depend[s] on the size of the link table".
+// The migration path streams the same bytes as a three-vector gather
+// instead (see handleMoveDataReq); this allocating form serves
+// checkpointing.
 func encodeSwappable(t *link.Table, ctl []byte) []byte {
 	ts := t.Snapshot()
 	b := make([]byte, 0, 4+len(ts)+len(ctl))
@@ -805,4 +1104,34 @@ func decodeSwappable(b []byte) (*link.Table, []byte, error) {
 		return nil, nil, err
 	}
 	return t, b[n:], nil
+}
+
+// decodeSwappableInto is the pooled form: the link table is rebuilt in
+// place into p's existing table (or one from the kernel's table free list)
+// so an arriving process reuses the slot backing a departed one left
+// behind.
+func (k *Kernel) decodeSwappableInto(p *Process, b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("short swappable state")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < n {
+		return nil, fmt.Errorf("truncated link table")
+	}
+	t := p.links
+	if t == nil {
+		if nf := len(k.tableFree); nf > 0 {
+			t = k.tableFree[nf-1]
+			k.tableFree[nf-1] = nil
+			k.tableFree = k.tableFree[:nf-1]
+		} else {
+			t = &link.Table{}
+		}
+	}
+	if err := link.RestoreTableInto(t, b[:n]); err != nil {
+		return nil, err
+	}
+	p.links = t
+	return b[n:], nil
 }

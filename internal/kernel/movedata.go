@@ -30,15 +30,25 @@ import (
 //     seeing the Last packet, which can overtake earlier (bigger) packets
 //     through a forwarding address.
 
-// inStream reassembles an inbound byte stream.
+// inStream reassembles an inbound byte stream. Records are pooled
+// (k.streamFree). A stream serves one of two masters: migration region
+// pulls set im/region and dispatch straight into the migration state
+// machine on completion; data-area reads set the complete/fail closures.
 type inStream struct {
-	buf       []byte
-	bytes     int
-	total     int // -1 until the Last packet arrives
-	initiator addr.ProcessID
-	userXfer  uint16
-	complete  func(data []byte)
-	fail      func()
+	buf   []byte
+	bytes int
+	total int // -1 until the Last packet arrives
+
+	// Migration region pulls (hot): reassemble into im.bufs[region] and
+	// dispatch to regionArrived without a per-pull closure.
+	im     *inMigration
+	region msg.Region
+
+	// Data-area reads (cold): completion callbacks.
+	complete func(data []byte)
+	fail     func()
+
+	next *inStream // free list
 }
 
 // moveOp tracks an outbound data-area write awaiting acknowledgement of
@@ -58,28 +68,66 @@ type moveOp struct {
 	ackCount  int
 }
 
+// getInStream acquires a stream record from the free list.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) getInStream() *inStream {
+	st := k.streamFree
+	if st == nil {
+		return &inStream{total: -1}
+	}
+	k.streamFree = st.next
+	st.next = nil
+	return st
+}
+
+// putInStream releases a stream record. The reassembly buffer is NOT kept
+// on the record: migration streams assemble directly into im.bufs (which
+// own the backing), and read streams may have handed their buffer to a
+// completion callback. Callers must have removed the record from k.xfersIn.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) putInStream(st *inStream) {
+	*st = inStream{total: -1, next: k.streamFree}
+	k.streamFree = st
+}
+
 func (k *Kernel) registerInStream(xfer uint16, complete func([]byte)) *inStream {
-	st := &inStream{total: -1, complete: complete}
+	st := k.getInStream()
+	st.complete = complete
 	k.xfersIn[xfer] = st
 	return st
 }
 
 // streamOut sends data to another machine's kernel as a paced packet
-// stream, returning the packet count. Used for migration region pulls and
-// data-area reads.
+// stream, returning the packet count. Used for data-area reads; migration
+// region pulls go through streamGather directly.
 func (k *Kernel) streamOut(to addr.MachineID, xfer uint16, data []byte) int {
-	return k.streamPackets(addr.KernelAddr(to), false, xfer, 0, data)
+	vecs := [1][]byte{data}
+	return k.streamGather(addr.KernelAddr(to), false, xfer, 0, vecs[:])
 }
 
 // streamWrite sends data addressed to a process's kernel (DELIVERTOKERNEL)
 // with absolute image offsets, for data-area writes.
 func (k *Kernel) streamWrite(owner addr.ProcessAddr, xfer uint16, imageOff uint32, data []byte) int {
-	return k.streamPackets(owner, true, xfer, imageOff, data)
+	vecs := [1][]byte{data}
+	return k.streamGather(owner, true, xfer, imageOff, vecs[:])
 }
 
-func (k *Kernel) streamPackets(to addr.ProcessAddr, dtk bool, xfer uint16, baseOff uint32, data []byte) int {
+// streamGather is the vectored packetizer: it streams the concatenation of
+// vecs without ever materializing it, filling each pooled envelope's body
+// directly from as many vectors as one packet spans. Wire output — packet
+// sizes, Seq offsets, pacing, Last marker — is byte-identical to streaming
+// the equivalent single buffer.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (k *Kernel) streamGather(to addr.ProcessAddr, dtk bool, xfer uint16, baseOff uint32, vecs [][]byte) int {
 	pkt := k.cfg.DataPacket
-	n := (len(data) + pkt - 1) / pkt
+	total := 0
+	for _, v := range vecs {
+		total += len(v)
+	}
+	n := (total + pkt - 1) / pkt
 	if n == 0 {
 		n = 1 // empty stream still needs its Last packet
 	}
@@ -89,11 +137,11 @@ func (k *Kernel) streamPackets(to addr.ProcessAddr, dtk bool, xfer uint16, baseO
 	if gap == 0 {
 		gap = 1
 	}
+	vi, vo, off := 0, 0, 0
 	for i := 0; i < n; i++ {
-		lo := i * pkt
-		hi := lo + pkt
-		if hi > len(data) {
-			hi = len(data)
+		want := pkt
+		if off+want > total {
+			want = total - off
 		}
 		m := k.getMsg()
 		m.Kind = msg.KindData
@@ -101,19 +149,42 @@ func (k *Kernel) streamPackets(to addr.ProcessAddr, dtk bool, xfer uint16, baseO
 		m.To = to
 		m.DTK = dtk
 		m.Xfer = xfer
-		m.Seq = baseOff + uint32(lo)
+		m.Seq = baseOff + uint32(off)
 		m.Last = i == n-1
 		b := m.Body[:0]
-		b = append(b, data[lo:hi]...)
+		for want > 0 && vi < len(vecs) {
+			if vo == len(vecs[vi]) {
+				vi++
+				vo = 0
+				continue
+			}
+			take := len(vecs[vi]) - vo
+			if take > want {
+				take = want
+			}
+			b = append(b, vecs[vi][vo:vo+take]...)
+			vo += take
+			want -= take
+		}
 		m.Body = b
+		off += len(b)
 		k.stats.DataPacketsSent++
-		k.stats.DataBytesSent += uint64(hi - lo)
+		k.stats.DataBytesSent += uint64(len(b))
 		k.eng.After(gap*sim.Time(i), "kernel:data-packet", k.getPending(m, true).fn)
 	}
 	return n
 }
 
 // handleDataPacket processes an arriving KindData frame.
+//
+// Zero-copy region handoff: when a whole stream fits in one pooled packet
+// (Seq 0, Last, nothing assembled yet), the stream adopts the envelope's
+// body wholesale and gives the envelope its own backing in exchange — the
+// one place the "handlers must not retain Body" contract is traded for an
+// ownership swap, which the immediately-following putMsg in deliverLocal
+// makes safe (the envelope re-enters the pool with the swapped backing, so
+// pool conservation is unchanged). Lossy-network retransmit clones are
+// heap-constructed and skip the swap.
 //
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) handleDataPacket(m *msg.Message) {
@@ -129,20 +200,40 @@ func (k *Kernel) handleDataPacket(m *msg.Message) {
 		}
 		return
 	}
-	end := int(m.Seq) + len(m.Body)
-	if end > len(st.buf) {
+	n := len(m.Body)
+	end := int(m.Seq) + n
+	switch {
+	case m.Last && m.Seq == 0 && st.bytes == 0 && m.Pooled():
+		st.buf, m.Body = m.Body, st.buf[:0]
+	case end <= cap(st.buf):
+		if end > len(st.buf) {
+			st.buf = st.buf[:end]
+		}
+		copy(st.buf[m.Seq:], m.Body)
+	default:
 		grown := make([]byte, end)
 		copy(grown, st.buf)
 		st.buf = grown
+		copy(st.buf[m.Seq:], m.Body)
 	}
-	copy(st.buf[m.Seq:], m.Body)
-	st.bytes += len(m.Body)
+	st.bytes += n
 	if m.Last {
 		st.total = end
 	}
 	if st.total >= 0 && st.bytes >= st.total {
 		delete(k.xfersIn, m.Xfer)
-		st.complete(st.buf[:st.total])
+		data := st.buf[:st.total]
+		if im := st.im; im != nil {
+			region := st.region
+			st.buf = nil // ownership moves to im.bufs[region]
+			k.putInStream(st)
+			k.regionArrived(im, region, data)
+			return
+		}
+		cb := st.complete
+		st.buf = nil // the callback may retain data
+		k.putInStream(st)
+		cb(data)
 	}
 }
 
@@ -258,7 +349,10 @@ func (k *Kernel) handleMoveReadFailed(m *msg.Message) {
 		return
 	}
 	delete(k.xfersIn, st.Xfer)
-	if in.fail != nil {
-		in.fail()
+	fail := in.fail
+	in.buf = nil
+	k.putInStream(in)
+	if fail != nil {
+		fail()
 	}
 }

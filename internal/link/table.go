@@ -143,7 +143,15 @@ func (t *Table) StaleTo(pid addr.ProcessID, machine addr.MachineID) int {
 // process's swappable state. Layout: cap(2) nextSlot(2) count(2) then
 // count × (id(2) + link wire form).
 func (t *Table) Snapshot() []byte {
-	b := make([]byte, 0, 6+t.count*(2+WireSize))
+	return t.AppendSnapshot(make([]byte, 0, 6+t.count*(2+WireSize)))
+}
+
+// AppendSnapshot appends the Snapshot wire form to b — the reusable-buffer
+// gather encoder the migration fast path uses to freeze the swappable state
+// directly into a pooled scratch buffer without an intermediate copy.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestMigrationSteadyStateAllocs in bench_hotpath_test.go.
+func (t *Table) AppendSnapshot(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint16(b, uint16(t.cap))
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(t.slots)))
 	b = binary.LittleEndian.AppendUint16(b, uint16(t.count))
@@ -160,8 +168,20 @@ func (t *Table) Snapshot() []byte {
 // RestoreTable decodes a Snapshot into a fresh table. Link IDs are
 // preserved, so process-held IDs remain valid after migration.
 func RestoreTable(b []byte) (*Table, error) {
+	t := &Table{}
+	if err := RestoreTableInto(t, b); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RestoreTableInto decodes a Snapshot into t, reusing t's slot and
+// free-list backing arrays when they are large enough. Any previous
+// contents of t are discarded. The migration fast path uses it to rebuild
+// an arriving process's table inside a pooled record without allocating.
+func RestoreTableInto(t *Table, b []byte) error {
 	if len(b) < 6 {
-		return nil, fmt.Errorf("link: short table snapshot")
+		return fmt.Errorf("link: short table snapshot")
 	}
 	capacity := int(binary.LittleEndian.Uint16(b))
 	nextSlot := int(binary.LittleEndian.Uint16(b[2:]))
@@ -170,20 +190,30 @@ func RestoreTable(b []byte) (*Table, error) {
 	if nextSlot < 1 {
 		nextSlot = 1
 	}
-	t := &Table{slots: make([]Link, nextSlot), cap: capacity}
+	if cap(t.slots) >= nextSlot {
+		t.slots = t.slots[:nextSlot]
+		for i := range t.slots {
+			t.slots[i] = Link{}
+		}
+	} else {
+		t.slots = make([]Link, nextSlot)
+	}
+	t.free = t.free[:0]
+	t.count = 0
+	t.cap = capacity
 	for i := 0; i < count; i++ {
 		if len(b) < 2 {
-			return nil, fmt.Errorf("link: truncated table snapshot")
+			return fmt.Errorf("link: truncated table snapshot")
 		}
 		id := ID(binary.LittleEndian.Uint16(b))
 		var l Link
 		var err error
 		l, b, err = Decode(b[2:])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if int(id) <= 0 || int(id) >= nextSlot {
-			return nil, fmt.Errorf("link: snapshot id %d out of range", id)
+			return fmt.Errorf("link: snapshot id %d out of range", id)
 		}
 		t.slots[id] = l
 		t.count++
@@ -194,5 +224,5 @@ func RestoreTable(b []byte) (*Table, error) {
 			t.free = append(t.free, ID(i))
 		}
 	}
-	return t, nil
+	return nil
 }

@@ -57,7 +57,11 @@ func TestHotpathAnnotationSet(t *testing.T) {
 			"MoveDataReq.AppendTo", "MigrateCleanup.AppendTo", "MigrateDone.AppendTo",
 			"LinkUpdate.AppendTo", "CreateProcess.AppendTo", "CreateDone.AppendTo",
 			"MoveRead.AppendTo", "XferStatus.AppendTo", "LoadReport.AppendTo",
+			"LinkUpdateBatch.AppendTo",
 			"Pool.Get", "Pool.Put",
+		},
+		"demosmp/internal/link": {
+			"Table.AppendSnapshot",
 		},
 		"demosmp/internal/kernel": {
 			// Delivery fast path.
@@ -73,6 +77,14 @@ func TestHotpathAnnotationSet(t *testing.T) {
 			"procCtx.send", "procCtx.Recv",
 			// Move-data facility.
 			"Kernel.ack", "Kernel.handleAck", "Kernel.handleDataPacket",
+			"Kernel.streamGather", "Kernel.getInStream", "Kernel.putInStream",
+			// Migration fast path (record pools + gather encoders).
+			"Kernel.getProcRec", "Kernel.putProcRec", "Kernel.internKind",
+			"Kernel.putOutMigration", "Kernel.putInMigration",
+			"Kernel.armOutWatchdog", "Kernel.armInWatchdog",
+			"Kernel.handleMoveDataReq", "Kernel.pullRegion",
+			"Kernel.regionArrived", "Kernel.commitIncoming",
+			"appendResident",
 			// Ring buffer.
 			"ring.push", "ring.pop",
 			// §6 per-migration accounting inside sendAdmin.

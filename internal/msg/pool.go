@@ -64,6 +64,17 @@ func (p *Pool) Put(m *Message) {
 	p.free = append(p.free, m)
 }
 
+// Reserve tops the free list up to at least n envelopes, constructing the
+// shortfall eagerly. The migration fast path calls it when a kernel accepts
+// an inbound migration (step 3), so the arriving process's admin replies and
+// acks find warm envelopes instead of growing the pool mid-protocol.
+func (p *Pool) Reserve(n int) {
+	for len(p.free) < n {
+		p.news++
+		p.free = append(p.free, &Message{pooled: true, inFree: true})
+	}
+}
+
 // Free reports how many envelopes sit on the free list (tests).
 func (p *Pool) Free() int { return len(p.free) }
 

@@ -115,8 +115,8 @@ func TestSnapshotWriteDeterministic(t *testing.T) {
 func TestLedgerPointerAttribution(t *testing.T) {
 	l := NewLedger()
 	rec := l.Add(MigrationRecord{
-		PID:   addr.ProcessID{Creator: 1, Local: 5},
-		From:  1, To: 2,
+		PID:  addr.ProcessID{Creator: 1, Local: 5},
+		From: 1, To: 2,
 		Start: 1000, End: 3500,
 		MoveDataTransfers: 3, AdminMsgs: 9, OK: true,
 		ProgramBytes: 256, ResidentBytes: 128, SwappableBytes: 64,

@@ -2,26 +2,35 @@
 // determinism (all randomness through sim.Engine.Rand, no ambient clocks
 // or environment), map-iteration order on anything order-sensitive, the
 // DEMOS/MP layering DAG, the //demos:hotpath zero-allocation contract,
-// and encoder/decoder/fuzz pairing of the wire payloads.
+// encoder/decoder/fuzz pairing of the wire payloads, the pooled-envelope
+// ownership discipline (use-after-Put, double-Put, unblessed retention),
+// staleness of //demos:nolint and //demos:hotpath escape hatches, and
+// test coverage of every kill-point and Config ablation flag.
 //
 // Usage:
 //
 //	go run ./cmd/demoslint ./...
+//	go run ./cmd/demoslint -rules     # list analyzers with descriptions
+//	go run ./cmd/demoslint -json ./...
 //
 // The package pattern is accepted for familiarity but the whole module is
-// always analyzed (the layering and wirepair rules are module-global).
-// Findings print as "file:line: [rule] message" and the exit status is
-// non-zero if any survive. Suppress a single finding with a trailing
+// always analyzed (the layering, wirepair, and killcover rules are
+// module-global). Findings print as "file:line: [rule] message" — or, with
+// -json, as a JSON array of {path,line,col,rule,msg} objects for CI
+// artifacts — and the exit status is non-zero if any survive. Suppress a
+// single finding with a trailing
 //
 //	//demos:nolint:<rule> <reason>
 //
-// comment; the reason is mandatory. See DESIGN.md §8 for the rule
-// catalogue and internal/lint for the implementation (stdlib-only:
-// go/parser + go/types, no x/tools).
+// comment; the reason is mandatory, and the suppressaudit rule deletes
+// your suppression for you (by failing) once it stops firing. See
+// DESIGN.md §8 for the rule catalogue and internal/lint for the
+// implementation (stdlib-only: go/parser + go/types, no x/tools).
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,12 +42,13 @@ import (
 
 func main() {
 	rules := flag.Bool("rules", false, "list the analyzer rules and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout (for CI artifacts)")
 	flag.Parse()
 
 	analyzers := lint.DemosAnalyzers()
 	if *rules {
 		for _, a := range analyzers {
-			fmt.Println(a.Name())
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
 		}
 		return
 	}
@@ -54,8 +64,28 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(mod, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		type finding struct {
+			Path string `json:"path"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+			Rule string `json:"rule"`
+			Msg  string `json:"msg"`
+		}
+		out := make([]finding, 0, len(diags)) // 0-length, not nil: empty prints as []
+		for _, d := range diags {
+			out = append(out, finding{Path: d.Path, Line: d.Line, Col: d.Col, Rule: d.Rule, Msg: d.Msg})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "demoslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "demoslint: %d finding(s)\n", n)

@@ -97,6 +97,7 @@ func (c *procCtx) errUnknownCarry(cid link.ID) error {
 // bodies that retain payload bytes across steps must copy them out.
 //
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
+//demos:owner mailbox — Recv IS the blessed aliasing boundary: recvd holds popped envelopes until the slice drain in runSlice, and Delivery.Body/Data alias the envelope for exactly one step (ownership rule in the doc above; checked by demoslint ownership elsewhere).
 func (c *procCtx) Recv() (proc.Delivery, bool) {
 	if c.p.queue.Len() == 0 {
 		return proc.Delivery{}, false

@@ -12,6 +12,12 @@ import (
 // is the (possibly stale) last-known-machine hint in the process address;
 // staleness is repaired downstream by forwarding addresses (§4).
 //
+// Envelope ownership transfers with the message: route's caller gives up
+// the envelope, and exactly one downstream consumer releases it via
+// putMsg (demoslint's ownership rule, DESIGN.md §8.1, enforces this
+// single-releaser contract; the blessed holding points — mailbox,
+// pending, bounce, locate, stream — are declared with //demos:owner).
+//
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
 func (k *Kernel) route(m *msg.Message) {
 	if k.crashed {
@@ -272,7 +278,7 @@ func (k *Kernel) bounce(m *msg.Message) {
 	nd.Op = msg.OpNotDeliverable
 	nd.From = addr.KernelAddr(k.machine)
 	nd.To = addr.KernelAddr(m.From.LastKnown)
-	nd.Orig = m
+	nd.Orig = m //demos:owner bounce — the NotDeliverable envelope carries the original back to its sender; handleNotDeliverable releases both.
 	k.route(nd)
 }
 
@@ -300,7 +306,7 @@ func (k *Kernel) handleNotDeliverable(m *msg.Message) {
 		k.putMsg(orig)
 		return
 	}
-	k.pendingLocate[pid] = append(k.pendingLocate[pid], orig)
+	k.pendingLocate[pid] = append(k.pendingLocate[pid], orig) //demos:owner locate — held (capped) until the locate reply resubmits or dead-letters it.
 	if len(k.pendingLocate[pid]) > 1 {
 		return // locate already outstanding
 	}

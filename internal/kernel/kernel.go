@@ -822,6 +822,7 @@ func (k *Kernel) getMsg() *msg.Message {
 // (drivers, tests, cold paths, lossy mode) pass through as no-ops.
 //
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
+//demos:releases m — demoslint's ownership rule treats a putMsg call like Pool.Put: the argument is dead on every path after it.
 func (k *Kernel) putMsg(m *msg.Message) {
 	if k.pool != nil {
 		k.pool.Put(m)
@@ -856,6 +857,7 @@ type pending struct {
 }
 
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/kernel-local-roundtrip in bench_hotpath_test.go.
+//demos:owner pending — the pooled pending record owns its envelope for exactly one scheduled hop; run() hands it back to route, which releases or re-queues it.
 func (k *Kernel) getPending(m *msg.Message, resubmit bool) *pending {
 	d := k.pendingFree
 	if d == nil {

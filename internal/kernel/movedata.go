@@ -204,7 +204,7 @@ func (k *Kernel) handleDataPacket(m *msg.Message) {
 	end := int(m.Seq) + n
 	switch {
 	case m.Last && m.Seq == 0 && st.bytes == 0 && m.Pooled():
-		st.buf, m.Body = m.Body, st.buf[:0]
+		st.buf, m.Body = m.Body, st.buf[:0] //demos:owner stream — zero-copy donation: the stream keeps the packet's backing array and the envelope leaves with the stream's empty one.
 	case end <= cap(st.buf):
 		if end > len(st.buf) {
 			st.buf = st.buf[:end]

@@ -360,7 +360,7 @@ func (k *Kernel) searchFallback(m *msg.Message) bool {
 	if len(k.pendingLocate[pid]) >= PendingLocateCap {
 		return false // overflow: caller dead-letters
 	}
-	k.pendingLocate[pid] = append(k.pendingLocate[pid], m)
+	k.pendingLocate[pid] = append(k.pendingLocate[pid], m) //demos:owner locate — held (capped) until the search reply resubmits or dead-letters it.
 	if len(k.pendingLocate[pid]) > 1 {
 		return true // search already outstanding
 	}

@@ -169,3 +169,41 @@ func TestSearchTimeoutDeadLetters(t *testing.T) {
 		t.Fatalf("DeadLetters = %d, want 1 (search timeout must account the held message)", s.DeadLetters)
 	}
 }
+
+// TestKillPointInventory pins the kill-point surface: all eight protocol
+// stages of §3.1, in protocol order, each with a stable trace name. The
+// killcover lint rule requires every kill-point to be test-referenced;
+// this inventory is that reference for the full set, and it fails loudly
+// if a stage is added, removed, or reordered without updating the chaos
+// drivers that cycle through KillPoints().
+func TestKillPointInventory(t *testing.T) {
+	want := []kernel.KillPoint{
+		kernel.KPSourceFrozen,
+		kernel.KPSourceAsked,
+		kernel.KPDestAllocated,
+		kernel.KPDestMidTransfer,
+		kernel.KPDestTransferred,
+		kernel.KPSourceEstablished,
+		kernel.KPSourceCommitted,
+		kernel.KPDestCleanup,
+	}
+	names := []string{
+		"src-frozen", "src-asked", "dst-allocated", "dst-mid-transfer",
+		"dst-transferred", "src-established", "src-committed", "dst-cleanup",
+	}
+	if kernel.KillPointCount != len(want) {
+		t.Fatalf("KillPointCount = %d, want %d", kernel.KillPointCount, len(want))
+	}
+	got := kernel.KillPoints()
+	if len(got) != len(want) {
+		t.Fatalf("KillPoints() returned %d points, want %d", len(got), len(want))
+	}
+	for i, kp := range got {
+		if kp != want[i] {
+			t.Errorf("KillPoints()[%d] = %v, want %v", i, kp, want[i])
+		}
+		if kp.String() != names[i] {
+			t.Errorf("%v.String() = %q, want %q", kp, kp.String(), names[i])
+		}
+	}
+}

@@ -20,6 +20,12 @@ import (
 // chaos.CheckRegistry and the single-source soak test enforce that the
 // layers reconcile (e.g. Σ DataPacketsSent == data frames on a lossless
 // run) without either side keeping a duplicate.
+//
+// The companion discipline — single-releaser ownership of the pooled
+// *message envelopes* these counters describe — no longer lives in prose:
+// demoslint's ownership rule (DESIGN.md §8.1) machine-checks
+// use-after-Put, double-Put, and unblessed retention on every build, with
+// the reviewed retainers declared in-source via //demos:owner.
 type Stats struct {
 	// Process lifecycle.
 	Spawned uint64

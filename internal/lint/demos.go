@@ -118,5 +118,12 @@ func DemosAnalyzers() []Analyzer {
 		Layering{Module: ModulePath, Allow: demosLayers},
 		HotPathAlloc{},
 		WirePair{PkgPath: ModulePath + "/internal/msg"},
+		Ownership{MsgPath: ModulePath + "/internal/msg"},
+		SuppressAudit{},
+		KillCover{
+			Pkg:        ModulePath + "/internal/kernel",
+			ConstType:  "KillPoint",
+			ConfigType: "Config",
+		},
 	}
 }

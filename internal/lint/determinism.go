@@ -23,6 +23,9 @@ type Determinism struct {
 }
 
 func (Determinism) Name() string { return "determinism" }
+func (Determinism) Doc() string {
+	return "all randomness through sim.Engine.Rand; no ambient clocks, env, or goroutine-timing sources"
+}
 
 // forbidden ambient-input functions, by package path. math/rand and
 // math/rand/v2 are handled wholesale: every package-level function there is

@@ -24,6 +24,9 @@ import (
 type HotPathAlloc struct{}
 
 func (HotPathAlloc) Name() string { return "hotpathalloc" }
+func (HotPathAlloc) Doc() string {
+	return "//demos:hotpath functions must not contain allocating constructs (make, new, append-grow, closures, boxing)"
+}
 
 func (HotPathAlloc) Run(p *Pass) {
 	for _, f := range p.Pkg.Files {

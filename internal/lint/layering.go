@@ -22,6 +22,9 @@ type Layering struct {
 }
 
 func (Layering) Name() string { return "layering" }
+func (Layering) Doc() string {
+	return "imports must follow the declared DEMOS/MP layering DAG (demosLayers)"
+}
 
 func (l Layering) Run(p *Pass) {
 	if len(p.Pkg.Files) == 0 {

@@ -36,9 +36,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.Path, d.Line, d.Rule, d.Msg)
 }
 
-// Analyzer is one demoslint rule. Run is called once per package.
+// Analyzer is one demoslint rule. Run is called once per package. Doc is
+// a one-line description for `demoslint -rules` and DESIGN.md §8.
 type Analyzer interface {
 	Name() string
+	Doc() string
 	Run(*Pass)
 }
 
@@ -121,7 +123,15 @@ func Run(mod *Module, analyzers []Analyzer) []Diagnostic {
 		known[a.Name()] = true
 	}
 
-	// suppress[path][line] = set of rules silenced at that line.
+	// suppress[path][line] = set of rules silenced at that line; valid keeps
+	// each well-formed directive once (at its own line) for the staleness
+	// audit below.
+	type validDirective struct {
+		path string
+		line int
+		rule string
+	}
+	var valid []validDirective
 	suppress := make(map[string]map[int]map[string]bool)
 	add := func(path string, line int, rule string) {
 		if suppress[path] == nil {
@@ -147,19 +157,38 @@ func Run(mod *Module, analyzers []Analyzer) []Diagnostic {
 				default:
 					add(path, position.Line, d.rule)
 					add(path, position.Line+1, d.rule)
+					valid = append(valid, validDirective{path: path, line: position.Line, rule: d.rule})
 				}
 			}
 		}
 	}
 
+	used := make(map[string]bool) // "path:line:rule" keys that silenced something
 	kept := diags[:0]
 	for _, d := range diags {
 		if d.Rule != "nolint" && suppress[d.Path][d.Line][d.Rule] {
+			used[fmt.Sprintf("%s:%d:%s", d.Path, d.Line, d.Rule)] = true
 			continue
 		}
 		kept = append(kept, d)
 	}
 	diags = kept
+
+	// suppressaudit, part 1: a well-formed suppression that silenced nothing
+	// this run is stale. This must happen post-filter — only lint.Run knows
+	// which findings each directive actually consumed — so the check lives
+	// here and reports under the suppressaudit rule when that analyzer is in
+	// the suite.
+	if known["suppressaudit"] {
+		for _, v := range valid {
+			if used[fmt.Sprintf("%s:%d:%s", v.path, v.line, v.rule)] ||
+				used[fmt.Sprintf("%s:%d:%s", v.path, v.line+1, v.rule)] {
+				continue
+			}
+			diags = append(diags, Diagnostic{Path: v.path, Line: v.line, Rule: "suppressaudit",
+				Msg: fmt.Sprintf("suppression of %q no longer fires: delete it or fix the code it excuses", v.rule)})
+		}
+	}
 
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"flag"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,6 +37,11 @@ func TestFixtures(t *testing.T) {
 		}}},
 		{"hotfix", "hotfix", []Analyzer{HotPathAlloc{}}},
 		{"wirefix", "wirefix", []Analyzer{WirePair{PkgPath: "wirefix"}}},
+		{"ownfix", "ownfix", []Analyzer{Ownership{MsgPath: "ownfix/msg"}}},
+		{"supfix", "supfix", []Analyzer{Determinism{}, SuppressAudit{}}},
+		{"killfix", "killfix", []Analyzer{KillCover{
+			Pkg: "killfix", ConstType: "Point", ConfigType: "Config",
+		}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,5 +100,69 @@ func TestNolintSuppresses(t *testing.T) {
 		if d.Rule == "determinism" && d.Line == suppressedLine {
 			t.Errorf("suppression failed to silence %s:%d: %v", d.Path, d.Line, d)
 		}
+	}
+}
+
+// TestInjectedDoublePutCaught splices a second Put into a temp copy of the
+// ownfix drain loop — the fixture mirror of deliver.go's locate-reply
+// drain — and asserts the ownership analyzer reports the double release at
+// the injected line. This is the proof that a regression in the real drain
+// could not land silently.
+func TestInjectedDoublePutCaught(t *testing.T) {
+	srcRoot := filepath.Join("testdata", "src", "ownfix")
+	tmp := t.TempDir()
+	marker := "// INJECT:DOUBLE-PUT"
+	injectedLine := 0
+	err := filepath.WalkDir(srcRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(srcRoot, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(tmp, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if rel == filepath.Join("own", "drain.go") {
+			text := string(data)
+			if !strings.Contains(text, marker) {
+				t.Fatalf("drain fixture lost its %s marker", marker)
+			}
+			for i, line := range strings.Split(text, "\n") {
+				if strings.Contains(line, marker) {
+					injectedLine = i + 1
+				}
+			}
+			text = strings.Replace(text, marker, "p.Put(m)", 1)
+			data = []byte(text)
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injectedLine == 0 {
+		t.Fatal("injection marker not found")
+	}
+
+	mod, err := LoadModule(tmp, "ownfix")
+	if err != nil {
+		t.Fatalf("LoadModule on injected copy: %v", err)
+	}
+	caught := false
+	for _, d := range Run(mod, []Analyzer{Ownership{MsgPath: "ownfix/msg"}}) {
+		if d.Rule == "ownership" && d.Path == "own/drain.go" &&
+			d.Line == injectedLine && strings.Contains(d.Msg, "double release") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("injected double-Put at own/drain.go:%d was not reported", injectedLine)
 	}
 }

@@ -19,6 +19,9 @@ import (
 type MapOrder struct{}
 
 func (MapOrder) Name() string { return "maporder" }
+func (MapOrder) Doc() string {
+	return "no order-sensitive work (sends, appends to ordered state) driven by a raw map range"
+}
 
 // mapSinks are call names that make iteration order observable. Matching
 // is by name (not type identity) so the rule also covers future

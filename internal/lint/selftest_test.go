@@ -3,6 +3,7 @@ package lint
 import (
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -105,5 +106,53 @@ func TestHotpathAnnotationSet(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("//demos:hotpath inventory drifted\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestRepositoryOwnershipClean runs only the ownership borrow checker over
+// the real tree and additionally pins the //demos:owner blessing inventory:
+// the analyzer must be clean, and every blessing role in the repository
+// must be one of the reviewed retainer roles catalogued in DESIGN.md §8's
+// blessed-retention table. A new role means a new row in that table, in
+// the same commit.
+func TestRepositoryOwnershipClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	mod := loadSelf(t)
+	diags := Run(mod, []Analyzer{
+		Ownership{MsgPath: ModulePath + "/internal/msg"},
+	})
+	for _, d := range diags {
+		t.Errorf("%v", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d ownership finding(s); the pooled-envelope discipline regressed", len(diags))
+	}
+
+	catalogued := map[string]bool{
+		"pool": true, "mailbox": true, "pending": true, "bounce": true,
+		"locate": true, "stream": true, "sink": true, "clone": true,
+		"inflight": true,
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//demos:owner ")
+					if !ok {
+						continue
+					}
+					role := rest
+					if i := strings.IndexAny(role, " \t"); i >= 0 {
+						role = role[:i]
+					}
+					if !catalogued[role] {
+						pos := mod.Fset.Position(c.Pos())
+						t.Errorf("%s:%d: //demos:owner role %q is not in DESIGN.md §8's blessed-retention table", pos.Filename, pos.Line, role)
+					}
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,27 @@
+// Package killfix exercises killcover: Point constants and Config bool
+// flags partially referenced from killfix_test.go — the unreferenced ones
+// must be reported, and the non-bool / unexported fields ignored.
+package killfix
+
+// Point mimics kernel.KillPoint.
+type Point uint8
+
+const (
+	PSourceFrozen Point = iota + 1
+	PDestArrived
+	PNeverKilled // not referenced by any test: want killcover
+)
+
+// PointCount is plain int, not a Point: outside the rule.
+const PointCount = int(PNeverKilled)
+
+// Config mimics kernel.Config.
+type Config struct {
+	FlagTested   bool
+	FlagUntested bool // not referenced by any test: want killcover
+	Budget       int  // non-bool: outside the rule
+	hidden       bool // unexported: outside the rule
+}
+
+// use keeps the unexported field from being declared-and-unused dead.
+func (c Config) use() bool { return c.hidden }

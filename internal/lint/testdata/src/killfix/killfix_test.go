@@ -1,0 +1,15 @@
+package killfix
+
+import "testing"
+
+func TestCovered(t *testing.T) {
+	cfg := Config{FlagTested: true}
+	if !cfg.FlagTested {
+		t.Fatal("flag lost")
+	}
+	for _, p := range []Point{PSourceFrozen, PDestArrived} {
+		if p == 0 {
+			t.Fatal("zero point")
+		}
+	}
+}

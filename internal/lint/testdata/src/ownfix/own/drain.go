@@ -1,0 +1,15 @@
+package own
+
+import "ownfix/msg"
+
+// drainHeld mirrors deliver.go's locate-reply drain loop: every held
+// envelope is routed once and released exactly once. The INJECT marker is
+// where TestInjectedDoublePutCaught splices a second Put to prove the
+// analyzer would catch a regression in the real drain.
+func drainHeld(p *msg.Pool, held []*msg.Message, route func([]byte)) {
+	for _, m := range held {
+		route(m.Body)
+		p.Put(m)
+		// INJECT:DOUBLE-PUT
+	}
+}

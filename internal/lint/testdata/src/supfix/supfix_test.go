@@ -1,0 +1,11 @@
+package supfix
+
+import "testing"
+
+// BenchmarkGoodPath is the live dynamic guard cited by LiveGuard.
+func BenchmarkGoodPath(b *testing.B) {
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = LiveGuard(buf)
+	}
+}

@@ -24,6 +24,9 @@ type WirePair struct {
 }
 
 func (WirePair) Name() string { return "wirepair" }
+func (WirePair) Doc() string {
+	return "every wire Encode in internal/msg has a paired Decode plus round-trip fuzz coverage"
+}
 
 func (w WirePair) Run(p *Pass) {
 	if p.Pkg.ImportPath != w.PkgPath {

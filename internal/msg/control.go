@@ -50,7 +50,7 @@ type MigrateRequest struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (r MigrateRequest) AppendTo(b []byte) []byte {
 	b = putPID(b, r.PID)
 	return binary.LittleEndian.AppendUint16(b, uint16(r.Dest))
@@ -94,7 +94,7 @@ func ToUnits(n int) uint16 {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (a MigrateAsk) AppendTo(b []byte) []byte {
 	b = putPID(b, a.PID)
 	b = binary.LittleEndian.AppendUint16(b, a.Program)
@@ -126,7 +126,7 @@ type PIDMachine struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (p PIDMachine) AppendTo(b []byte) []byte {
 	b = putPID(b, p.PID)
 	return binary.LittleEndian.AppendUint16(b, uint16(p.Machine))
@@ -156,7 +156,7 @@ type MoveDataReq struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (r MoveDataReq) AppendTo(b []byte) []byte {
 	b = putPID(b, r.PID)
 	b = append(b, byte(r.Region))
@@ -187,7 +187,7 @@ type MigrateCleanup struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (c MigrateCleanup) AppendTo(b []byte) []byte {
 	b = putPID(b, c.PID)
 	return binary.LittleEndian.AppendUint16(b, c.Forwarded)
@@ -216,7 +216,7 @@ type MigrateDone struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (d MigrateDone) AppendTo(b []byte) []byte {
 	b = putPID(b, d.PID)
 	b = binary.LittleEndian.AppendUint16(b, uint16(d.Machine))
@@ -253,7 +253,7 @@ type LinkUpdate struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (u LinkUpdate) AppendTo(b []byte) []byte {
 	b = putPID(b, u.Sender)
 	b = putPID(b, u.Migrated)
@@ -295,7 +295,7 @@ const MaxBatchSenders = 255
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (u LinkUpdateBatch) AppendTo(b []byte) []byte {
 	b = putPID(b, u.Migrated)
 	b = binary.LittleEndian.AppendUint16(b, uint16(u.Machine))
@@ -346,7 +346,7 @@ type CreateProcess struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (c CreateProcess) AppendTo(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint16(b, c.Tag)
 	b = append(b, byte(len(c.Name)))
@@ -402,7 +402,7 @@ type CreateDone struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (d CreateDone) AppendTo(b []byte) []byte {
 	b = putPID(b, d.PID)
 	b = binary.LittleEndian.AppendUint16(b, uint16(d.Machine))
@@ -436,7 +436,7 @@ type MoveRead struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (r MoveRead) AppendTo(b []byte) []byte {
 	b = putPID(b, r.PID)
 	b = binary.LittleEndian.AppendUint32(b, r.AreaOff)
@@ -470,7 +470,7 @@ type XferStatus struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (s XferStatus) AppendTo(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint16(b, s.Xfer)
 	if s.OK {

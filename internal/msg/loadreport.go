@@ -36,7 +36,7 @@ type LoadReport struct {
 
 // AppendTo appends the wire form to b (reusable-buffer encode).
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); the reusable-buffer pair of Encode, see bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode and TestControlRoundTripAll.
 func (r LoadReport) AppendTo(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint16(b, uint16(r.Machine))
 	b = binary.LittleEndian.AppendUint16(b, r.Ready)

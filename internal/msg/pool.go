@@ -14,6 +14,12 @@ package msg
 // through as no-ops — so consumption sites never need to know a message's
 // provenance. Envelopes may migrate between pools: whichever kernel
 // consumes a message releases it into its own free list.
+//
+// The single-releaser discipline is machine-checked: demoslint's
+// ownership rule (DESIGN.md §8.1) statically tracks every envelope from
+// Get to Put and rejects use-after-release, double release, and retention
+// outside a //demos:owner-blessed site; the generation check below stays
+// as the dynamic backstop for what an intraprocedural pass cannot see.
 type Pool struct {
 	free []*Message
 	news int // envelopes constructed because the free list was empty
@@ -45,6 +51,7 @@ func (p *Pool) Get() *Message {
 // zero length) and the generation is bumped so outstanding Refs go stale.
 //
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/admin-encode in bench_hotpath_test.go.
+//demos:owner pool — Put is where ownership ends: the free list is the one place a released envelope may live.
 func (p *Pool) Put(m *Message) {
 	if m == nil || !m.pooled {
 		return

@@ -75,6 +75,8 @@ func (n *Network) runSink() {
 }
 
 // retire returns a pooled original the ARQ replaced with a heap clone.
+//
+//demos:owner sink — the sink queue holds the retired envelope only until drainSinks hands it to its FrameOwner in the same event cascade.
 func (n *Network) retire(from addr.MachineID, m *msg.Message) {
 	if o := n.owners[from]; o != nil {
 		n.queueSink(sinkItem{owner: o, m: m})
@@ -84,6 +86,8 @@ func (n *Network) retire(from addr.MachineID, m *msg.Message) {
 // deadFrame routes an abandoned frame to its sink. OnDead, when set, takes
 // precedence (it is the pre-existing test hook); otherwise the sending
 // machine's FrameOwner gets it.
+//
+//demos:owner sink — abandoned frames are held in the sink queue until drainSinks returns them to their owner for accounting + release.
 func (n *Network) deadFrame(from, to addr.MachineID, m *msg.Message) {
 	if n.OnDead != nil {
 		n.queueSink(sinkItem{m: m, to: to, dead: true})
@@ -265,7 +269,7 @@ func (n *Network) sendARQ(from, to addr.MachineID, m *msg.Message, size int, ext
 			if n.down[to] || n.partitioned(from, to) {
 				return
 			}
-			n.arrive(from, to, dm, id)
+			n.arrive(from, to, dm, id) //demos:owner clone — dm is the ARQ heap clone (a pooled original was retired above), safe to hold in the event queue.
 		})
 	}
 }

@@ -408,6 +408,7 @@ func panicNoEndpoint(to addr.MachineID) {
 // callback closure exactly once) and loads it with this frame.
 //
 //demos:hotpath — checked by demoslint (hotpathalloc); the pool is what keeps TestHotPathZeroAlloc/netw-send at zero allocations.
+//demos:owner inflight — the pooled delivery record owns the frame while it rides the event queue; run() releases the record and hands the frame to DeliverFrame.
 func (n *Network) getDelivery(to addr.MachineID, m *msg.Message) *delivery {
 	d := n.delFree
 	if d == nil {
@@ -494,6 +495,8 @@ func (n *Network) arrive(from, to addr.MachineID, m *msg.Message, id uint64) boo
 // extra delays only this attempt's delivery (reorder injection); a
 // partition or an active loss burst raises the effective loss probability
 // per attempt, so retries outlasting the fault still get through.
+//
+//demos:owner inflight — transmit's deliver/retransmit events own the frame until it arrives or the ARQ gives up and routes it to deadFrame; sendARQ guarantees it is a heap clone, never a pooled envelope.
 func (n *Network) transmit(from, to addr.MachineID, m *msg.Message, size int, id uint64, attempt int, extra sim.Time) {
 	if attempt > 0 {
 		n.stats.retransmits++

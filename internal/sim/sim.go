@@ -178,7 +178,7 @@ func (e *Engine) Cancel(ev Event) {
 // freeSlot recycles an arena slot popped off the heap. Bumping the
 // generation invalidates any handles still pointing at it.
 //
-//demos:hotpath — checked by demoslint (hotpathalloc); part of every dispatch cycle measured in bench_hotpath_test.go.
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc and BenchmarkEngineDispatchDepth64.
 func (e *Engine) freeSlot(idx uint32) {
 	s := &e.arena[idx]
 	s.fn = nil

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
-echo "== demoslint ./... (determinism, maporder, layering, hotpathalloc, wirepair)"
+echo "== demoslint ./... (determinism, maporder, layering, hotpathalloc, wirepair, ownership, suppressaudit, killcover)"
 go run ./cmd/demoslint ./...
 
 echo "== go build ./..."

@@ -71,6 +71,10 @@ type benchFile struct {
 	Benchmark    string        `json:"benchmark"`
 	SeedBaseline benchSample   `json:"seed_baseline"`
 	Runs         []benchSample `json:"runs"`
+	// Scale holds the whole-cluster throughput tier (see scale.go): one
+	// entry per -bench-json run, events/sec at 64/256/1000 machines on
+	// 1/2/4 parallel shards.
+	Scale []scaleRun `json:"scale,omitempty"`
 }
 
 // timeIt runs fn(iters) reps times and returns the best ns/op (the standard
@@ -393,6 +397,10 @@ func benchJSON(path string) {
 	run.Timestamp = time.Now().UTC().Format(time.RFC3339)
 	f.Runs = append(f.Runs, run)
 
+	sc := measureScale()
+	sc.Timestamp = run.Timestamp
+	f.Scale = append(f.Scale, sc)
+
 	out, err := json.MarshalIndent(&f, "", "  ")
 	die(err)
 	die(os.WriteFile(path, append(out, '\n'), 0o644))
@@ -422,6 +430,7 @@ func benchJSON(path string) {
 	fmt.Printf("| kernel round-trip allocs/op | %.0f | %.0f | |\n",
 		seedBaseline.KernelLocalRTAllocsOp, run.KernelLocalRTAllocsOp)
 	fmt.Printf("| kernel migration allocs/op | | %.1f | |\n", run.KernelMigrationAllocsOp)
+	printScale(sc)
 }
 
 // trackedRows lists every ns/op metric the regression gate watches.
@@ -534,6 +543,10 @@ func checkRegression(path string) {
 		}
 		fmt.Printf("%-34s %24.2f allocs/op (want 0)%s\n", "kernel full migration", migAllocs, mark)
 	}
+	// Sharded-runtime throughput gate: parallel shards must actually buy
+	// wall-clock speedup on a multi-core host (absolute floor, like the
+	// allocation gates; self-skipping below 4 cores).
+	bad += checkScaleSpeedup()
 	if bad > 0 {
 		fmt.Printf("\n%d tracked metric(s) regressed\n", bad)
 		os.Exit(1)

@@ -36,6 +36,7 @@ var (
 	obsJSONFlag         = flag.String("obs-json", "", "run the obs export scenario and write the metrics registry snapshot (JSON) to this path, then exit")
 	traceOutFlag        = flag.String("trace-out", "", "with the obs export scenario, also write a Chrome trace_event timeline JSON to this path")
 	benchShortFlag      = flag.Bool("bench-short", false, "scale the hot-path measurement iteration counts down ~10x (for CI smoke runs; noisier, so pair with -check-regression's min-of-three)")
+	scaleJSONFlag       = flag.String("scale-json", "", "measure sharded-runtime events/sec (64/256/1000 machines x 1/2/4 shards) and write the run as standalone JSON to this path, then exit")
 )
 
 // benchShort is read by scaleIters in bench.go; set from -bench-short after
@@ -61,6 +62,10 @@ func main() {
 	}
 	if *benchJSONFlag != "" {
 		benchJSON(*benchJSONFlag)
+		return
+	}
+	if *scaleJSONFlag != "" {
+		scaleJSON(*scaleJSONFlag)
 		return
 	}
 	if *obsJSONFlag != "" || *traceOutFlag != "" {

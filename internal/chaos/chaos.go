@@ -137,7 +137,7 @@ func New(c *core.Cluster, cfg Config) *Injector {
 	}
 	inj.arm(cfg.PartitionEvery, "chaos:partition", inj.partitionPulse)
 	inj.arm(cfg.BurstEvery, "chaos:burst", inj.burstPulse)
-	if c.Network().Lossy() {
+	if c.NetLossy() {
 		inj.arm(cfg.DupEvery, "chaos:dup", inj.dupPulse)
 	}
 	inj.arm(cfg.DelayEvery, "chaos:delay", inj.delayPulse)
@@ -160,7 +160,7 @@ func (inj *Injector) Stop() {
 	})
 	for _, k := range keys {
 		delete(inj.parts, k)
-		inj.c.Network().Heal(addr.MachineID(k[0]), addr.MachineID(k[1]))
+		inj.c.Heal(addr.MachineID(k[0]), addr.MachineID(k[1]))
 		inj.tracef("heal %d-%d (stop)", k[0], k[1])
 	}
 }
@@ -192,10 +192,15 @@ func (inj *Injector) tracef(format string, args ...any) {
 // there. The decision is a pure function of the rotation state — no PRNG —
 // so kill placement depends only on simulation order.
 func (inj *Injector) maybeKill(m int, kp kernel.KillPoint, pid addr.ProcessID) {
-	if inj.stopped || inj.kills >= inj.cfg.MaxKills || inj.eng.Now() < inj.cfg.KillAfter {
+	// The hook fires inside machine m's kernel, i.e. on m's shard engine
+	// when the cluster is sharded — use that engine's clock and schedule
+	// the restart there, so a crashed kernel's downtime is measured on its
+	// own shard's timeline.
+	eng := inj.c.EngineOf(m)
+	if inj.stopped || inj.kills >= inj.cfg.MaxKills || eng.Now() < inj.cfg.KillAfter {
 		return
 	}
-	if inj.kills > 0 && inj.eng.Now() < inj.lastKill+inj.cfg.KillEvery {
+	if inj.kills > 0 && eng.Now() < inj.lastKill+inj.cfg.KillEvery {
 		return
 	}
 	k := inj.c.Kernel(m)
@@ -213,11 +218,11 @@ func (inj *Injector) maybeKill(m int, kp kernel.KillPoint, pid addr.ProcessID) {
 	inj.kills++
 	inj.target++
 	inj.misses = 0
-	inj.lastKill = inj.eng.Now()
+	inj.lastKill = eng.Now()
 	inj.killCounts[kp]++
 	inj.tracef("kill m=%d kp=%s pid=%v", m, kp, pid)
 	k.Crash()
-	inj.eng.After(inj.cfg.RestartAfter, "chaos:restart", func() {
+	eng.After(inj.cfg.RestartAfter, "chaos:restart", func() {
 		if !k.Crashed() {
 			return
 		}
@@ -265,7 +270,7 @@ func (inj *Injector) partitionPulse() {
 		return
 	}
 	inj.parts[key] = true
-	inj.c.Network().Partition(addr.MachineID(a), addr.MachineID(b))
+	inj.c.Partition(addr.MachineID(a), addr.MachineID(b))
 	inj.tracef("partition %d-%d", a, b)
 	// Weak: a heal must never be the only thing keeping the engine
 	// alive. Stop() sweeps up anything left unhealed.
@@ -274,14 +279,14 @@ func (inj *Injector) partitionPulse() {
 			return
 		}
 		delete(inj.parts, key)
-		inj.c.Network().Heal(addr.MachineID(a), addr.MachineID(b))
+		inj.c.Heal(addr.MachineID(a), addr.MachineID(b))
 		inj.tracef("heal %d-%d", a, b)
 	})
 }
 
 func (inj *Injector) burstPulse() {
 	until := inj.eng.Now() + inj.cfg.BurstFor
-	inj.c.Network().LossBurst(inj.cfg.BurstRate, until)
+	inj.c.LossBurst(inj.cfg.BurstRate, until)
 	inj.tracef("burst rate=%.2f until=%d", inj.cfg.BurstRate, until)
 }
 
@@ -290,7 +295,7 @@ func (inj *Injector) dupPulse() {
 	if a == b {
 		return
 	}
-	inj.c.Network().DuplicateNext(addr.MachineID(a), addr.MachineID(b), 1)
+	inj.c.DuplicateNext(addr.MachineID(a), addr.MachineID(b), 1)
 	inj.tracef("dup-next %d->%d", a, b)
 }
 
@@ -299,7 +304,7 @@ func (inj *Injector) delayPulse() {
 	if a == b {
 		return
 	}
-	inj.c.Network().DelayNext(addr.MachineID(a), addr.MachineID(b), inj.cfg.DelayExtra)
+	inj.c.DelayNext(addr.MachineID(a), addr.MachineID(b), inj.cfg.DelayExtra)
 	inj.tracef("delay-next %d->%d +%d", a, b, inj.cfg.DelayExtra)
 }
 

@@ -168,8 +168,14 @@ func CheckDelivery(c *core.Cluster, seen map[uint32]uint32, sent uint32) []strin
 		}
 	}
 
-	ns := c.Network().Stats()
-	budget := ns.Dead + ns.SendFromDown + ns.PartitionDropped + ns.BurstDropped
+	// NetStats sums counters across shard networks on a sharded cluster
+	// (identical to Network().Stats() on the single-engine runtime).
+	// OrphanDropped joins the budget: a cross-shard frame is a heap clone
+	// with no pool owner, so when it dies against a down machine there is
+	// no Undeliverable completion to the sender — the drop is accounted
+	// here instead.
+	ns := c.NetStats()
+	budget := ns.Dead + ns.SendFromDown + ns.PartitionDropped + ns.BurstDropped + ns.OrphanDropped
 	var revived uint64
 	for m := 1; m <= c.Machines(); m++ {
 		ks := c.Kernel(m).Stats()
@@ -255,7 +261,7 @@ func CheckRegistry(c *core.Cluster, s obs.Snapshot) []string {
 			regNews, regFree, regHeld))
 	}
 
-	ns := c.Network().Stats()
+	ns := c.NetStats()
 	netChecks := []struct {
 		name string
 		want uint64

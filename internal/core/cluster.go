@@ -70,6 +70,20 @@ type Options struct {
 	LoadReportEvery sim.Time
 	// Programs names programs spawnable via shell/PM.
 	Programs map[string]ProgramFactory
+
+	// Shards, when >= 1, partitions machines round-robin across that many
+	// shard-local engines synchronized by conservative lookahead (see
+	// DESIGN.md §11). Zero keeps the classic single shared engine (the
+	// golden-trace configuration). Sharded clusters require a lossless
+	// network and produce bit-identical traces for any shard count; they
+	// use the canonical delivery order, which differs from the classic
+	// engine's, so compare sharded runs with sharded runs.
+	Shards int
+	// ShardParallel runs each shard's engine on its own goroutine inside a
+	// round — a wall-clock choice only; results are identical. Do not
+	// combine with chaos injection (the injector mutates other shards'
+	// state from the control shard and relies on sequential rounds).
+	ShardParallel bool
 }
 
 // Cluster is a running DEMOS/MP system.
@@ -98,6 +112,10 @@ type Cluster struct {
 	ShellPID       addr.ProcessID
 
 	pm *procmgr.Manager
+
+	// sh is non-nil for a sharded cluster (Options.Shards >= 1); the
+	// single-engine fields above then alias shard 0 (see shard.go).
+	sh *shardRuntime
 }
 
 // New builds and boots a cluster.
@@ -113,15 +131,32 @@ func New(opts Options) (*Cluster, error) {
 	}
 	c := &Cluster{
 		opts: opts,
-		eng:  sim.NewEngine(opts.Seed),
 		ks:   map[addr.MachineID]*kernel.Kernel{},
 	}
+	c.reg = buildRegistry(opts)
+	if opts.Shards >= 1 {
+		if err := c.buildSharded(); err != nil {
+			return nil, err
+		}
+	} else if err := c.buildSingle(); err != nil {
+		return nil, err
+	}
+	if err := c.boot(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildSingle constructs the classic single-engine runtime (the
+// golden-trace configuration).
+func (c *Cluster) buildSingle() error {
+	opts := c.opts
+	c.eng = sim.NewEngine(opts.Seed)
 	c.net = netw.New(c.eng, opts.Net)
 	c.tr = trace.New(c.eng.Now, opts.TraceCap)
 	if opts.TraceSink != nil {
 		c.tr.SetSink(opts.TraceSink)
 	}
-	c.reg = buildRegistry(opts)
 
 	kcfg := opts.Kernel
 	kcfg.Tracer = c.tr
@@ -146,10 +181,7 @@ func New(opts Options) (*Cluster, error) {
 		c.ks[addr.MachineID(m)].SetObs(c.obsReg, c.obsLed)
 	}
 	c.net.RegisterObs(c.obsReg)
-	if err := c.boot(); err != nil {
-		return nil, err
-	}
-	return c, nil
+	return nil
 }
 
 func machineList(n int) []addr.MachineID {
@@ -309,28 +341,65 @@ func (c *Cluster) kernels() []*kernel.Kernel {
 
 // --- accessors ---------------------------------------------------------------
 
-// Engine returns the discrete-event engine.
+// Engine returns the discrete-event engine. For a sharded cluster this is
+// shard 0, the control shard — cluster-level drivers (chaos pulses) live
+// there; per-machine events must go through EngineOf.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
 
-// Tracer returns the cluster tracer.
-func (c *Cluster) Tracer() *trace.Tracer { return c.tr }
+// Tracer returns the cluster tracer. Sharded clusters have one tracer per
+// shard; use TraceRecords for the merged canonical view.
+func (c *Cluster) Tracer() *trace.Tracer {
+	if c.sh != nil {
+		panic("core: sharded cluster has per-shard tracers; use TraceRecords()")
+	}
+	return c.tr
+}
 
-// Network returns the network substrate.
-func (c *Cluster) Network() *netw.Network { return c.net }
+// Network returns the network substrate. Sharded clusters have one network
+// per shard; use NetStats() for merged counters and the Cluster-level
+// Partition/Heal/LossBurst/DuplicateNext/DelayNext for fault injection.
+func (c *Cluster) Network() *netw.Network {
+	if c.sh != nil {
+		panic("core: sharded cluster has per-shard networks; use NetStats() and the Cluster fault-injection methods")
+	}
+	return c.net
+}
 
 // Obs returns the cluster's metrics registry. It is always non-nil:
 // every kernel's stats and the network's wire counters are registered at
 // build time, so Obs().Snapshot(c.Now()) is a complete cluster view.
-func (c *Cluster) Obs() *obs.Registry { return c.obsReg }
+// Sharded clusters have one registry per shard; use ObsSnapshot for the
+// merged view.
+func (c *Cluster) Obs() *obs.Registry {
+	if c.sh != nil {
+		panic("core: sharded cluster has per-shard registries; use ObsSnapshot()")
+	}
+	return c.obsReg
+}
 
 // Ledger returns the cluster's migration cost ledger (§6): one record per
 // completed outbound migration, including post-completion forwarding and
-// link-update attribution.
-func (c *Cluster) Ledger() *obs.Ledger { return c.obsLed }
+// link-update attribution. For a sharded cluster this is a merged view
+// over the per-shard ledgers (records stay live by pointer).
+func (c *Cluster) Ledger() *obs.Ledger {
+	if c.sh != nil {
+		return obs.MergeLedgers(c.sh.leds...)
+	}
+	return c.obsLed
+}
 
-// ObsSnapshot is shorthand for a registry snapshot stamped with the
-// current simulated time.
-func (c *Cluster) ObsSnapshot() obs.Snapshot { return c.obsReg.Snapshot(c.eng.Now()) }
+// ObsSnapshot is a registry snapshot stamped with the current simulated
+// time — merged across shards (name-sorted, values summed) when sharded.
+func (c *Cluster) ObsSnapshot() obs.Snapshot {
+	if c.sh != nil {
+		snaps := make([]obs.Snapshot, 0, len(c.sh.regs))
+		for _, r := range c.sh.regs {
+			snaps = append(snaps, r.Snapshot(c.Now()))
+		}
+		return obs.MergeSnapshots(uint64(c.Now()), snaps...)
+	}
+	return c.obsReg.Snapshot(c.eng.Now())
+}
 
 // Kernel returns machine m's kernel.
 func (c *Cluster) Kernel(m int) *kernel.Kernel { return c.ks[addr.MachineID(m)] }
@@ -342,14 +411,34 @@ func (c *Cluster) Machines() int { return len(c.ks) }
 // only safe between Run calls.
 func (c *Cluster) PM() *procmgr.Manager { return c.pm }
 
-// Run drives the simulation until no events remain.
-func (c *Cluster) Run() { c.eng.Run() }
+// Run drives the simulation until no strong events remain (across every
+// shard, when sharded).
+func (c *Cluster) Run() {
+	if c.sh != nil {
+		c.sh.now = c.sh.group.RunUntilIdle()
+		return
+	}
+	c.eng.Run()
+}
 
 // RunFor advances the simulation by d microseconds.
-func (c *Cluster) RunFor(d sim.Time) { c.eng.RunFor(d) }
+func (c *Cluster) RunFor(d sim.Time) {
+	if c.sh != nil {
+		target := c.sh.now + d
+		c.sh.group.RunUntil(target)
+		c.sh.now = target
+		return
+	}
+	c.eng.RunFor(d)
+}
 
-// Now returns the simulated time.
-func (c *Cluster) Now() sim.Time { return c.eng.Now() }
+// Now returns the simulated time (the global round clock when sharded).
+func (c *Cluster) Now() sim.Time {
+	if c.sh != nil {
+		return c.sh.now
+	}
+	return c.eng.Now()
+}
 
 // --- process operations --------------------------------------------------------
 
@@ -529,9 +618,9 @@ func (s Stats) TotalMigrations() uint64 {
 	return n
 }
 
-// Stats snapshots every kernel and the network.
+// Stats snapshots every kernel and the network (merged across shards).
 func (c *Cluster) Stats() Stats {
-	s := Stats{PerKernel: map[addr.MachineID]kernel.Stats{}, Net: c.net.Stats()}
+	s := Stats{PerKernel: map[addr.MachineID]kernel.Stats{}, Net: c.NetStats()}
 	for _, k := range c.kernels() {
 		s.PerKernel[k.Machine()] = k.Stats()
 	}

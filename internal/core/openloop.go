@@ -1,0 +1,78 @@
+// Open-loop workload driver: one self-rescheduling arrival event per
+// machine, scheduled on that machine's own engine (EngineOf), so the
+// streaming generator works identically on the single-engine and sharded
+// runtimes. Nothing is materialized up front — each machine holds one
+// arrival cursor and the next arrival event; a million-process run costs
+// one pending event per machine at any instant.
+package core
+
+import (
+	"demosmp/internal/kernel"
+	"demosmp/internal/proc"
+	"demosmp/internal/workload"
+)
+
+// OpenLoopDriver reports spawn progress for a running open-loop workload.
+// Counters are per-machine slots, each written only by its machine's shard
+// goroutine, so reads are exact between runs and race-free during them.
+type OpenLoopDriver struct {
+	spawned []uint64 // indexed by machine id
+	failed  []uint64
+}
+
+// Spawned returns the number of jobs started so far.
+func (d *OpenLoopDriver) Spawned() uint64 { return sum(d.spawned) }
+
+// Failed returns the number of arrivals whose spawn was rejected.
+func (d *OpenLoopDriver) Failed() uint64 { return sum(d.failed) }
+
+func sum(xs []uint64) uint64 {
+	var t uint64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// StartOpenLoop installs the streaming open-loop workload on every machine.
+// Call after New and before Run; the arrival events are strong, so Run
+// continues until every machine's stream is exhausted and all jobs exited.
+func (c *Cluster) StartOpenLoop(cfg workload.OpenLoop) *OpenLoopDriver {
+	d := &OpenLoopDriver{
+		spawned: make([]uint64, c.Machines()+1),
+		failed:  make([]uint64, c.Machines()+1),
+	}
+	for m := 1; m <= c.Machines(); m++ {
+		c.armArrivals(m, workload.NewArrivals(cfg, m), d)
+	}
+	return d
+}
+
+// armArrivals schedules machine m's next arrival; the event spawns the job
+// and re-arms for the following one (streaming: one pending event per
+// machine, never the whole arrival sequence).
+func (c *Cluster) armArrivals(m int, st *workload.Arrivals, d *OpenLoopDriver) {
+	eng := c.EngineOf(m)
+	k := c.Kernel(m)
+	var arm func()
+	arm = func() {
+		at, svc, ok := st.Next()
+		if !ok {
+			return
+		}
+		eng.At(at, "wl:arrival", func() {
+			spec := kernel.SpawnSpec{Body: &workload.Job{Service: svc}}
+			if _, err := k.Spawn(spec); err != nil {
+				d.failed[m]++
+			} else {
+				d.spawned[m]++
+			}
+			arm()
+		})
+	}
+	arm()
+}
+
+// jobBody is a compile-time check that the open-loop job satisfies the
+// process contract the spawn path expects.
+var _ proc.Body = (*workload.Job)(nil)

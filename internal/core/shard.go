@@ -1,0 +1,357 @@
+// Sharded cluster runtime: machines partitioned across shard-local engines
+// synchronized by conservative lookahead (sim.Group), with cross-shard
+// frames crossing through locked per-shard mailboxes. See DESIGN.md §11 for
+// the shard model, the lookahead rule, and the determinism argument.
+//
+// Division of labor: internal/sim owns the round/barrier machinery,
+// internal/netw owns canonical frame ordering (the pending heap + gate
+// pump), and this file owns cluster assembly — shard assignment, mailbox
+// transport, merged observability views, and fan-out of fault injection to
+// the shards that enforce each fault.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+	"demosmp/internal/netw"
+	"demosmp/internal/obs"
+	"demosmp/internal/sim"
+	"demosmp/internal/trace"
+)
+
+// shardInbox is the locked mailbox for one receiving shard. It parks
+// netw.RemoteFrame values between rounds; the receiving shard's canonical
+// pending heap re-orders mailbox contents by (at, to, from, seq), so the
+// push order below — even from parallel shard goroutines — cannot influence
+// simulation order.
+type shardInbox struct {
+	mu sync.Mutex
+	q  []netw.RemoteFrame
+}
+
+// shardRuntime is the per-shard state behind a Cluster with Shards >= 1.
+type shardRuntime struct {
+	n       int      // shard count
+	look    sim.Time // conservative lookahead window W (min pair latency)
+	now     sim.Time // global cluster clock (advanced by Run/RunFor)
+	shardOf []int    // machine id -> shard index
+
+	engines []*sim.Engine
+	nets    []*netw.Network
+	trs     []*trace.Tracer
+	regs    []*obs.Registry
+	leds    []*obs.Ledger
+	inboxes []shardInbox
+
+	group *sim.Group
+}
+
+// shardOfMachine returns machine m's shard under round-robin assignment.
+func shardOfMachine(m, shards int) int { return (m - 1) % shards }
+
+// buildSharded constructs the engines, networks, kernels, and observability
+// plane for a sharded cluster. The caller (New) runs boot() afterwards.
+func (c *Cluster) buildSharded() error {
+	o := &c.opts
+	if o.Net.LossRate > 0 {
+		return fmt.Errorf("core: Shards requires a lossless network: the ARQ's sender-side retransmission state cannot span shard engines")
+	}
+	if o.TraceSink != nil {
+		return fmt.Errorf("core: TraceSink is unsupported with Shards (stream order is undefined across shards); read TraceRecords() after the run instead")
+	}
+	shards := o.Shards
+	if shards > o.Machines {
+		shards = o.Machines
+	}
+	look := o.Net.MinLatency(o.Machines)
+	if look < 1 {
+		return fmt.Errorf("core: sharded lookahead window is %d; every PairLatency must be >= 1µs", look)
+	}
+
+	sh := &shardRuntime{n: shards, look: look}
+	sh.shardOf = make([]int, o.Machines+1)
+	for m := 1; m <= o.Machines; m++ {
+		sh.shardOf[m] = shardOfMachine(m, shards)
+	}
+	sh.inboxes = make([]shardInbox, shards)
+	for s := 0; s < shards; s++ {
+		eng := sim.NewEngine(o.Seed)
+		sh.engines = append(sh.engines, eng)
+		sh.nets = append(sh.nets, netw.New(eng, o.Net))
+		sh.trs = append(sh.trs, trace.New(eng.Now, o.TraceCap))
+		sh.regs = append(sh.regs, obs.NewRegistry())
+		sh.leds = append(sh.leds, obs.NewLedger())
+	}
+	c.sh = sh
+	for s := 0; s < shards; s++ {
+		s := s
+		sh.nets[s].SetCanonical(o.Machines,
+			func(m addr.MachineID) bool { return sh.shardOf[m] == s },
+			c.shipRemote)
+	}
+
+	kcfg := o.Kernel
+	kcfg.Registry = c.reg
+	kcfg.LoadReportEvery = o.LoadReportEvery
+	if o.Programs != nil {
+		kcfg.Programs = func(name string, args []string) (kernel.SpawnSpec, error) {
+			f, ok := o.Programs[name]
+			if !ok {
+				return kernel.SpawnSpec{}, fmt.Errorf("core: unknown program %q", name)
+			}
+			return f(args)
+		}
+	}
+	for m := 1; m <= o.Machines; m++ {
+		s := sh.shardOf[m]
+		kcfg.Tracer = sh.trs[s]
+		kcfg.Machines = append([]addr.MachineID(nil), machineList(o.Machines)...)
+		k := kernel.New(addr.MachineID(m), sh.engines[s], sh.nets[s], kcfg)
+		k.SetObs(sh.regs[s], sh.leds[s])
+		c.ks[addr.MachineID(m)] = k
+	}
+	for s := 0; s < shards; s++ {
+		sh.nets[s].RegisterObs(sh.regs[s])
+	}
+	sh.group = &sim.Group{
+		Engines:   sh.engines,
+		Lookahead: look,
+		Drain:     c.drainShard,
+		Parallel:  o.ShardParallel,
+	}
+
+	// Legacy aliases point at shard 0 (the control shard): Engine() keeps
+	// working for drivers that schedule cluster-level events, and boot()'s
+	// machine-1 helpers resolve through c.ks as before.
+	c.eng, c.net, c.tr = sh.engines[0], sh.nets[0], sh.trs[0]
+	c.obsReg, c.obsLed = sh.regs[0], sh.leds[0]
+	return nil
+}
+
+// shipRemote is every shard's cross-shard send hook: it parks the frame in
+// the receiving shard's mailbox. Called from inside a shard's round, so it
+// must touch nothing but the mailbox (and may race with other shards in
+// parallel mode — hence the lock).
+//
+//demos:owner clone — the mailbox holds only heap clones: netw's canonical path retires a pooled original to its owner before shipping (copy-on-retain), so no pooled envelope ever crosses a shard boundary.
+func (c *Cluster) shipRemote(f netw.RemoteFrame) {
+	ib := &c.sh.inboxes[c.sh.shardOf[f.To]]
+	ib.mu.Lock()
+	ib.q = append(ib.q, f)
+	ib.mu.Unlock()
+}
+
+// drainShard moves shard s's mailbox into its network's canonical pending
+// heap. Runs only at round barriers, from the coordinating goroutine.
+func (c *Cluster) drainShard(s int) {
+	ib := &c.sh.inboxes[s]
+	ib.mu.Lock()
+	q := ib.q
+	ib.q = nil
+	ib.mu.Unlock()
+	nw := c.sh.nets[s]
+	for _, f := range q {
+		nw.EnqueueRemote(f)
+	}
+}
+
+// EngineOf returns the engine driving machine m — the shared engine in the
+// single-engine runtime, machine m's shard engine when sharded. Drivers
+// scheduling per-machine events (workload arrival pumps, scripted
+// migrations) must use this so the event lands on the machine's own shard.
+func (c *Cluster) EngineOf(m int) *sim.Engine {
+	if c.sh != nil {
+		return c.sh.engines[c.sh.shardOf[m]]
+	}
+	return c.eng
+}
+
+// Shards returns the shard count (1+ when sharded, 0 for the classic
+// single-engine runtime).
+func (c *Cluster) Shards() int {
+	if c.sh != nil {
+		return c.sh.n
+	}
+	return 0
+}
+
+// Lookahead returns the conservative lookahead window W in microseconds
+// (0 for the single-engine runtime).
+func (c *Cluster) Lookahead() sim.Time {
+	if c.sh != nil {
+		return c.sh.look
+	}
+	return 0
+}
+
+// Rounds returns the number of completed synchronization rounds.
+func (c *Cluster) Rounds() uint64 {
+	if c.sh != nil {
+		return c.sh.group.Rounds
+	}
+	return 0
+}
+
+// TotalFired sums events executed across all engines.
+func (c *Cluster) TotalFired() uint64 {
+	if c.sh == nil {
+		return c.eng.Fired()
+	}
+	var n uint64
+	for _, e := range c.sh.engines {
+		n += e.Fired()
+	}
+	return n
+}
+
+// NetStats returns the cluster-wide network counters: the single network's
+// snapshot, or the sum over every shard's network. Per-machine rows sum
+// too — a shard accounts FramesIn for remote machines it sends to, so only
+// the cluster-wide total is meaningful.
+func (c *Cluster) NetStats() netw.Stats {
+	if c.sh == nil {
+		return c.net.Stats()
+	}
+	out := c.sh.nets[0].Stats()
+	for _, nw := range c.sh.nets[1:] {
+		s := nw.Stats()
+		out.Frames += s.Frames
+		out.Bytes += s.Bytes
+		out.Delivered += s.Delivered
+		out.Dropped += s.Dropped
+		out.Retransmits += s.Retransmits
+		out.Duplicates += s.Duplicates
+		out.Dead += s.Dead
+		out.SendFromDown += s.SendFromDown
+		out.PartitionDropped += s.PartitionDropped
+		out.BurstDropped += s.BurstDropped
+		out.DupInjected += s.DupInjected
+		out.DelayInjected += s.DelayInjected
+		out.OrphanDropped += s.OrphanDropped
+		for k, v := range s.ByKind {
+			out.ByKind[k] += v
+		}
+		for k, v := range s.BytesByKind {
+			out.BytesByKind[k] += v
+		}
+		for m, ms := range s.PerMachine {
+			agg := out.PerMachine[m]
+			agg.FramesOut += ms.FramesOut
+			agg.FramesIn += ms.FramesIn
+			agg.BytesOut += ms.BytesOut
+			agg.BytesIn += ms.BytesIn
+			out.PerMachine[m] = agg
+		}
+	}
+	return out
+}
+
+// TraceRecords returns the cluster's trace, merged across shards into a
+// canonical order: (time, machine, per-machine emission order). A machine's
+// records live in exactly one shard's tracer in emission order, so a stable
+// sort of the concatenation by (T, Machine) yields the same sequence for
+// every shard count — this is what the shard-invariance tests pin.
+func (c *Cluster) TraceRecords() []trace.Record {
+	if c.sh == nil {
+		out := append([]trace.Record(nil), c.tr.Records()...)
+		sortTraceStable(out)
+		return out
+	}
+	var out []trace.Record
+	for _, tr := range c.sh.trs {
+		out = append(out, tr.Records()...)
+	}
+	sortTraceStable(out)
+	return out
+}
+
+func sortTraceStable(recs []trace.Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].T != recs[j].T {
+			return recs[i].T < recs[j].T
+		}
+		return recs[i].Machine < recs[j].Machine
+	})
+}
+
+// --- fault injection fan-out ---------------------------------------------------
+
+// netsFor returns the distinct shard networks that enforce a fault on the
+// pair (a, b): sends a->b are checked on a's shard, b->a on b's.
+func (c *Cluster) netsFor(a, b addr.MachineID) []*netw.Network {
+	sa, sb := c.sh.shardOf[a], c.sh.shardOf[b]
+	if sa == sb {
+		return []*netw.Network{c.sh.nets[sa]}
+	}
+	return []*netw.Network{c.sh.nets[sa], c.sh.nets[sb]}
+}
+
+// Partition severs the pair (a, b) in both directions, on every shard that
+// originates traffic for it.
+func (c *Cluster) Partition(a, b addr.MachineID) {
+	if c.sh == nil {
+		c.net.Partition(a, b)
+		return
+	}
+	for _, nw := range c.netsFor(a, b) {
+		nw.Partition(a, b)
+	}
+}
+
+// Heal reconnects a pair severed by Partition.
+func (c *Cluster) Heal(a, b addr.MachineID) {
+	if c.sh == nil {
+		c.net.Heal(a, b)
+		return
+	}
+	for _, nw := range c.netsFor(a, b) {
+		nw.Heal(a, b)
+	}
+}
+
+// Partitioned reports whether the pair is currently severed.
+func (c *Cluster) Partitioned(a, b addr.MachineID) bool {
+	if c.sh == nil {
+		return c.net.Partitioned(a, b)
+	}
+	return c.sh.nets[c.sh.shardOf[a]].Partitioned(a, b)
+}
+
+// LossBurst raises the loss probability on every shard until the given sim
+// time (sends originate on all shards).
+func (c *Cluster) LossBurst(rate float64, until sim.Time) {
+	if c.sh == nil {
+		c.net.LossBurst(rate, until)
+		return
+	}
+	for _, nw := range c.sh.nets {
+		nw.LossBurst(rate, until)
+	}
+}
+
+// DuplicateNext injects duplicates for the next count frames from->to; the
+// injection lives on the sending machine's shard.
+func (c *Cluster) DuplicateNext(from, to addr.MachineID, count int) {
+	if c.sh == nil {
+		c.net.DuplicateNext(from, to, count)
+		return
+	}
+	c.sh.nets[c.sh.shardOf[from]].DuplicateNext(from, to, count)
+}
+
+// DelayNext adds extra transit to the next frame from->to (sender's shard).
+func (c *Cluster) DelayNext(from, to addr.MachineID, extra sim.Time) {
+	if c.sh == nil {
+		c.net.DelayNext(from, to, extra)
+		return
+	}
+	c.sh.nets[c.sh.shardOf[from]].DelayNext(from, to, extra)
+}
+
+// NetLossy reports whether the network config arms the ARQ (sharded
+// clusters are always lossless by construction).
+func (c *Cluster) NetLossy() bool { return c.opts.Net.LossRate > 0 }

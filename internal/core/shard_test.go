@@ -1,0 +1,351 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/core"
+	"demosmp/internal/kernel"
+	"demosmp/internal/link"
+	"demosmp/internal/msg"
+	"demosmp/internal/netw"
+	"demosmp/internal/obs"
+	"demosmp/internal/sim"
+	"demosmp/internal/workload"
+)
+
+type shardSink struct{ n int }
+
+func (s *shardSink) DeliverFrame(m *msg.Message) { s.n++ }
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestShardHotPathZeroAlloc locks in the canonical delivery path's
+// zero-allocation invariant: a lossless send to a shard-local machine
+// (canonSend -> pendPush -> gate pump -> pendPop -> deliver) touches no
+// allocator once the event arena and the pending heap are warm. This is the
+// dynamic guard cited by the //demos:hotpath annotations in
+// internal/netw/canon.go.
+func TestShardHotPathZeroAlloc(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := netw.New(e, netw.Config{})
+	nw.SetCanonical(2,
+		func(addr.MachineID) bool { return true },
+		func(netw.RemoteFrame) {})
+	nw.RegisterObs(obs.NewRegistry())
+	nw.Attach(1, &shardSink{})
+	sink := &shardSink{}
+	nw.Attach(2, sink)
+	m := &msg.Message{
+		Kind: msg.KindUser,
+		From: addr.At(addr.ProcessID{Creator: 1, Local: 1}, 1),
+		To:   addr.At(addr.ProcessID{Creator: 2, Local: 1}, 2),
+		Body: make([]byte, 32),
+	}
+	warm := func() {
+		nw.Send(1, 2, m)
+		for e.Step() {
+		}
+	}
+	for i := 0; i < 64; i++ { // warm arena, pending heap, counters
+		warm()
+	}
+	before := sink.n
+	if n := testing.AllocsPerRun(200, warm); n != 0 {
+		t.Fatalf("canonical send+pump+deliver allocates %.1f/op, want 0", n)
+	}
+	if sink.n <= before {
+		t.Fatal("frames were not delivered during the measurement")
+	}
+}
+
+// TestShardOptionValidation pins the configurations the sharded runtime
+// refuses: a lossy (ARQ) network and a streaming trace sink.
+func TestShardOptionValidation(t *testing.T) {
+	_, err := core.New(core.Options{Machines: 4, Shards: 2, Net: netw.Config{LossRate: 0.1}})
+	if err == nil {
+		t.Fatal("lossy network accepted with shards")
+	}
+	_, err = core.New(core.Options{Machines: 4, Shards: 2, TraceSink: discard{}})
+	if err == nil {
+		t.Fatal("trace sink accepted with shards")
+	}
+}
+
+// shardRun is everything the shard-count invariance test compares: if ANY
+// of these differ between shard counts, determinism is broken.
+type shardRun struct {
+	trace   string
+	stats   netw.Stats
+	metrics string
+	exits   string
+	spawned uint64
+}
+
+// runShardWorkload drives one fixed mixed workload — cross-machine chatter,
+// a request/reply conversation, a streaming open-loop job mix, and a
+// scripted mid-stream migration — on a cluster with the given shard count.
+func runShardWorkload(t *testing.T, shards int, mut func(*core.Options)) shardRun {
+	t.Helper()
+	opts := core.Options{Machines: 6, Seed: 9, Shards: shards, Switchboard: true}
+	if mut != nil {
+		mut(&opts)
+	}
+	c, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink4, err := c.Spawn(4, kernel.SpawnSpec{Body: &workload.Sink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink5, _ := c.Spawn(5, kernel.SpawnSpec{Body: &workload.Sink{}})
+	chat1, _ := c.Spawn(1, kernel.SpawnSpec{
+		Body:  &workload.Chatter{N: 40, Interval: 500},
+		Links: []link.Link{{Addr: addr.At(sink4, 4)}},
+	})
+	chat2, _ := c.Spawn(2, kernel.SpawnSpec{
+		Body:  &workload.Chatter{N: 25, Interval: 800},
+		Links: []link.Link{{Addr: addr.At(sink5, 5)}},
+	})
+	server, _ := c.Spawn(3, kernel.SpawnSpec{Program: workload.EchoServer(30)})
+	client, _ := c.Spawn(6, kernel.SpawnSpec{
+		Program: workload.RequestClient(30),
+		Links:   []link.Link{{Addr: addr.At(server, 3)}},
+	})
+	d := c.StartOpenLoop(workload.OpenLoop{
+		Seed: 5, MeanGap: 900, PerMachine: 12, LongFraction: 0.25,
+	})
+	// Scripted migration mid-chatter: scheduled on machine 1's own engine,
+	// so the trigger is machine-anchored and lands identically under every
+	// sharding. The move crosses shards for every shards > 1.
+	c.EngineOf(1).At(6000, "test:migrate", func() {
+		c.Kernel(1).RequestMigrationOf(addr.At(chat1, 1), 3)
+	})
+	c.Run()
+
+	var exits []string
+	for _, pid := range []addr.ProcessID{chat1, chat2, client} {
+		e, m, ok := c.ExitOf(pid)
+		exits = append(exits, fmt.Sprintf("%v: code=%d m=%d ok=%v", pid, e.Code, m, ok))
+	}
+
+	// Per-kernel envelope-pool gauges are the one legitimately
+	// shard-dependent corner of the snapshot: a cross-shard frame ships as
+	// a clone while the pooled original retires to the SENDER's pool, so
+	// which kernel's pool an envelope lands in depends on the sharding.
+	// The conservation law must still hold within every configuration.
+	snap := c.ObsSnapshot()
+	var news, free, held uint64
+	var rows []string
+	for _, m := range snap.Metrics {
+		switch {
+		case strings.HasSuffix(m.Name, ".pool_news"):
+			news += m.Value
+		case strings.HasSuffix(m.Name, ".pool_free"):
+			free += m.Value
+		case strings.HasSuffix(m.Name, ".pool_held"):
+			held += m.Value
+		default:
+			rows = append(rows, fmt.Sprintf("%+v", m))
+		}
+	}
+	if news != free+held {
+		t.Fatalf("%d shards: envelope conservation broken: news=%d != free=%d + held=%d",
+			c.Shards(), news, free, held)
+	}
+	return shardRun{
+		trace:   fmt.Sprint(c.TraceRecords()),
+		stats:   c.NetStats(),
+		metrics: strings.Join(rows, "\n"),
+		exits:   fmt.Sprint(exits),
+		spawned: d.Spawned(),
+	}
+}
+
+// TestShardCountInvariance is the tentpole determinism pin: the same seed
+// and workload must produce bit-identical traces, network counters, merged
+// observability snapshots, and process outcomes for 1, 2, and 4 shards —
+// and again with parallel round execution.
+func TestShardCountInvariance(t *testing.T) {
+	base := runShardWorkload(t, 1, nil)
+	if base.spawned == 0 {
+		t.Fatal("open-loop workload never spawned")
+	}
+	if base.stats.Frames == 0 {
+		t.Fatal("workload generated no network traffic; the invariance check is vacuous")
+	}
+	for _, shards := range []int{2, 4} {
+		got := runShardWorkload(t, shards, nil)
+		if got.trace != base.trace {
+			t.Errorf("%d shards: trace diverged from 1 shard (lens %d vs %d)",
+				shards, len(got.trace), len(base.trace))
+		}
+		if !reflect.DeepEqual(got.stats, base.stats) {
+			t.Errorf("%d shards: net stats diverged:\n%+v\nvs\n%+v", shards, got.stats, base.stats)
+		}
+		if got.metrics != base.metrics {
+			t.Errorf("%d shards: merged obs snapshot diverged", shards)
+		}
+		if got.exits != base.exits {
+			t.Errorf("%d shards: exits diverged:\n%s\nvs\n%s", shards, got.exits, base.exits)
+		}
+		if got.spawned != base.spawned {
+			t.Errorf("%d shards: open-loop spawned %d vs %d", shards, got.spawned, base.spawned)
+		}
+	}
+	par := runShardWorkload(t, 4, func(o *core.Options) { o.ShardParallel = true })
+	if par.trace != base.trace || !reflect.DeepEqual(par.stats, base.stats) || par.metrics != base.metrics {
+		t.Error("parallel rounds diverged from sequential execution")
+	}
+}
+
+// TestShardPairLatencyLookahead pins conservative lookahead on a
+// heterogeneous topology: the window is the true minimum over ordered
+// pairs (not the uniform default), and the invariance guarantee holds
+// under per-pair latencies.
+func TestShardPairLatencyLookahead(t *testing.T) {
+	pairLat := func(a, b addr.MachineID) sim.Time {
+		// A fast local pair (1,2) inside an otherwise slow topology.
+		if (a == 1 && b == 2) || (a == 2 && b == 1) {
+			return 7
+		}
+		return 90
+	}
+	mut := func(o *core.Options) {
+		o.Net.PairLatency = pairLat
+		o.Net.Latency = 50
+	}
+	c, err := core.New(core.Options{Machines: 6, Seed: 1, Shards: 3,
+		Net: netw.Config{Latency: 50, PairLatency: pairLat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := c.Lookahead(); w != 7 {
+		t.Fatalf("lookahead = %d, want 7 (min pair latency)", w)
+	}
+	base := runShardWorkload(t, 1, mut)
+	for _, shards := range []int{2, 3} {
+		got := runShardWorkload(t, shards, mut)
+		if got.trace != base.trace || !reflect.DeepEqual(got.stats, base.stats) {
+			t.Errorf("%d shards diverged under heterogeneous pair latency", shards)
+		}
+	}
+}
+
+// TestShardSection6Conformance re-runs the paper's §6 cost-model pins on a
+// 2-shard cluster: splitting the runtime must not change the protocol's
+// message economy — three data transfers, nine admin messages of 6–12
+// bytes, and two extra messages per forwarded send.
+func TestShardSection6Conformance(t *testing.T) {
+	c, err := core.New(core.Options{Machines: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, _ := c.Spawn(3, kernel.SpawnSpec{Body: &workload.Sink{}})
+	server, _ := c.Spawn(1, kernel.SpawnSpec{Body: &workload.Sink{}})
+	c.Run()
+	// Machine 1 is shard 0, machine 2 shard 1: this migration's whole
+	// protocol conversation crosses the shard boundary.
+	if err := c.Migrate(server, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+
+	led := c.Ledger()
+	if led.Len() != 1 {
+		t.Fatalf("merged ledger has %d records, want 1", led.Len())
+	}
+	rec := led.Records()[0]
+	if !rec.OK || rec.PID != server || rec.From != 1 || rec.To != 2 {
+		t.Fatalf("record identity wrong: %+v", rec)
+	}
+	if rec.MoveDataTransfers != 3 {
+		t.Errorf("MoveDataTransfers = %d, want 3 (paper §6)", rec.MoveDataTransfers)
+	}
+	if rec.AdminMsgs != 9 {
+		t.Errorf("AdminMsgs = %d, want 9 (paper §6)", rec.AdminMsgs)
+	}
+	if rec.AdminMinBytes < 6 || rec.AdminMaxBytes > 12 {
+		t.Errorf("admin payload range [%d,%d]B outside the paper's 6–12B",
+			rec.AdminMinBytes, rec.AdminMaxBytes)
+	}
+
+	// Two extra messages per forwarded send, measured through the summed
+	// shard networks.
+	before := c.NetStats().Frames
+	c.Kernel(3).GiveMessageTo(addr.At(server, 2), addr.At(sink, 3), []byte("fresh"))
+	c.Run()
+	direct := c.NetStats().Frames - before
+
+	before = c.NetStats().Frames
+	c.Kernel(3).GiveMessageTo(addr.At(server, 1), addr.At(sink, 3), []byte("stale"))
+	c.Run()
+	stale := c.NetStats().Frames - before
+	if stale-direct != 2 {
+		t.Errorf("extra messages per forward = %d (direct=%d stale=%d), want 2 (paper §6)",
+			stale-direct, direct, stale)
+	}
+
+	// The merged registry agrees with the merged struct counters.
+	snap := c.ObsSnapshot()
+	if v := snap.Value("kernel.m1.migrations_out"); v != 1 {
+		t.Errorf("registry migrations_out = %d, want 1", v)
+	}
+	if v, w := snap.Value("netw.frames"), c.NetStats().Frames; v != w {
+		t.Errorf("merged registry frames = %d, summed netw says %d", v, w)
+	}
+}
+
+// TestShardScale1000 is the capacity pin: a 1000-machine cluster under a
+// 100k-process open-loop workload, run on 4 parallel shards, completes (in
+// -short mode too) with every arrival spawned and cross-machine traffic
+// flowing.
+func TestShardScale1000(t *testing.T) {
+	c, err := core.New(core.Options{
+		Machines: 1000, Seed: 17, Shards: 4, ShardParallel: true,
+		TraceCap: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 jobs per machine = 100_000 processes over the run, streamed.
+	d := c.StartOpenLoop(workload.OpenLoop{
+		Seed: 3, MeanGap: 400, PerMachine: 100, LongFraction: 0.1,
+	})
+	// Sparse cross-machine conversations so frames cross shard boundaries
+	// throughout the run.
+	for m := 50; m <= 1000; m += 50 {
+		sink, err := c.Spawn(m, kernel.SpawnSpec{Body: &workload.Sink{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Spawn(m-49, kernel.SpawnSpec{
+			Body:  &workload.Chatter{N: 20, Interval: 1500},
+			Links: []link.Link{{Addr: addr.At(sink, addr.MachineID(m))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run()
+	if got := d.Spawned(); got != 100_000 {
+		t.Fatalf("spawned %d open-loop jobs, want 100000", got)
+	}
+	if d.Failed() != 0 {
+		t.Fatalf("%d spawns failed", d.Failed())
+	}
+	ns := c.NetStats()
+	if ns.Frames == 0 || ns.Delivered == 0 {
+		t.Fatalf("no cross-machine traffic: %+v", ns)
+	}
+	if c.Rounds() == 0 {
+		t.Fatal("group never completed a synchronization round")
+	}
+	t.Logf("scale: fired=%d rounds=%d frames=%d final_t=%dµs",
+		c.TotalFired(), c.Rounds(), ns.Frames, c.Now())
+}

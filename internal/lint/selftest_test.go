@@ -51,6 +51,9 @@ func TestHotpathAnnotationSet(t *testing.T) {
 		"demosmp/internal/netw": {
 			"Network.Send", "Network.getDelivery", "delivery.run",
 			"Network.account", "Network.deliver",
+			// Canonical (sharded) delivery path.
+			"Network.canonSend", "Network.pump",
+			"Network.pendPush", "Network.pendPop",
 		},
 		"demosmp/internal/msg": {
 			"Message.WireSize", "Message.AppendWire", "Encode",

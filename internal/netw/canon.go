@@ -1,0 +1,215 @@
+// Canonical (sharded) delivery mode.
+//
+// When a cluster is split across shard-local engines, frames can no longer
+// be scheduled as plain per-frame delivery events: two frames converging on
+// one machine from different shards must land in the SAME relative order
+// regardless of how machines are partitioned, or same-seed runs stop being
+// bit-identical across shard counts. Canonical mode therefore routes every
+// cross-machine frame — intra-shard and cross-shard alike — through a
+// per-shard pending min-heap keyed
+//
+//	(deliverTime, toMachine, fromMachine, perSenderSeq)
+//
+// and fires deliveries from a gate event ("netw:pump") that sorts before
+// all normal events at its timestamp. The per-sender sequence is a dense
+// counter per sending machine, so it is itself shard-invariant (machine m's
+// k-th frame is its k-th frame under any sharding), which makes the heap
+// key — and hence delivery order at equal timestamps — canonical.
+//
+// Cross-shard frames are shipped through a cluster-provided hook into the
+// receiving shard's mailbox and re-enter this same heap at the round
+// barrier; heap order is insertion-order-independent, so mailbox arrival
+// order (even from parallel shard goroutines) cannot perturb simulation
+// order. A pooled envelope never crosses a shard boundary: the ship path
+// transmits a heap clone and retires the original to its owner, exactly
+// like the ARQ's copy-on-retain rule.
+package netw
+
+import (
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+	"demosmp/internal/sim"
+)
+
+// RemoteFrame is one cross-shard frame in flight between a sending shard
+// and the receiving shard's mailbox. At and Seq are computed on the sending
+// shard; the receiving shard's pending heap re-orders mailbox contents by
+// (At, To, From, Seq), so mailbox push order — even from parallel shard
+// goroutines — cannot influence simulation order. The cluster layer treats
+// the frame as opaque cargo: it never inspects M.
+type RemoteFrame struct {
+	From, To addr.MachineID
+	At       sim.Time
+	Seq      uint64
+	M        *msg.Message
+}
+
+// pendEnt is one frame waiting for canonical delivery on this shard.
+type pendEnt struct {
+	at   sim.Time
+	to   addr.MachineID
+	from addr.MachineID
+	seq  uint64
+	m    *msg.Message
+}
+
+// pendLess is the canonical delivery order at a shard: time, then receiver,
+// then sender, then the sender's frame sequence. Every component is
+// shard-invariant, so so is the order.
+func pendLess(a, b pendEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.to != b.to {
+		return a.to < b.to
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.seq < b.seq
+}
+
+// SetCanonical switches the network into canonical delivery mode for a
+// cluster of `machines` total machines. local reports whether a machine id
+// is attached to this shard; ship hands a frame bound for another shard to
+// the cluster's mailbox plane together with its precomputed arrival time
+// and per-sender sequence. Must be called before any Send; lossless
+// configurations only (the cluster constructor rejects LossRate > 0 with
+// shards).
+func (n *Network) SetCanonical(machines int, local func(addr.MachineID) bool, ship func(RemoteFrame)) {
+	n.canon = true
+	n.canonTotal = addr.MachineID(machines)
+	n.canonLocal = local
+	n.canonShip = ship
+	n.sendSeq = make([]uint64, machines+1)
+	n.pumpFn = n.pump
+	// Pre-size the dense per-machine counters to the whole cluster: this
+	// shard accounts FramesIn for remote receivers it sends to, and the
+	// obs registry registers one sampler row per machine on every shard so
+	// merged snapshots sum to the cluster totals.
+	n.stats.machine(addr.MachineID(machines))
+}
+
+// canonSend routes one lossless frame canonically. The arrival time is
+// computed on the sending shard (now + transit), so a shipped frame carries
+// its exact delivery timestamp with it.
+//
+//demos:hotpath — the sharded lossless path must stay allocation-free for local targets: checked by demoslint (hotpathalloc); dynamic guard: TestShardHotPathZeroAlloc in internal/core/shard_test.go.
+//demos:owner inflight — the pending heap owns the frame until pump hands it to deliver; a frame shipped cross-shard is a heap clone (the pooled original is retired to its owner first).
+func (n *Network) canonSend(from, to addr.MachineID, m *msg.Message, size int, extra sim.Time) {
+	at := n.eng.Now() + n.transit(from, to, size) + extra
+	n.sendSeq[from]++
+	seq := n.sendSeq[from]
+	m.Hops++
+	if n.canonLocal(to) {
+		n.pendPush(pendEnt{at: at, to: to, from: from, seq: seq, m: m})
+		n.eng.AtGate(at, "netw:pump", n.pumpFn)
+		return
+	}
+	if m.Pooled() {
+		c := m.Clone()
+		n.retire(from, m)
+		m = c
+	}
+	n.canonShip(RemoteFrame{From: from, To: to, At: at, Seq: seq, M: m})
+}
+
+// EnqueueRemote lands a frame shipped from another shard: the cluster's
+// mailbox drain calls this at a round barrier, strictly before the frame's
+// arrival time (guaranteed by the conservative lookahead window).
+//
+//demos:owner inflight — the pending heap owns the shipped clone until pump delivers it.
+func (n *Network) EnqueueRemote(f RemoteFrame) {
+	n.pendPush(pendEnt{at: f.At, to: f.To, from: f.From, seq: f.Seq, m: f.M})
+	n.eng.AtGate(f.At, "netw:pump", n.pumpFn)
+}
+
+// pump fires every pending delivery due at or before the current time. It
+// runs as a gate event, so all frames arriving "at t" are delivered before
+// any normal event at t — the same order a single shared engine produces.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestShardHotPathZeroAlloc in internal/core/shard_test.go.
+func (n *Network) pump() {
+	now := n.eng.Now()
+	for len(n.pend) > 0 && n.pend[0].at <= now {
+		ent := n.pendPop()
+		n.deliver(ent.to, ent.m)
+	}
+}
+
+// pendPush inserts into the canonical binary min-heap.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestShardHotPathZeroAlloc in internal/core/shard_test.go.
+func (n *Network) pendPush(ent pendEnt) {
+	n.pend = append(n.pend, ent)
+	h := n.pend
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 1
+		if pendLess(h[p], ent) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ent
+}
+
+// pendPop removes and returns the minimum entry.
+//
+//demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestShardHotPathZeroAlloc in internal/core/shard_test.go.
+func (n *Network) pendPop() pendEnt {
+	h := n.pend
+	root := h[0]
+	last := len(h) - 1
+	ent := h[last]
+	h[last] = pendEnt{} // drop the frame pointer for GC
+	n.pend = h[:last]
+	h = n.pend
+	i := 0
+	for {
+		c := i<<1 + 1
+		if c >= last {
+			break
+		}
+		if c+1 < last && pendLess(h[c+1], h[c]) {
+			c++
+		}
+		if pendLess(ent, h[c]) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	if last > 0 {
+		h[i] = ent
+	}
+	return root
+}
+
+// MinLatency returns the smallest one-way propagation latency between any
+// ordered pair of the given machines under cfg (per-byte cost excluded).
+// This is the conservative-lookahead window W for a sharded cluster.
+func (cfg Config) MinLatency(machines int) sim.Time {
+	cfg.fillDefaults()
+	if cfg.PairLatency == nil {
+		return cfg.Latency
+	}
+	var min sim.Time
+	found := false
+	for a := 1; a <= machines; a++ {
+		for b := 1; b <= machines; b++ {
+			if a == b {
+				continue
+			}
+			l := cfg.PairLatency(addr.MachineID(a), addr.MachineID(b))
+			if !found || l < min {
+				min, found = l, true
+			}
+		}
+	}
+	if !found {
+		return cfg.Latency
+	}
+	return min
+}

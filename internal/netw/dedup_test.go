@@ -83,3 +83,58 @@ func TestDedupSuppressesRetransmitDuplicates(t *testing.T) {
 		t.Fatal("expected suppressed duplicates under lossy acks")
 	}
 }
+
+// TestDedupMemoryBoundedOnLargeTopology pins the O(active pairs) memory
+// claim on a 1000-machine topology: after a burst touches ~1000 distinct
+// pairs once and traffic then concentrates on a single pair, the amortized
+// idle sweep must evict the cold pairs' dedup state into the free pool —
+// per-pair state is proportional to pairs active within the retention
+// window, not to every pair that ever communicated.
+func TestDedupMemoryBoundedOnLargeTopology(t *testing.T) {
+	eng := sim.NewEngine(3)
+	n := New(eng, Config{
+		LossRate:       0.1,
+		RetransTimeout: 500,
+		MaxRetries:     4, // retention = 2*500*4 = 4000µs
+		PerByteNanos:   1,
+	})
+	const machines = 1000
+	recs := make([]*recorder, machines+1)
+	for m := 1; m <= machines; m++ {
+		recs[m] = &recorder{eng: eng}
+		n.Attach(addr.MachineID(m), recs[m])
+	}
+
+	// Burst: every adjacent pair exchanges one frame, creating dedup state
+	// for ~999 distinct pairs.
+	for i := 1; i < machines; i++ {
+		from := addr.At(addr.ProcessID{Creator: 1, Local: addr.LocalUID(i)}, addr.MachineID(i))
+		to := addr.At(addr.ProcessID{Creator: 1, Local: addr.LocalUID(i + 1)}, addr.MachineID(i+1))
+		n.Send(addr.MachineID(i), addr.MachineID(i+1), &msg.Message{Kind: msg.KindUser, From: from, To: to})
+	}
+	eng.Run()
+	burst := n.dedupPairs()
+	if burst < machines/2 {
+		t.Fatalf("burst created dedup state for only %d pairs", burst)
+	}
+
+	// Steady state: one hot pair. Each send's ARQ activity advances the
+	// clock past the retransmit window, so the run covers dozens of
+	// retention horizons while arrivals keep crossing sweep thresholds.
+	from := addr.At(addr.ProcessID{Creator: 1, Local: 1}, 1)
+	to := addr.At(addr.ProcessID{Creator: 1, Local: 2}, 2)
+	for i := 0; i < 400; i++ {
+		n.Send(1, 2, &msg.Message{Kind: msg.KindUser, From: from, To: to})
+		eng.Run()
+	}
+
+	if got := n.dedupPairs(); got > 8 {
+		t.Fatalf("dedup state held for %d pairs after idling (burst peak %d), want <= 8 (O(active pairs))", got, burst)
+	}
+	if pooled := n.dedupPooled(); pooled < 900 {
+		t.Fatalf("only %d evicted dedup states were pooled for reuse, want >= 900", pooled)
+	}
+	if len(recs[2].got) < 400 {
+		t.Fatalf("hot pair delivered %d/400 frames — eviction must not cost reliability", len(recs[2].got))
+	}
+}

@@ -95,7 +95,13 @@ func (n *Network) deadFrame(from, to addr.MachineID, m *msg.Message) {
 	}
 	if o := n.owners[from]; o != nil {
 		n.queueSink(sinkItem{owner: o, m: m, to: to, dead: true})
+		return
 	}
+	// No reachable owner: in sharded mode the sending machine lives on
+	// another shard and its frame crossed as a heap clone, so there is no
+	// envelope to return — but the loss still must not be silent. The
+	// cluster-wide delivery audit folds this counter into its loss budget.
+	n.stats.orphanDropped++
 }
 
 // dropFromDown accounts a send attempted by a crashed machine (satellite
@@ -235,6 +241,20 @@ func (n *Network) sendFaulty(from, to addr.MachineID, m *msg.Message) {
 		n.stats.dropped++
 		n.stats.burstDropped++
 		n.deadFrame(from, to, m)
+		return
+	}
+	if n.canon {
+		// Canonical (sharded) routing honors injections too: the clone for
+		// a duplicate is taken before canonSend may consume (ship) the
+		// original, and each copy earns its own Hops++ inside canonSend.
+		var dm *msg.Message
+		if dup {
+			dm = m.Clone()
+		}
+		n.canonSend(from, to, m, size, extra)
+		if dup {
+			n.canonSend(from, to, dm, size, extra+1)
+		}
 		return
 	}
 	m.Hops++

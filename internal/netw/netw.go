@@ -17,6 +17,7 @@ package netw
 
 import (
 	"fmt"
+	"sort"
 
 	"demosmp/internal/addr"
 	"demosmp/internal/msg"
@@ -100,6 +101,7 @@ type Stats struct {
 	BurstDropped     uint64 // lossless frames lost to a loss burst
 	DupInjected      uint64 // duplicate wire copies injected
 	DelayInjected    uint64 // frames given extra transit (reordering)
+	OrphanDropped    uint64 // abandoned frames with no reachable owner (sharded: sender on another shard)
 
 	ByKind      map[msg.Kind]uint64
 	BytesByKind map[msg.Kind]uint64
@@ -147,6 +149,7 @@ type counters struct {
 	burstDropped     uint64
 	dupInjected      uint64
 	delayInjected    uint64
+	orphanDropped    uint64
 
 	byKind      [msg.KindCount]uint64
 	bytesByKind [msg.KindCount]uint64
@@ -171,7 +174,7 @@ func (c *counters) snapshot() Stats {
 		Duplicates: c.duplicates, Dead: c.dead,
 		SendFromDown: c.sendFromDown, PartitionDropped: c.partitionDropped,
 		BurstDropped: c.burstDropped, DupInjected: c.dupInjected,
-		DelayInjected: c.delayInjected,
+		DelayInjected: c.delayInjected, OrphanDropped: c.orphanDropped,
 		ByKind:        make(map[msg.Kind]uint64),
 		BytesByKind:   make(map[msg.Kind]uint64),
 		PerMachine:    make(map[addr.MachineID]MachineStats),
@@ -214,15 +217,33 @@ const dedupWindow = 1024
 // (from, to) pair, with a set for O(1) membership. Insertion past the
 // window evicts the oldest id, so the state can never grow beyond
 // dedupWindow entries per pair no matter how long loss is sustained.
+//
+// Pairs are sparse: state is created on a pair's first arrival, stamped on
+// every use, and evicted back to a free pool once the pair has been idle
+// longer than any duplicate could survive (sweepDedup). On a 1000-machine
+// topology the map therefore tracks O(active pairs), never O(n²) — see
+// TestDedupStateBoundedLargeTopology.
 type dedup struct {
 	ring [dedupWindow]uint64
 	n    int // filled entries, ≤ dedupWindow
 	pos  int // next overwrite position once full
 	set  map[uint64]struct{}
+	last sim.Time // sim time of the pair's most recent arrival
+	next *dedup   // free-pool linkage while evicted
 }
 
 func newDedup() *dedup {
 	return &dedup{set: make(map[uint64]struct{}, dedupWindow)}
+}
+
+// reset clears the ring and set in place (no reallocation) so the struct
+// can be recycled for a different pair. The ring's first n slots hold
+// exactly the set's members, so the set is emptied without ranging over it.
+func (d *dedup) reset() {
+	for i := 0; i < d.n; i++ {
+		delete(d.set, d.ring[i])
+	}
+	d.n, d.pos, d.last = 0, 0, 0
 }
 
 func (d *dedup) seen(id uint64) bool {
@@ -258,9 +279,26 @@ type Network struct {
 
 	delFree *delivery // pool of reusable lossless-delivery records
 
-	// ARQ state, only used when LossRate > 0.
+	// ARQ state, only used when LossRate > 0. delivered is sparse (first
+	// arrival creates a pair's state) and bounded (idle pairs are swept
+	// back into dedupFree), so long runs on large topologies stay
+	// O(active pairs).
 	nextFrameID uint64
 	delivered   map[pair]*dedup
+	dedupFree   *dedup // pool of evicted, reset dedup states
+	arrivals    uint64 // arrive() calls, drives the amortized sweep
+
+	// Canonical (sharded) delivery state — canon.go. When canon is set the
+	// lossless path routes every frame through the pending heap + gate
+	// pump (local targets) or the cross-shard ship hook (remote targets)
+	// instead of scheduling per-frame delivery events directly.
+	canon      bool
+	canonTotal addr.MachineID
+	canonLocal func(addr.MachineID) bool
+	canonShip  func(RemoteFrame)
+	sendSeq    []uint64  // per-sending-machine dense frame sequence
+	pend       []pendEnt // binary min-heap keyed (at, to, from, seq)
+	pumpFn     func()    // bound once; fires pending deliveries due now
 
 	// Fault-injection state (fault.go). faulty is the single hot-path
 	// guard: it is true only while some injected condition could alter a
@@ -372,7 +410,11 @@ func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 		panicLocalSend(from, to)
 	}
 	if _, ok := n.eps[to]; !ok {
-		panicNoEndpoint(to)
+		// In canonical (sharded) mode machines on other shards have no
+		// local endpoint; any id within the cluster is routable.
+		if !n.canon || to == 0 || to > n.canonTotal {
+			panicNoEndpoint(to)
+		}
 	}
 	if n.down[from] {
 		n.dropFromDown(from, to, m)
@@ -385,6 +427,10 @@ func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 	size := m.WireSize()
 	n.account(from, to, m, size)
 	if n.cfg.LossRate <= 0 {
+		if n.canon {
+			n.canonSend(from, to, m, size, 0)
+			return
+		}
 		m.Hops++
 		d := n.getDelivery(to, m)
 		n.eng.After(n.transit(from, to, size), "netw:deliver", d.fn)
@@ -471,16 +517,90 @@ func (n *Network) dedupSize(from, to addr.MachineID) int {
 	return 0
 }
 
+// dedupPairs reports how many pairs currently hold dedup state (test hook
+// for the O(active pairs) bound).
+func (n *Network) dedupPairs() int { return len(n.delivered) }
+
+// dedupPooled reports how many evicted dedup states sit in the free pool
+// (test hook).
+func (n *Network) dedupPooled() int {
+	c := 0
+	for d := n.dedupFree; d != nil; d = d.next {
+		c++
+	}
+	return c
+}
+
+// dedupSweepEvery amortizes idle-pair eviction: one sweep per this many
+// arrivals keeps the scan cost negligible against delivery work.
+const dedupSweepEvery = 256
+
+// dedupRetention is how long an idle pair's dedup state must be kept: no
+// duplicate can trail the original by more than the full retry budget, so
+// twice that is a safe eviction horizon.
+func (n *Network) dedupRetention() sim.Time {
+	return 2 * n.cfg.RetransTimeout * sim.Time(n.cfg.MaxRetries)
+}
+
+// sweepDedup evicts dedup state for pairs idle past the retention horizon,
+// recycling the structs through the free pool. Keys are collected and
+// sorted before mutation so the pool's ordering stays deterministic.
+func (n *Network) sweepDedup() {
+	ret := n.dedupRetention()
+	now := n.eng.Now()
+	if now <= ret {
+		return
+	}
+	cutoff := now - ret
+	var idle []pair
+	for k, d := range n.delivered {
+		if d.last < cutoff {
+			idle = append(idle, k)
+		}
+	}
+	if len(idle) == 0 {
+		return
+	}
+	sort.Slice(idle, func(i, j int) bool {
+		if idle[i].from != idle[j].from {
+			return idle[i].from < idle[j].from
+		}
+		return idle[i].to < idle[j].to
+	})
+	for _, k := range idle {
+		d := n.delivered[k]
+		d.reset()
+		d.next = n.dedupFree
+		n.dedupFree = d
+		delete(n.delivered, k)
+	}
+}
+
+// getDedup pops a recycled dedup state or builds a fresh one.
+func (n *Network) getDedup() *dedup {
+	if d := n.dedupFree; d != nil {
+		n.dedupFree = d.next
+		d.next = nil
+		return d
+	}
+	return newDedup()
+}
+
 // arrive lands one ARQ frame copy at the receiver, suppressing duplicate
 // ids (retransmissions and injected duplicates alike). Returns whether the
 // frame was actually delivered.
 func (n *Network) arrive(from, to addr.MachineID, m *msg.Message, id uint64) bool {
+	n.arrivals++
+	if n.arrivals%dedupSweepEvery == 0 {
+		n.sweepDedup()
+	}
 	key := pair{from, to}
 	seen := n.delivered[key]
 	if seen == nil {
-		seen = newDedup()
+		seen = n.getDedup()
 		n.delivered[key] = seen
 	}
+	seen.last = n.eng.Now()
 	if seen.seen(id) {
 		n.stats.duplicates++
 		return false

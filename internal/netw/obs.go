@@ -36,15 +36,19 @@ func (n *Network) RegisterObs(reg *obs.Registry) {
 	reg.Sample("netw.burst_dropped", func() uint64 { return c.burstDropped })
 	reg.Sample("netw.dup_injected", func() uint64 { return c.dupInjected })
 	reg.Sample("netw.delay_injected", func() uint64 { return c.delayInjected })
+	reg.Sample("netw.orphan_dropped", func() uint64 { return c.orphanDropped })
 	for i := 0; i < msg.KindCount; i++ {
 		kind := msg.Kind(i)
 		reg.Sample("netw.frames."+kind.String(), func() uint64 { return c.byKind[kind] })
 		reg.Sample("netw.bytes."+kind.String(), func() uint64 { return c.bytesByKind[kind] })
 	}
 	// Machine IDs are dense 1..N in a composed cluster; the dense
-	// perMachine slice grows lazily with traffic, so each sampler guards
-	// its index (a machine that never saw a frame reads as zero).
-	for m := 1; m <= len(n.eps); m++ {
+	// perMachine slice is pre-sized by Attach (and, in canonical mode, by
+	// SetCanonical to the whole cluster — a shard accounts FramesIn for
+	// remote receivers, so every shard registers every machine's rows and
+	// merged snapshots sum to cluster totals). Each sampler still guards
+	// its index defensively.
+	for m := 1; m < len(n.stats.perMachine); m++ {
 		m := m
 		mp := "netw.m" + strconv.Itoa(m) + "."
 		reg.Sample(mp+"frames_out", func() uint64 {

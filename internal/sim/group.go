@@ -1,0 +1,153 @@
+// Conservative-lookahead coordinator for a group of shard-local engines
+// (classic Chandy–Misra/bulk-synchronous rounds).
+//
+// Machines interact only through network frames whose transit time is at
+// least the minimum pair latency W (>= 1 simulated microsecond). That gives
+// every shard a safe horizon: if the earliest pending event anywhere in the
+// group is at nextT, no frame sent during [nextT, nextT+W-1] can arrive at
+// or before nextT+W-1 (a frame sent at s >= nextT arrives at >= s+W >=
+// nextT+W). So every engine may run freely up to the round deadline
+//
+//	deadline = nextT + W - 1
+//
+// without ever needing input from another shard inside the round. Frames
+// that cross shards during the round land in per-shard mailboxes; the
+// barrier between rounds drains them into the receiving shard's pending
+// heap (as gate events strictly beyond the old deadline) before the next
+// round's horizon is computed. Same seed + same workload therefore yields
+// bit-identical per-machine event orders for ANY shard count, including the
+// parallel execution mode: engines never share state inside a round, and
+// mailbox contents are re-ordered canonically by the receiver's pending
+// heap, so goroutine interleaving cannot leak into simulation order.
+package sim
+
+import "sync"
+
+// Group coordinates N engines under conservative lookahead. The zero value
+// is not usable; fill in every field.
+type Group struct {
+	// Engines are the shard-local engines, indexed by shard id.
+	Engines []*Engine
+
+	// Lookahead is W, the minimum cross-machine frame latency in simulated
+	// microseconds. Must be >= 1 (validated by the cluster constructor).
+	Lookahead Time
+
+	// Drain moves frames parked in shard i's inbound mailbox into its
+	// engine (as gate events). Called for every shard at every barrier,
+	// always from the coordinating goroutine — it needs no locking against
+	// engine execution, only against cross-shard producers.
+	Drain func(shard int)
+
+	// Parallel runs each round's engines on their own goroutines. Purely a
+	// wall-clock choice: results are identical either way.
+	Parallel bool
+
+	// Rounds counts completed synchronization rounds (observability).
+	Rounds uint64
+}
+
+// drainAll runs the mailbox drain for every shard.
+func (g *Group) drainAll() {
+	if g.Drain == nil {
+		return
+	}
+	for i := range g.Engines {
+		g.Drain(i)
+	}
+}
+
+// nextAt returns the earliest pending event time across all engines.
+func (g *Group) nextAt() (Time, bool) {
+	var min Time
+	found := false
+	for _, e := range g.Engines {
+		if at, ok := e.NextAt(); ok && (!found || at < min) {
+			min, found = at, ok
+		}
+	}
+	return min, found
+}
+
+// strongPending reports whether any engine still holds a non-weak event.
+func (g *Group) strongPending() bool {
+	for _, e := range g.Engines {
+		if e.StrongPending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// round runs every engine up to deadline, concurrently when Parallel is
+// set. Engines share no mutable state during a round (cross-shard frames
+// go through locked mailboxes owned by the cluster), so the only
+// synchronization needed is the join.
+func (g *Group) round(deadline Time) {
+	if g.Parallel && len(g.Engines) > 1 {
+		var wg sync.WaitGroup
+		for _, e := range g.Engines {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				e.RunUntil(deadline)
+			}(e)
+		}
+		wg.Wait()
+	} else {
+		for _, e := range g.Engines {
+			e.RunUntil(deadline)
+		}
+	}
+	g.Rounds++
+}
+
+// RunUntilIdle runs rounds until, after a full mailbox drain, no engine
+// holds a strong event — the multi-engine analogue of Engine.Run. It
+// returns the final global clock (the maximum engine time reached).
+func (g *Group) RunUntilIdle() Time {
+	for {
+		g.drainAll()
+		if !g.strongPending() {
+			break
+		}
+		nextT, ok := g.nextAt()
+		if !ok {
+			break
+		}
+		g.round(nextT + g.Lookahead - 1)
+	}
+	var max Time
+	for _, e := range g.Engines {
+		if e.Now() > max {
+			max = e.Now()
+		}
+	}
+	return max
+}
+
+// RunUntil fires all events with timestamps <= deadline (weak ones
+// included, matching Engine.RunUntil) and then pins every engine's clock to
+// the deadline, so a subsequent RunFor on the cluster measures from a
+// common epoch.
+func (g *Group) RunUntil(deadline Time) {
+	for {
+		g.drainAll()
+		nextT, ok := g.nextAt()
+		if !ok || nextT > deadline {
+			break
+		}
+		end := nextT + g.Lookahead - 1
+		if end > deadline {
+			end = deadline
+		}
+		g.round(end)
+	}
+	// Final pass: nothing fireable remains at <= deadline, so this only
+	// advances idle engines' clocks to the deadline (an engine with work
+	// pending beyond the deadline keeps its own now, exactly like
+	// Engine.RunUntil on a single shard).
+	for _, e := range g.Engines {
+		e.RunUntil(deadline)
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGateOrdering pins the gate contract: at an equal timestamp, gate
+// events fire before every normal event, regardless of scheduling order;
+// gates among themselves and normals among themselves keep FIFO order.
+func TestGateOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	rec := func(s string) func() { return func() { got = append(got, s) } }
+	e.At(10, "n1", rec("n1"))
+	e.AtGate(10, "g1", rec("g1"))
+	e.At(10, "n2", rec("n2"))
+	e.AtGate(10, "g2", rec("g2"))
+	e.At(5, "early", rec("early"))
+	e.Run()
+	want := "[early g1 g2 n1 n2]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("order %v, want %s", got, want)
+	}
+}
+
+// TestGateFreeRunsUnchanged proves the gate bit does not disturb plain
+// scheduling: an engine that never uses AtGate fires events in the same
+// (time, insertion) order as before the gate key existed.
+func TestGateFreeRunsUnchanged(t *testing.T) {
+	e := NewEngine(7)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		// Mix of colliding and distinct timestamps.
+		e.At(Time(100+(i%7)*3), "ev", func() { got = append(got, i) })
+	}
+	e.Run()
+	// Insertion order must be preserved within each timestamp.
+	last := map[Time]int{}
+	for idx, i := range got {
+		at := Time(100 + (i%7)*3)
+		if prev, ok := last[at]; ok && prev > i {
+			t.Fatalf("insertion order broken at index %d: %v", idx, got)
+		}
+		last[at] = i
+	}
+}
+
+// TestGroupMatchesSingleEngine runs the same two-machine ping-pong once on
+// one engine and once split across a two-engine group, and requires the
+// same per-machine event sequence. The "network" is a 5µs message delay;
+// cross-engine sends go through a mailbox drained at barriers, delivered
+// via gate events — exactly the cluster's transport shape.
+func TestGroupMatchesSingleEngine(t *testing.T) {
+	type send struct {
+		to int
+		at Time
+	}
+	const latency = 5
+	run := func(shards int) []string {
+		engines := make([]*Engine, shards)
+		for i := range engines {
+			engines[i] = NewEngine(3)
+		}
+		engOf := func(machine int) *Engine { return engines[machine%shards] }
+		var log []string
+		var boxes [][]send // per shard
+		boxes = make([][]send, shards)
+		var post func(from, to int, at Time)
+		deliver := func(to int, at Time) {
+			engOf(to).AtGate(at, "pump", func() {
+				log = append(log, fmt.Sprintf("m%d@%d", to, at))
+				if at < 100 {
+					post(to, 1-to, at+latency)
+				}
+			})
+		}
+		post = func(from, to int, at Time) {
+			if engOf(to) == engOf(from) {
+				deliver(to, at)
+				return
+			}
+			boxes[to%shards] = append(boxes[to%shards], send{to: to, at: at})
+		}
+		g := &Group{
+			Engines:   engines,
+			Lookahead: latency,
+			Drain: func(s int) {
+				q := boxes[s]
+				boxes[s] = nil
+				for _, f := range q {
+					deliver(f.to, f.at)
+				}
+			},
+		}
+		post(1, 0, 10)
+		g.RunUntilIdle()
+		return log
+	}
+	one, two := run(1), run(2)
+	if fmt.Sprint(one) != fmt.Sprint(two) {
+		t.Fatalf("group diverged from single engine:\n1 shard: %v\n2 shards: %v", one, two)
+	}
+	if len(one) == 0 {
+		t.Fatal("ping-pong never ran")
+	}
+}
+
+// TestGroupRunUntil checks the deadline semantics: events at or before the
+// deadline fire, later ones stay pending, and idle engines' clocks advance
+// to the deadline (the common epoch RunFor depends on).
+func TestGroupRunUntil(t *testing.T) {
+	a, b := NewEngine(1), NewEngine(1)
+	fired := 0
+	a.At(40, "in", func() { fired++ })
+	b.At(90, "out", func() { fired++ })
+	g := &Group{Engines: []*Engine{a, b}, Lookahead: 5}
+	g.RunUntil(50)
+	if fired != 1 {
+		t.Fatalf("fired %d events by t=50, want 1", fired)
+	}
+	if a.Now() != 50 {
+		t.Fatalf("idle engine clock %d, want pinned to 50", a.Now())
+	}
+	g.RunUntil(100)
+	if fired != 2 {
+		t.Fatalf("fired %d events by t=100, want 2", fired)
+	}
+}
+
+// TestGroupParallelIdentical runs a fan-out/fan-in workload sequentially
+// and in parallel mode and requires identical logs per engine — goroutine
+// scheduling must not leak into simulation order.
+func TestGroupParallelIdentical(t *testing.T) {
+	run := func(parallel bool) string {
+		const shards = 4
+		engines := make([]*Engine, shards)
+		logs := make([][]Time, shards)
+		for i := range engines {
+			engines[i] = NewEngine(11)
+			i := i
+			var tick func(at Time)
+			tick = func(at Time) {
+				engines[i].At(at, "tick", func() {
+					logs[i] = append(logs[i], at)
+					if at < 200 {
+						tick(at + Time(3+i))
+					}
+				})
+			}
+			tick(Time(1 + i))
+		}
+		g := &Group{Engines: engines, Lookahead: 2, Parallel: parallel}
+		g.RunUntilIdle()
+		return fmt.Sprint(logs)
+	}
+	if seq, par := run(false), run(true); seq != par {
+		t.Fatalf("parallel rounds diverged:\nseq: %s\npar: %s", seq, par)
+	}
+}

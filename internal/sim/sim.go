@@ -112,10 +112,47 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // counter maintained by schedule/Cancel/Step, not a queue scan.
 func (e *Engine) Pending() int { return e.live }
 
+// StrongPending returns the number of pending non-weak events. The sharded
+// group runner's termination vote stops the cluster when every engine's
+// strong count reaches zero after a mailbox drain (weak housekeeping never
+// keeps a shard group alive, mirroring Run's own stop rule).
+func (e *Engine) StrongPending() int { return e.strong }
+
+// NextAt reports the timestamp of the next runnable event, recycling any
+// cancelled entries it finds at the head of the queue. ok is false when no
+// events remain.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	for len(e.heap) > 0 {
+		if idx := e.heap[0].idx; e.arena[idx].fn == nil {
+			e.freeSlot(e.heapPop())
+			continue
+		}
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// normalSeqBit is OR-ed into the heap key of every ordinary event. Gate
+// events (AtGate) keep the plain counter, so at equal timestamps every gate
+// sorts before every normal event while the relative order within each class
+// still follows scheduling order. The bit is key-only: e.seq itself stays a
+// dense counter, and a run that never schedules a gate orders exactly as it
+// did before the bit existed.
+const normalSeqBit = 1 << 63
+
 // At schedules fn at absolute time t. Scheduling in the past fires at the
 // current time (events never run retroactively).
 func (e *Engine) At(t Time, name string, fn func()) Event {
-	return e.schedule(t, name, fn, false)
+	return e.schedule(t, name, fn, false, false)
+}
+
+// AtGate schedules fn at absolute time t, ordered before every normal event
+// sharing that timestamp (gates among themselves keep scheduling order).
+// The sharded runtime uses gates to pump cross-engine frame deliveries so a
+// message arriving "at time t" is visible before any of the receiver's own
+// work at t runs — matching what a single shared engine would have done.
+func (e *Engine) AtGate(t Time, name string, fn func()) Event {
+	return e.schedule(t, name, fn, false, true)
 }
 
 // After schedules fn d microseconds from now.
@@ -128,11 +165,11 @@ func (e *Engine) After(d Time, name string, fn func()) Event {
 // housekeeping (load reports) uses weak events so "run until idle" still
 // terminates.
 func (e *Engine) AfterWeak(d Time, name string, fn func()) Event {
-	return e.schedule(e.now+d, name, fn, true)
+	return e.schedule(e.now+d, name, fn, true, false)
 }
 
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/engine-schedule in bench_hotpath_test.go.
-func (e *Engine) schedule(t Time, name string, fn func(), weak bool) Event {
+func (e *Engine) schedule(t Time, name string, fn func(), weak, gate bool) Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
@@ -147,9 +184,13 @@ func (e *Engine) schedule(t Time, name string, fn func(), weak bool) Event {
 		e.arena = append(e.arena, slot{gen: 1})
 		idx = uint32(len(e.arena) - 1)
 	}
+	key := e.seq | normalSeqBit
+	if gate {
+		key = e.seq
+	}
 	s := &e.arena[idx]
-	s.fn, s.name, s.at, s.seq, s.weak = fn, name, t, e.seq, weak
-	e.heapPush(heapEnt{at: t, seq: e.seq, idx: idx})
+	s.fn, s.name, s.at, s.seq, s.weak = fn, name, t, key, weak
+	e.heapPush(heapEnt{at: t, seq: key, idx: idx})
 	e.seq++
 	e.live++
 	if !weak {
@@ -290,18 +331,7 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.fired
 	e.halted = false
 	for !e.halted {
-		// Peek next runnable event, recycling cancelled ones.
-		runnable := false
-		var at Time
-		for len(e.heap) > 0 {
-			if idx := e.heap[0].idx; e.arena[idx].fn == nil {
-				e.freeSlot(e.heapPop())
-				continue
-			}
-			at = e.heap[0].at
-			runnable = true
-			break
-		}
+		at, runnable := e.NextAt()
 		if !runnable || at > deadline {
 			break
 		}

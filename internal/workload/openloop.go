@@ -1,0 +1,157 @@
+// Streaming open-loop workload: seeded Poisson arrivals with bimodal
+// service times, generated lazily so a million-process run never
+// materializes its processes up front — each machine holds one arrival
+// cursor and spawns the next job only when its arrival time comes due.
+// (The paper had no authentic workload; an open-loop arrival process is the
+// standard stand-in, and the bimodal service mix keeps both short-lived and
+// long-lived processes in the system at once.)
+package workload
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+
+	"demosmp/internal/proc"
+	"demosmp/internal/sim"
+)
+
+// OpenLoop configures the generator. The zero value is not useful; fill in
+// at least MeanGap and PerMachine.
+type OpenLoop struct {
+	// Seed drives every machine's private arrival/service stream.
+	// Machines derive independent substreams, so two machines' sequences
+	// never correlate and a machine's sequence does not depend on how the
+	// cluster is sharded.
+	Seed int64
+	// MeanGap is the mean interarrival time per machine in simulated
+	// microseconds (exponential, i.e. Poisson arrivals).
+	MeanGap sim.Time
+	// ShortService and LongService are the two service-time modes; each
+	// job draws LongService with probability LongFraction.
+	ShortService sim.Time
+	LongService  sim.Time
+	LongFraction float64
+	// PerMachine is how many jobs each machine receives over the run. The
+	// stream ends after this many arrivals, bounding "run until idle".
+	PerMachine int
+}
+
+// rng64 is a splitmix64 generator. The simulation's determinism lint
+// forbids math/rand outside the engine, and the engine's PRNG cannot be
+// used here anyway: workload draws must come from a private stream so the
+// sequence is independent of event execution order (and of shard count).
+type rng64 struct{ s uint64 }
+
+func (r *rng64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Arrivals streams one machine's arrival sequence: absolute arrival times
+// with exponential gaps and a bimodal service draw per job. Construction is
+// O(1) and each Next is O(1) — the whole point is that nothing about the
+// run's length is materialized.
+type Arrivals struct {
+	cfg     OpenLoop
+	rng     rng64
+	at      sim.Time
+	emitted int
+}
+
+// NewArrivals returns machine m's private arrival stream.
+func NewArrivals(cfg OpenLoop, machine int) *Arrivals {
+	if cfg.MeanGap == 0 {
+		cfg.MeanGap = 1000
+	}
+	if cfg.ShortService == 0 {
+		cfg.ShortService = 200
+	}
+	if cfg.LongService == 0 {
+		cfg.LongService = 5000
+	}
+	a := &Arrivals{cfg: cfg}
+	// Substream split: hash the seed with the machine id through one
+	// splitmix step so adjacent machines land in unrelated regions.
+	a.rng.s = uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(machine)*0xda942042e4dd58b5
+	return a
+}
+
+// Next returns the next job's absolute arrival time and service demand.
+// ok is false once PerMachine jobs have been emitted.
+func (a *Arrivals) Next() (at, service sim.Time, ok bool) {
+	if a.emitted >= a.cfg.PerMachine {
+		return 0, 0, false
+	}
+	a.emitted++
+	u := a.rng.float64()
+	gap := sim.Time(-float64(a.cfg.MeanGap) * math.Log(1-u))
+	if gap < 1 {
+		gap = 1
+	}
+	a.at += gap
+	service = a.cfg.ShortService
+	if a.rng.float64() < a.cfg.LongFraction {
+		service = a.cfg.LongService
+	}
+	return a.at, service, true
+}
+
+// Emitted reports how many jobs the stream has produced so far.
+func (a *Arrivals) Emitted() int { return a.emitted }
+
+// JobKind is the registry name of Job.
+const JobKind = "wl-job"
+
+// Job is the open-loop task body: it occupies its machine for Service
+// simulated microseconds (timer-driven) and exits. Deliberately minimal —
+// the scale scenario measures runtime throughput, not workload logic.
+type Job struct {
+	Service sim.Time
+	Armed   bool
+}
+
+// Kind implements proc.Body.
+func (j *Job) Kind() string { return JobKind }
+
+// Step implements proc.Body.
+func (j *Job) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	if !j.Armed {
+		j.Armed = true
+		if j.Service < 1 {
+			j.Service = 1
+		}
+		ctx.SetTimer(j.Service, 1)
+	}
+	for {
+		d, ok := ctx.Recv()
+		if !ok {
+			return 0, proc.Status{State: proc.Blocked}
+		}
+		// The job's PID is never published, so the only kernel-op
+		// delivery it can receive is its own timer firing.
+		if d.Op != 0 {
+			return 0, proc.Status{State: proc.Exited, ExitCode: int32(j.Service)}
+		}
+	}
+}
+
+// Snapshot implements proc.Body.
+func (j *Job) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(j)
+	return buf.Bytes(), err
+}
+
+// Restore implements proc.Body.
+func (j *Job) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(j)
+}

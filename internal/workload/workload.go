@@ -653,5 +653,6 @@ func Registry() *proc.Registry {
 	reg.Register(CounterKind, func() proc.Body { return &Counter{} })
 	reg.Register(NullKind, func() proc.Body { return &Null{} })
 	reg.Register(RecorderKind, func() proc.Body { return &Recorder{} })
+	reg.Register(JobKind, func() proc.Body { return &Job{} })
 	return reg
 }

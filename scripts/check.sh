@@ -21,6 +21,10 @@ go test -race ./...
 echo "== chaos soak (short mode, fixed seeds: 4242 / 99 / 7)"
 go test -short -count=1 ./internal/chaos/
 
+echo "== sharded runtime: 2-shard chaos soak + seed reproducibility + §6 conformance + shard-count invariance"
+go test -short -count=1 -run 'TestChaosSoakSharded|TestChaosShardedSameSeedReproduces' ./internal/chaos/
+go test -count=1 -run 'TestShardSection6Conformance|TestShardCountInvariance|TestShardHotPathZeroAlloc' ./internal/core/
+
 echo "== hot-path allocation guards + benchmarks (1 iteration smoke)"
 go test -run TestHotPathZeroAlloc \
   -bench 'EngineSchedule|EngineDispatchDepth64|NetwSend|MsgEncode|Kernel' \

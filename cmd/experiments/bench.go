@@ -75,6 +75,10 @@ type benchFile struct {
 	// entry per -bench-json run, events/sec at 64/256/1000 machines on
 	// 1/2/4 parallel shards.
 	Scale []scaleRun `json:"scale,omitempty"`
+	// Chaos holds the fault-plane throughput tier (see chaosbench.go):
+	// events/sec of the 64-machine 4-shard parallel chaos soak, lossless
+	// vs lossy, one entry per -bench-json run.
+	Chaos []chaosRun `json:"chaos,omitempty"`
 }
 
 // timeIt runs fn(iters) reps times and returns the best ns/op (the standard
@@ -401,6 +405,10 @@ func benchJSON(path string) {
 	sc.Timestamp = run.Timestamp
 	f.Scale = append(f.Scale, sc)
 
+	ch := measureChaos()
+	ch.Timestamp = run.Timestamp
+	f.Chaos = append(f.Chaos, ch)
+
 	out, err := json.MarshalIndent(&f, "", "  ")
 	die(err)
 	die(os.WriteFile(path, append(out, '\n'), 0o644))
@@ -431,6 +439,7 @@ func benchJSON(path string) {
 		seedBaseline.KernelLocalRTAllocsOp, run.KernelLocalRTAllocsOp)
 	fmt.Printf("| kernel migration allocs/op | | %.1f | |\n", run.KernelMigrationAllocsOp)
 	printScale(sc)
+	printChaos(ch)
 }
 
 // trackedRows lists every ns/op metric the regression gate watches.
@@ -547,6 +556,9 @@ func checkRegression(path string) {
 	// wall-clock speedup on a multi-core host (absolute floor, like the
 	// allocation gates; self-skipping below 4 cores).
 	bad += checkScaleSpeedup()
+	// Fault-plane overhead gate: the machine-anchored ARQ may cost at most
+	// 4x events/sec against the lossless arm of the same sharded chaos soak.
+	bad += checkChaosOverhead()
 	if bad > 0 {
 		fmt.Printf("\n%d tracked metric(s) regressed\n", bad)
 		os.Exit(1)

@@ -92,6 +92,12 @@ type Injector struct {
 	killCounts map[kernel.KillPoint]int
 	parts      map[[2]int]bool // partitions we opened and have not healed
 	log        []string
+
+	// sh is non-nil when the cluster runs sharded: the injector then uses
+	// the shard-local fault plane (sharded.go) — lockstep per-shard pulse
+	// replicas, per-machine kill rotation, per-shard merged logs — instead
+	// of the classic single-engine schedule above.
+	sh *shardedInjector
 }
 
 // missLimit is how many non-matching kill-point firings the injector
@@ -135,6 +141,13 @@ func New(c *core.Cluster, cfg Config) *Injector {
 			inj.maybeKill(m, kp, pid)
 		})
 	}
+	if c.Shards() >= 1 {
+		// Sharded runtime: shard-local fault plane (sharded.go). Runs under
+		// ShardParallel and is shard-count-invariant; its schedule differs
+		// from the classic single-engine one below.
+		inj.initSharded()
+		return inj
+	}
 	inj.arm(cfg.PartitionEvery, "chaos:partition", inj.partitionPulse)
 	inj.arm(cfg.BurstEvery, "chaos:burst", inj.burstPulse)
 	if c.NetLossy() {
@@ -150,6 +163,10 @@ func New(c *core.Cluster, cfg Config) *Injector {
 // killed kernels still fire, so a subsequent Run() reaches a fully-up
 // cluster.
 func (inj *Injector) Stop() {
+	if inj.sh != nil {
+		inj.stopSharded()
+		return
+	}
 	inj.stopped = true
 	keys := make([][2]int, 0, len(inj.parts))
 	for k := range inj.parts {
@@ -166,10 +183,28 @@ func (inj *Injector) Stop() {
 }
 
 // Kills reports how many processor crashes fired.
-func (inj *Injector) Kills() int { return inj.kills }
+func (inj *Injector) Kills() int {
+	if inj.sh != nil {
+		total := 0
+		for _, n := range inj.sh.kills {
+			total += n
+		}
+		return total
+	}
+	return inj.kills
+}
 
 // KillCounts reports crashes per kill-point.
 func (inj *Injector) KillCounts() map[kernel.KillPoint]int {
+	if inj.sh != nil {
+		out := make(map[kernel.KillPoint]int)
+		for _, counts := range inj.sh.counts {
+			for k, v := range counts {
+				out[k] += v
+			}
+		}
+		return out
+	}
 	out := make(map[kernel.KillPoint]int, len(inj.killCounts))
 	for k, v := range inj.killCounts {
 		out[k] = v
@@ -178,8 +213,12 @@ func (inj *Injector) KillCounts() map[kernel.KillPoint]int {
 }
 
 // Trace returns the injector's fault log — a deterministic artifact two
-// same-seed runs must reproduce byte for byte.
+// same-seed runs must reproduce byte for byte (and, when sharded, byte for
+// byte across shard counts).
 func (inj *Injector) Trace() []string {
+	if inj.sh != nil {
+		return inj.traceSharded()
+	}
 	return append([]string(nil), inj.log...)
 }
 
@@ -192,10 +231,12 @@ func (inj *Injector) tracef(format string, args ...any) {
 // there. The decision is a pure function of the rotation state — no PRNG —
 // so kill placement depends only on simulation order.
 func (inj *Injector) maybeKill(m int, kp kernel.KillPoint, pid addr.ProcessID) {
-	// The hook fires inside machine m's kernel, i.e. on m's shard engine
-	// when the cluster is sharded — use that engine's clock and schedule
-	// the restart there, so a crashed kernel's downtime is measured on its
-	// own shard's timeline.
+	if inj.sh != nil {
+		// Sharded: per-machine rotation state, touched only on m's own
+		// shard (sharded.go).
+		inj.maybeKillSharded(m, kp, pid)
+		return
+	}
 	eng := inj.c.EngineOf(m)
 	if inj.stopped || inj.kills >= inj.cfg.MaxKills || eng.Now() < inj.cfg.KillAfter {
 		return

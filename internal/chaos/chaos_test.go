@@ -25,7 +25,13 @@ type soakParams struct {
 	maxKills   int
 	chaosOn    bool
 	lossy      bool
-	shards     int // 0 = classic single-engine runtime
+	shards     int  // 0 = classic single-engine runtime
+	parallel   bool // run shard rounds on parallel goroutines
+	// migrateSpan confines the migrating fleet (spawn sites, migration
+	// destinations, and so the probe fan-out) to machines 1..span; zero
+	// means the whole cluster. Large-cluster soaks use a small span so a
+	// migration driver probe is O(span), not O(machines).
+	migrateSpan int
 }
 
 func fullParams() soakParams {
@@ -50,11 +56,19 @@ type soakResult struct {
 	violations  []string
 	delivery    []string
 	netFrames   uint64
+	netStats    netw.Stats
 	crashedLeft int
 
 	// Post-run obs exports, byte-for-byte comparable across same-seed
 	// runs: the text metrics snapshot and the Chrome timeline JSON.
+	// obsNorm is obsText with the per-kernel envelope-pool gauges removed —
+	// which kernel's pool a cross-shard clone's original retires to is the
+	// one legitimately shard-dependent corner of the snapshot (the
+	// conservation law itself is audited per run by CheckRegistry), so
+	// shard-count comparisons use obsNorm and same-config reruns use the
+	// full obsText.
 	obsText  []byte
+	obsNorm  []byte
 	timeline []byte
 
 	// The quiescent cluster itself, for audits that need direct reads.
@@ -65,6 +79,12 @@ type soakResult struct {
 // migrations and a sequence-stamped message stream at it through stale
 // addresses, lets the chaos injector crash/partition/burst throughout,
 // then runs to quiescence and audits.
+//
+// The drivers are machine-anchored: every scheduled event fires on the
+// engine of the machine whose state it touches, so the soak composes with
+// ShardParallel and lands identically under every shard count. A migration
+// is a probe fanned out to each machine in the fleet's span — the machine
+// hosting the live copy (if any) requests the move on its own kernel.
 func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 	t.Helper()
 	ncfg := netw.Config{}
@@ -72,16 +92,23 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 		ncfg = netw.Config{LossRate: 0.04, RetransTimeout: 3000, MaxRetries: 200}
 	}
 	c, err := core.New(core.Options{
-		Machines: p.machines,
-		Seed:     seed,
-		Net:      ncfg,
-		Shards:   p.shards,
+		Machines:      p.machines,
+		Seed:          seed,
+		Net:           ncfg,
+		Shards:        p.shards,
+		ShardParallel: p.parallel,
+		// Generous trace ring so no shard's tracer wraps: merged trace and
+		// timeline artifacts stay comparable across shard counts.
+		TraceCap: 1 << 16,
 		Kernel:   kernel.Config{MigrateTimeout: 400_000, CheckpointOnArrival: true},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := c.Engine()
+	span := p.machines
+	if p.migrateSpan > 0 && p.migrateSpan < p.machines {
+		span = p.migrateSpan
+	}
 
 	recPID, err := c.Spawn(1, kernel.SpawnSpec{Body: &workload.Recorder{}})
 	if err != nil {
@@ -89,7 +116,7 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 	}
 	fleet := []addr.ProcessID{recPID}
 	for i := 0; i < 6; i++ {
-		pid, err := c.Spawn(1+i%p.machines, kernel.SpawnSpec{Body: &workload.Null{}})
+		pid, err := c.Spawn(1+i%span, kernel.SpawnSpec{Body: &workload.Null{}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,8 +130,24 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 	for i := 0; i < p.migrations; i++ {
 		at := sim.Time(4_000 + i*6_000)
 		victim := fleet[rng.Intn(len(fleet))]
-		dest := 1 + rng.Intn(p.machines)
-		eng.At(at, "drive:migrate", func() { _ = c.Migrate(victim, dest) })
+		dest := 1 + rng.Intn(span)
+		for m := 1; m <= span; m++ {
+			m := m
+			c.EngineOf(m).At(at, "drive:migrate", func() {
+				if m == dest {
+					return
+				}
+				k := c.Kernel(m)
+				if k.Crashed() {
+					return
+				}
+				info, ok := k.Process(victim)
+				if !ok || info.State == kernel.StateForwarder {
+					return
+				}
+				k.RequestMigrationOf(addr.At(victim, addr.MachineID(m)), addr.MachineID(dest))
+			})
+		}
 		if at > horizon {
 			horizon = at
 		}
@@ -113,7 +156,7 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 		at := sim.Time(3_000 + i*4_500)
 		seq := uint32(i)
 		src := addr.MachineID(1 + i%p.machines)
-		eng.At(at, "drive:send", func() {
+		c.EngineOf(int(src)).At(at, "drive:send", func() {
 			body := []byte{byte(seq), byte(seq >> 8), byte(seq >> 16), byte(seq >> 24)}
 			// Deliberately stale address: the recorder's birth machine,
 			// however many migrations ago that was.
@@ -178,7 +221,8 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 			res.crashedLeft++
 		}
 	}
-	res.netFrames = c.NetStats().Frames
+	res.netStats = c.NetStats()
+	res.netFrames = res.netStats.Frames
 
 	res.recLost = true
 	for m := 1; m <= p.machines; m++ {
@@ -205,6 +249,7 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 		t.Fatal(err)
 	}
 	res.obsText = sb.Bytes()
+	res.obsNorm = stripPoolGauges(res.obsText)
 	res.timeline = tb.Bytes()
 
 	res.violations = chaos.CheckInvariants(c)
@@ -216,6 +261,20 @@ func runSoak(t *testing.T, seed int64, p soakParams) soakResult {
 			fmt.Sprintf("recorder %v vanished without a crash-loss record", recPID))
 	}
 	return res
+}
+
+// stripPoolGauges removes the per-kernel envelope-pool gauge lines from a
+// text metrics snapshot (see the obsNorm comment on soakResult).
+func stripPoolGauges(text []byte) []byte {
+	var out []byte
+	for _, line := range bytes.Split(text, []byte("\n")) {
+		if bytes.Contains(line, []byte(".pool_")) {
+			continue
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out
 }
 
 func pidLost(c *core.Cluster, pid addr.ProcessID, machines int) bool {
@@ -328,50 +387,110 @@ func TestNoFaultStrict(t *testing.T) {
 	}
 }
 
-// shardedParams is the 2-shard soak configuration: lossless (the sharded
-// runtime rejects the ARQ) with the full crash/partition/burst/delay
-// schedule otherwise intact, on sequential rounds (the injector's control
-// pulses mutate kernels across shard boundaries).
+// shardedParams is the base sharded soak configuration: lossy (the
+// machine-anchored ARQ composes with sharding), the full
+// crash/partition/burst/dup/delay schedule intact, 2 shards, sequential
+// rounds by default.
 func shardedParams() soakParams {
 	p := shortParams()
-	p.lossy = false
 	p.shards = 2
 	p.machines = 4
 	return p
 }
 
-// TestChaosSoakSharded runs the chaos schedule against the 2-shard runtime:
-// kill-point crashes, partitions, bursts, and delays crossing the shard
-// boundary, with every invariant and the delivery audit holding at
-// quiescence — including the orphan accounting for cross-shard clones that
-// die against a crashed machine.
-func TestChaosSoakSharded(t *testing.T) {
-	res := runSoak(t, 4242, shardedParams())
-	for _, v := range res.violations {
-		t.Errorf("invariant violated: %s", v)
+// assertShardInvariant compares every shard-count-invariant artifact of two
+// soak runs: injector trace (merged across shards), delivery ledger, net
+// stats, kill schedule, migration/restart totals, and the pool-gauge-
+// normalized obs snapshot. TotalFired / final clock are NOT compared —
+// pulse replicas and pump gates legitimately scale with the shard count.
+func assertShardInvariant(t *testing.T, label string, base, got soakResult) {
+	t.Helper()
+	if !reflect.DeepEqual(base.trace, got.trace) {
+		t.Errorf("%s: injector trace diverged from 1-shard base\nbase: %v\ngot:  %v",
+			label, base.trace, got.trace)
 	}
-	for _, v := range res.delivery {
-		t.Errorf("delivery audit: %s", v)
+	if !reflect.DeepEqual(base.seen, got.seen) || base.recLost != got.recLost {
+		t.Errorf("%s: delivery ledger diverged from 1-shard base", label)
 	}
-	if res.crashedLeft != 0 {
-		t.Errorf("%d machines still crashed at quiescence", res.crashedLeft)
+	if !reflect.DeepEqual(base.netStats, got.netStats) {
+		t.Errorf("%s: net stats diverged\nbase: %+v\ngot:  %+v", label, base.netStats, got.netStats)
 	}
-	if res.kills == 0 {
-		t.Fatalf("injector never fired a kill on the sharded runtime (migrations=%d)", res.migrations)
+	if base.kills != got.kills || !reflect.DeepEqual(base.killCounts, got.killCounts) {
+		t.Errorf("%s: kill schedule diverged: kills %d/%d counts %v/%v",
+			label, base.kills, got.kills, base.killCounts, got.killCounts)
 	}
-	if res.restarts == 0 {
-		t.Fatal("no kernel ever restarted")
+	if base.migrations != got.migrations || base.restarts != got.restarts {
+		t.Errorf("%s: stats diverged: migrations %d/%d restarts %d/%d",
+			label, base.migrations, got.migrations, base.restarts, got.restarts)
 	}
-	t.Logf("sharded soak: t=%d fired=%d migrations=%d kills=%d restarts=%d frames=%d recLost=%v",
-		res.now, res.fired, res.migrations, res.kills, res.restarts, res.netFrames, res.recLost)
+	if !bytes.Equal(base.obsNorm, got.obsNorm) {
+		t.Errorf("%s: normalized obs snapshot diverged from 1-shard base", label)
+	}
 }
 
-// TestChaosShardedSameSeedReproduces pins per-configuration determinism of
-// the sharded soak: the same seed and shard count must reproduce the run
-// bit-for-bit (shard-COUNT invariance is deliberately not claimed under
-// chaos — control pulses run on shard 0's clock).
+// TestChaosSoakSharded is the shard-count invariance matrix: the same seed
+// run at 1, 2, and 4 shards, sequentially and in parallel, lossless and
+// lossy, must produce the identical chaos outcome — same merged injector
+// trace, same delivery ledger, same net stats, same kill schedule, same
+// normalized obs snapshot. The 1-shard arm also audits invariants and
+// delivery, so every compared arm inherits a clean bill.
+func TestChaosSoakSharded(t *testing.T) {
+	for _, lossy := range []bool{false, true} {
+		name := "lossless"
+		if lossy {
+			name = "lossy"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := shardedParams()
+			p.lossy = lossy
+			p.shards = 1
+			base := runSoak(t, 4242, p)
+			for _, v := range base.violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			for _, v := range base.delivery {
+				t.Errorf("delivery audit: %s", v)
+			}
+			if base.crashedLeft != 0 {
+				t.Errorf("%d machines still crashed at quiescence", base.crashedLeft)
+			}
+			if base.kills == 0 {
+				t.Fatalf("injector never fired a kill (migrations=%d)", base.migrations)
+			}
+			if base.restarts == 0 {
+				t.Fatal("no kernel ever restarted")
+			}
+			if lossy && base.netStats.Dropped == 0 {
+				t.Fatal("lossy arm dropped nothing — ARQ never exercised")
+			}
+			for _, shards := range []int{2, 4} {
+				for _, par := range []bool{false, true} {
+					q := p
+					q.shards = shards
+					q.parallel = par
+					label := fmt.Sprintf("%s/shards=%d/parallel=%v", name, shards, par)
+					got := runSoak(t, 4242, q)
+					for _, v := range got.violations {
+						t.Errorf("%s: invariant violated: %s", label, v)
+					}
+					assertShardInvariant(t, label, base, got)
+				}
+			}
+			t.Logf("%s base: t=%d migrations=%d kills=%d restarts=%d frames=%d dropped=%d retrans=%d",
+				name, base.now, base.migrations, base.kills, base.restarts,
+				base.netStats.Frames, base.netStats.Dropped, base.netStats.Retransmits)
+		})
+	}
+}
+
+// TestChaosShardedSameSeedReproduces pins bit-level determinism of the
+// hardest configuration — lossy, 4 shards, parallel rounds: the same seed
+// must reproduce the run exactly, down to the full obs snapshot (pool
+// gauges included), the timeline JSON, the event count, and the clock.
 func TestChaosShardedSameSeedReproduces(t *testing.T) {
 	p := shardedParams()
+	p.shards = 4
+	p.parallel = true
 	a := runSoak(t, 99, p)
 	b := runSoak(t, 99, p)
 	if a.fired != b.fired || a.now != b.now {
@@ -383,10 +502,75 @@ func TestChaosShardedSameSeedReproduces(t *testing.T) {
 	if !reflect.DeepEqual(a.seen, b.seen) || a.recLost != b.recLost {
 		t.Fatal("delivery ledger diverged")
 	}
+	if !reflect.DeepEqual(a.netStats, b.netStats) {
+		t.Fatalf("net stats diverged:\nA: %+v\nB: %+v", a.netStats, b.netStats)
+	}
 	if !bytes.Equal(a.obsText, b.obsText) {
 		t.Fatal("obs text export diverged between same-seed sharded runs")
 	}
 	if !bytes.Equal(a.timeline, b.timeline) {
 		t.Fatal("timeline export diverged between same-seed sharded runs")
 	}
+}
+
+// TestShardChaosScale1000 is the acceptance soak: 1000 machines, 4 shards,
+// parallel rounds, lossy links, partitions, loss bursts, duplicates,
+// delays, and kill-point crashes covering all 8 migration kill-points —
+// with every invariant, the delivery audit, and the registry cross-check
+// holding at quiescence. In full mode a 2-shard rerun of the same seed
+// must match the 4-shard run on every shard-count-invariant artifact.
+func TestShardChaosScale1000(t *testing.T) {
+	p := soakParams{
+		machines:   1000,
+		migrations: 300,
+		sends:      200,
+		maxKills:   16,
+		chaosOn:    true,
+		lossy:      true,
+		shards:     4,
+		parallel:   true,
+		// Confine the migrating fleet to machines 1..16: with maxKills=16
+		// the injector budgets one kill per fleet machine and the per-machine
+		// kill-point cursors (m-1)%8 cover all 8 points.
+		migrateSpan: 16,
+	}
+	if testing.Short() {
+		p.migrations = 100
+		p.sends = 100
+	}
+	res := runSoak(t, 20260808, p)
+	for _, v := range res.violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	for _, v := range res.delivery {
+		t.Errorf("delivery audit: %s", v)
+	}
+	if res.crashedLeft != 0 {
+		t.Errorf("%d machines still crashed at quiescence", res.crashedLeft)
+	}
+	if res.kills == 0 {
+		t.Fatalf("injector never fired a kill (migrations=%d)", res.migrations)
+	}
+	if res.restarts == 0 {
+		t.Fatal("no kernel ever restarted")
+	}
+	if res.netStats.Dropped == 0 || res.netStats.Retransmits == 0 {
+		t.Fatalf("fault plane idle at scale: dropped=%d retransmits=%d",
+			res.netStats.Dropped, res.netStats.Retransmits)
+	}
+	if !testing.Short() {
+		for _, kp := range kernel.KillPoints() {
+			if res.killCounts[kp] == 0 {
+				t.Errorf("kill-point %v never exercised at scale (counts: %v)", kp, res.killCounts)
+			}
+		}
+		q := p
+		q.shards = 2
+		q.parallel = false
+		other := runSoak(t, 20260808, q)
+		assertShardInvariant(t, "scale/shards=2", res, other)
+	}
+	t.Logf("scale soak: t=%d fired=%d migrations=%d kills=%d restarts=%d frames=%d dropped=%d retrans=%d",
+		res.now, res.fired, res.migrations, res.kills, res.restarts,
+		res.netStats.Frames, res.netStats.Dropped, res.netStats.Retransmits)
 }

@@ -27,7 +27,11 @@ import (
 //     restarted machine, recorded lost pid) within machines+2 hops;
 //  4. envelope conservation: pooled message envelopes allocated across
 //     all kernels equal those free plus those held on queues — a leak
-//     or double-release anywhere breaks the cluster-wide sum.
+//     or double-release anywhere breaks the cluster-wide sum;
+//  5. no in-flight network state: the machine-anchored ARQ holds no
+//     un-acked flights and no shard's canonical pending heap holds
+//     frames — every send either delivered, died into an accounted
+//     sink, or was dropped with a counter.
 func CheckInvariants(c *core.Cluster) []string {
 	var bad []string
 	n := c.Machines()
@@ -94,6 +98,14 @@ func CheckInvariants(c *core.Cluster) []string {
 	}
 	if news != free+held {
 		bad = append(bad, fmt.Sprintf("envelope leak: %d allocated != %d free + %d held", news, free, held))
+	}
+
+	// 5. No in-flight network state at quiescence.
+	if fl := c.InflightARQ(); fl != 0 {
+		bad = append(bad, fmt.Sprintf("%d ARQ flights still un-acked at quiescence", fl))
+	}
+	if p := c.PendingFrames(); p != 0 {
+		bad = append(bad, fmt.Sprintf("%d frames still in canonical pending heaps at quiescence", p))
 	}
 
 	return bad

@@ -1,0 +1,353 @@
+// Sharded chaos: the fault plane for clusters running on shard-local
+// engines (core.Options.Shards >= 1), sequential or ShardParallel.
+//
+// The classic injector schedules every pulse on the control shard's engine
+// and mutates other shards' network state from there — racy under parallel
+// rounds and not shard-count-invariant (pulse order interleaves with shard
+// 0's traffic). The sharded injector instead keeps every fault's state on
+// the shard that enforces it:
+//
+//   - Lockstep pulse replicas. Each pulse family gets one PRNG stream per
+//     shard, all seeded identically (cfg.Seed + a family offset), and each
+//     shard arms its own replica chain via AfterWeakFault on its own
+//     engine. Every replica draws the same victims at the same sim times;
+//     a shard applies only the slice of the fault it enforces. Fault-class
+//     events sort before gate pumps and normal events at equal timestamps,
+//     so "fault state armed at t applies to every send and arrival at t"
+//     holds for every shard count.
+//   - Per-shard partition mirrors. Every replica maintains its shard's
+//     view of which pairs are open, so already-open guards evaluate
+//     identically everywhere; the netw-level Partition/Heal is applied
+//     only by the shards owning an endpoint of the pair.
+//   - Machine-anchored kill rotation. Kill-point rotation state is per
+//     machine (cursor seeded (m-1) % |kill points|, a fair share of
+//     MaxKills as budget), so the decision at a hook firing touches only
+//     the machine's own shard. KillEvery becomes per-machine spacing.
+//   - Per-shard fault logs, merged by (time, machine) into one canonical
+//     trace. Each entry is attributed to exactly one machine and written
+//     by exactly one shard, so the merged order is total and identical
+//     across shard counts — the matrix tests pin this byte for byte.
+//
+// Schedules differ from the classic single-engine injector (per-family
+// streams instead of one interleaved stream; per-machine checkpoint log
+// lines instead of one aggregate) — compare sharded runs with sharded runs,
+// exactly as for the canonical delivery order.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/kernel"
+	"demosmp/internal/sim"
+)
+
+// Per-family PRNG seed offsets: each family's replicas share one stream
+// shape across all shards of all shard counts.
+const (
+	seedPartition = 1 + iota
+	seedBurst
+	seedDup
+	seedDelay
+	seedCheckpoint
+)
+
+// killState is one machine's private kill rotation.
+type killState struct {
+	cursor   int // index into kernel.KillPoints(), starts at (m-1) % len
+	misses   int
+	kills    int
+	budget   int // this machine's share of cfg.MaxKills
+	lastKill sim.Time
+}
+
+// chaosEntry is one fault-log line before merging: time, the machine the
+// fault is attributed to, and the rendered text.
+type chaosEntry struct {
+	t sim.Time
+	m int
+	s string
+}
+
+// shardedInjector is the Injector's state when the cluster is sharded.
+type shardedInjector struct {
+	shards int
+	open   []map[[2]int]bool          // per-shard partition mirrors (lockstep)
+	kill   []killState                // per machine, indexed by machine id
+	kills  []int                      // crashes fired, per shard
+	counts []map[kernel.KillPoint]int // kill-point tallies, per shard
+	logs   [][]chaosEntry             // fault log, per shard
+}
+
+// initSharded arms the per-shard pulse replicas and the per-machine kill
+// budgets. Called by New instead of the classic arm sequence.
+func (inj *Injector) initSharded() {
+	c, cfg := inj.c, inj.cfg
+	shards := c.Shards()
+	sh := &shardedInjector{
+		shards: shards,
+		open:   make([]map[[2]int]bool, shards),
+		kill:   make([]killState, c.Machines()+1),
+		kills:  make([]int, shards),
+		counts: make([]map[kernel.KillPoint]int, shards),
+		logs:   make([][]chaosEntry, shards),
+	}
+	kps := len(kernel.KillPoints())
+	per, rem := cfg.MaxKills/c.Machines(), cfg.MaxKills%c.Machines()
+	for m := 1; m <= c.Machines(); m++ {
+		ks := &sh.kill[m]
+		ks.cursor = (m - 1) % kps
+		ks.budget = per
+		if m <= rem {
+			ks.budget++
+		}
+	}
+	for s := 0; s < shards; s++ {
+		sh.open[s] = make(map[[2]int]bool)
+		sh.counts[s] = make(map[kernel.KillPoint]int)
+		inj.armSharded(s, rand.New(rand.NewSource(cfg.Seed+seedPartition)),
+			cfg.PartitionEvery, "chaos:partition", inj.partitionPulseSharded)
+		inj.armSharded(s, rand.New(rand.NewSource(cfg.Seed+seedBurst)),
+			cfg.BurstEvery, "chaos:burst", inj.burstPulseSharded)
+		if c.NetLossy() {
+			inj.armSharded(s, rand.New(rand.NewSource(cfg.Seed+seedDup)),
+				cfg.DupEvery, "chaos:dup", inj.dupPulseSharded)
+		}
+		inj.armSharded(s, rand.New(rand.NewSource(cfg.Seed+seedDelay)),
+			cfg.DelayEvery, "chaos:delay", inj.delayPulseSharded)
+		inj.armSharded(s, rand.New(rand.NewSource(cfg.Seed+seedCheckpoint)),
+			cfg.CheckpointEvery, "chaos:checkpoint", inj.checkpointPulseSharded)
+	}
+	inj.sh = sh
+}
+
+// armSharded schedules shard s's next replica firing of one pulse family,
+// as a weak fault-class event on s's own engine. rng is the family's
+// per-shard stream: every shard draws the identical jitter sequence, so
+// replicas fire in lockstep.
+func (inj *Injector) armSharded(s int, rng *rand.Rand, every sim.Time, name string, fn func(s int, rng *rand.Rand)) {
+	if every <= 0 {
+		return
+	}
+	d := every/2 + sim.Time(rng.Int63n(int64(every)))
+	inj.c.EngineOfShard(s).AfterWeakFault(d, name, func() {
+		if inj.stopped {
+			return
+		}
+		fn(s, rng)
+		inj.armSharded(s, rng, every, name, fn)
+	})
+}
+
+// logf appends one attributed entry to shard s's fault log. Only shard s's
+// goroutine writes logs[s], so parallel rounds never race here.
+func (sh *shardedInjector) logf(s int, t sim.Time, m int, format string, args ...any) {
+	sh.logs[s] = append(sh.logs[s], chaosEntry{t: t, m: m, s: fmt.Sprintf(format, args...)})
+}
+
+// pickPair draws a machine pair from a replica stream. Both draws always
+// happen so every shard's stream stays aligned.
+func pickPair(rng *rand.Rand, n int) (int, int) {
+	return 1 + rng.Intn(n), 1 + rng.Intn(n)
+}
+
+func (inj *Injector) partitionPulseSharded(s int, rng *rand.Rand) {
+	a, b := pickPair(rng, inj.c.Machines())
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	sh := inj.sh
+	if sh.open[s][key] {
+		return
+	}
+	sh.open[s][key] = true
+	// Sends a->b are checked on a's shard and acks on b's: only those
+	// shards hold netw-level partition state for the pair.
+	owns := inj.c.ShardOf(a) == s || inj.c.ShardOf(b) == s
+	if owns {
+		inj.c.NetworkOfShard(s).Partition(addr.MachineID(a), addr.MachineID(b))
+	}
+	eng := inj.c.EngineOfShard(s)
+	if inj.c.ShardOf(a) == s {
+		sh.logf(s, eng.Now(), a, "partition %d-%d", a, b)
+	}
+	eng.AfterWeakFault(inj.cfg.PartitionFor, "chaos:heal", func() {
+		if !sh.open[s][key] {
+			return // already healed (by Stop's sweep)
+		}
+		delete(sh.open[s], key)
+		if owns {
+			inj.c.NetworkOfShard(s).Heal(addr.MachineID(a), addr.MachineID(b))
+		}
+		if inj.c.ShardOf(a) == s {
+			sh.logf(s, eng.Now(), a, "heal %d-%d", a, b)
+		}
+	})
+}
+
+func (inj *Injector) burstPulseSharded(s int, rng *rand.Rand) {
+	// Every shard originates sends and receives acks, so every replica
+	// applies the burst locally; replicas fire at identical times, so the
+	// `until` horizons agree. Attributed to machine 0 (cluster-wide).
+	eng := inj.c.EngineOfShard(s)
+	until := eng.Now() + inj.cfg.BurstFor
+	inj.c.NetworkOfShard(s).LossBurst(inj.cfg.BurstRate, until)
+	if s == 0 {
+		inj.sh.logf(0, eng.Now(), 0, "burst rate=%.2f until=%d", inj.cfg.BurstRate, until)
+	}
+}
+
+func (inj *Injector) dupPulseSharded(s int, rng *rand.Rand) {
+	a, b := pickPair(rng, inj.c.Machines())
+	if a == b {
+		return
+	}
+	// One-shot injections live on the sending machine's shard only.
+	if inj.c.ShardOf(a) != s {
+		return
+	}
+	inj.c.NetworkOfShard(s).DuplicateNext(addr.MachineID(a), addr.MachineID(b), 1)
+	inj.sh.logf(s, inj.c.EngineOfShard(s).Now(), a, "dup-next %d->%d", a, b)
+}
+
+func (inj *Injector) delayPulseSharded(s int, rng *rand.Rand) {
+	a, b := pickPair(rng, inj.c.Machines())
+	if a == b {
+		return
+	}
+	if inj.c.ShardOf(a) != s {
+		return
+	}
+	inj.c.NetworkOfShard(s).DelayNext(addr.MachineID(a), addr.MachineID(b), inj.cfg.DelayExtra)
+	inj.sh.logf(s, inj.c.EngineOfShard(s).Now(), a, "delay-next %d->%d +%d", a, b, inj.cfg.DelayExtra)
+}
+
+func (inj *Injector) checkpointPulseSharded(s int, rng *rand.Rand) {
+	// Each shard checkpoints the machines it hosts. Logged per machine
+	// (not as one aggregate line like the classic injector) so the merged
+	// trace is shard-count-invariant.
+	eng := inj.c.EngineOfShard(s)
+	for m := 1; m <= inj.c.Machines(); m++ {
+		if inj.c.ShardOf(m) != s {
+			continue
+		}
+		k := inj.c.Kernel(m)
+		if k.Crashed() {
+			continue
+		}
+		saved := 0
+		for _, info := range k.Processes() {
+			if info.State == kernel.StateForwarder || info.QueueLen != 0 {
+				continue
+			}
+			if inj.cfg.CheckpointFilter != nil && !inj.cfg.CheckpointFilter(info) {
+				continue
+			}
+			if err := k.SaveCheckpoint(info.PID); err == nil {
+				saved++
+			}
+		}
+		if saved > 0 {
+			inj.sh.logf(s, eng.Now(), m, "checkpoint m=%d saved=%d", m, saved)
+		}
+	}
+}
+
+// maybeKillSharded is the fault-hook path for sharded clusters: the whole
+// decision reads and writes only machine m's rotation state, m's kernel,
+// and m's shard's log — all owned by the shard the hook fired on.
+func (inj *Injector) maybeKillSharded(m int, kp kernel.KillPoint, pid addr.ProcessID) {
+	sh := inj.sh
+	ks := &sh.kill[m]
+	eng := inj.c.EngineOf(m)
+	if inj.stopped || ks.kills >= ks.budget || eng.Now() < inj.cfg.KillAfter {
+		return
+	}
+	// KillEvery is per-machine spacing here (the cluster-wide spacing of
+	// the classic injector would need cross-shard clock reads).
+	if ks.kills > 0 && eng.Now() < ks.lastKill+inj.cfg.KillEvery {
+		return
+	}
+	k := inj.c.Kernel(m)
+	if k.Crashed() {
+		return
+	}
+	kps := kernel.KillPoints()
+	if kp != kps[ks.cursor%len(kps)] {
+		if ks.misses++; ks.misses > missLimit {
+			ks.misses = 0
+			ks.cursor++
+		}
+		return
+	}
+	ks.kills++
+	ks.cursor++
+	ks.misses = 0
+	ks.lastKill = eng.Now()
+	s := inj.c.ShardOf(m)
+	sh.kills[s]++
+	sh.counts[s][kp]++
+	sh.logf(s, eng.Now(), m, "kill m=%d kp=%s pid=%v", m, kp, pid)
+	k.Crash()
+	eng.After(inj.cfg.RestartAfter, "chaos:restart", func() {
+		if !k.Crashed() {
+			return
+		}
+		if err := k.Restart(); err == nil {
+			sh.logf(s, eng.Now(), m, "restart m=%d", m)
+		}
+	})
+}
+
+// stopSharded freezes the schedule between rounds: the coordinator clears
+// every shard's partition mirror (all mirrors are identical at a barrier)
+// and heals through the cluster-level fan-out, which is safe outside a
+// round.
+func (inj *Injector) stopSharded() {
+	inj.stopped = true
+	sh := inj.sh
+	keys := make([][2]int, 0, len(sh.open[0]))
+	for k := range sh.open[0] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	for _, key := range keys {
+		for s := 0; s < sh.shards; s++ {
+			delete(sh.open[s], key)
+		}
+		a, b := key[0], key[1]
+		inj.c.Heal(addr.MachineID(a), addr.MachineID(b))
+		sa := inj.c.ShardOf(a)
+		sh.logf(sa, inj.c.EngineOf(a).Now(), a, "heal %d-%d (stop)", a, b)
+	}
+}
+
+// traceSharded merges the per-shard fault logs into the canonical order
+// (time, machine): each (t, m) pair is written by exactly one shard, and
+// same-key entries keep their shard's emission order, so the merge is total
+// and shard-count-invariant.
+func (inj *Injector) traceSharded() []string {
+	var all []chaosEntry
+	for _, l := range inj.sh.logs {
+		all = append(all, l...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].t != all[j].t {
+			return all[i].t < all[j].t
+		}
+		return all[i].m < all[j].m
+	})
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = fmt.Sprintf("t=%d %s", e.t, e.s)
+	}
+	return out
+}

@@ -74,15 +74,16 @@ type Options struct {
 	// Shards, when >= 1, partitions machines round-robin across that many
 	// shard-local engines synchronized by conservative lookahead (see
 	// DESIGN.md §11). Zero keeps the classic single shared engine (the
-	// golden-trace configuration). Sharded clusters require a lossless
-	// network and produce bit-identical traces for any shard count; they
-	// use the canonical delivery order, which differs from the classic
-	// engine's, so compare sharded runs with sharded runs.
+	// golden-trace configuration). Sharded clusters compose with a lossy
+	// network (LossRate > 0 arms the machine-anchored canonical ARQ) and
+	// produce bit-identical traces for any shard count; they use the
+	// canonical delivery order, which differs from the classic engine's,
+	// so compare sharded runs with sharded runs.
 	Shards int
 	// ShardParallel runs each shard's engine on its own goroutine inside a
-	// round — a wall-clock choice only; results are identical. Do not
-	// combine with chaos injection (the injector mutates other shards'
-	// state from the control shard and relies on sequential rounds).
+	// round — a wall-clock choice only; results are identical, including
+	// under chaos injection (the sharded injector keeps every fault's
+	// state on the shard that enforces it; see internal/chaos).
 	ShardParallel bool
 }
 

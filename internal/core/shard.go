@@ -57,17 +57,21 @@ func shardOfMachine(m, shards int) int { return (m - 1) % shards }
 // plane for a sharded cluster. The caller (New) runs boot() afterwards.
 func (c *Cluster) buildSharded() error {
 	o := &c.opts
-	if o.Net.LossRate > 0 {
-		return fmt.Errorf("core: Shards requires a lossless network: the ARQ's sender-side retransmission state cannot span shard engines")
-	}
 	if o.TraceSink != nil {
-		return fmt.Errorf("core: TraceSink is unsupported with Shards (stream order is undefined across shards); read TraceRecords() after the run instead")
+		return fmt.Errorf("core: TraceSink is unsupported with Shards (stream order is undefined across shards, even with the lossy machine-anchored ARQ); read TraceRecords() after the run instead")
 	}
 	shards := o.Shards
 	if shards > o.Machines {
 		shards = o.Machines
 	}
 	look := o.Net.MinLatency(o.Machines)
+	if o.Net.LossRate > 0 {
+		// The machine-anchored ARQ's acks cross shards at the flat ack
+		// latency, so the conservative window must not outrun them.
+		if ack := o.Net.AckLatency(); ack < look {
+			look = ack
+		}
+	}
 	if look < 1 {
 		return fmt.Errorf("core: sharded lookahead window is %d; every PairLatency must be >= 1µs", look)
 	}
@@ -89,7 +93,7 @@ func (c *Cluster) buildSharded() error {
 	c.sh = sh
 	for s := 0; s < shards; s++ {
 		s := s
-		sh.nets[s].SetCanonical(o.Machines,
+		sh.nets[s].SetCanonical(o.Machines, o.Seed,
 			func(m addr.MachineID) bool { return sh.shardOf[m] == s },
 			c.shipRemote)
 	}
@@ -177,6 +181,61 @@ func (c *Cluster) Shards() int {
 		return c.sh.n
 	}
 	return 0
+}
+
+// ShardOf returns the shard index hosting machine m (0 for the classic
+// runtime — everything lives on the one engine).
+func (c *Cluster) ShardOf(m int) int {
+	if c.sh != nil {
+		return c.sh.shardOf[m]
+	}
+	return 0
+}
+
+// EngineOfShard returns shard s's engine (the shared engine in the classic
+// runtime). The sharded chaos injector arms its per-shard pulse replicas on
+// these.
+func (c *Cluster) EngineOfShard(s int) *sim.Engine {
+	if c.sh != nil {
+		return c.sh.engines[s]
+	}
+	return c.eng
+}
+
+// NetworkOfShard returns shard s's network (the shared network in the
+// classic runtime). Shard-local fault application only — cluster-wide
+// fault fan-out should use Partition/Heal/LossBurst etc. on the Cluster.
+func (c *Cluster) NetworkOfShard(s int) *netw.Network {
+	if c.sh != nil {
+		return c.sh.nets[s]
+	}
+	return c.net
+}
+
+// InflightARQ sums the un-acked ARQ flights across every shard's network.
+// Zero at quiescence — the chaos invariant audit asserts it.
+func (c *Cluster) InflightARQ() int {
+	if c.sh == nil {
+		return c.net.InflightARQ()
+	}
+	total := 0
+	for _, nw := range c.sh.nets {
+		total += nw.InflightARQ()
+	}
+	return total
+}
+
+// PendingFrames sums the canonical pending-heap entries across every
+// shard's network. Zero at quiescence.
+func (c *Cluster) PendingFrames() int {
+	if c.sh == nil {
+		return c.net.PendingFrames()
+	}
+	total := 0
+	for _, nw := range c.sh.nets {
+		total += nw.PendingFrames()
+	}
+	return total
 }
 
 // Lookahead returns the conservative lookahead window W in microseconds
@@ -352,6 +411,6 @@ func (c *Cluster) DelayNext(from, to addr.MachineID, extra sim.Time) {
 	c.sh.nets[c.sh.shardOf[from]].DelayNext(from, to, extra)
 }
 
-// NetLossy reports whether the network config arms the ARQ (sharded
-// clusters are always lossless by construction).
+// NetLossy reports whether the network config arms the ARQ — the classic
+// shared-engine ARQ, or the machine-anchored canonical ARQ when sharded.
 func (c *Cluster) NetLossy() bool { return c.opts.Net.LossRate > 0 }

@@ -34,7 +34,7 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 func TestShardHotPathZeroAlloc(t *testing.T) {
 	e := sim.NewEngine(1)
 	nw := netw.New(e, netw.Config{})
-	nw.SetCanonical(2,
+	nw.SetCanonical(2, 1,
 		func(addr.MachineID) bool { return true },
 		func(netw.RemoteFrame) {})
 	nw.RegisterObs(obs.NewRegistry())
@@ -64,16 +64,27 @@ func TestShardHotPathZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestShardOptionValidation pins the configurations the sharded runtime
-// refuses: a lossy (ARQ) network and a streaming trace sink.
+// TestShardOptionValidation pins the sharded runtime's option surface: a
+// lossy (ARQ) network is ACCEPTED — the machine-anchored canonical ARQ
+// (netw/arq.go) made the old LossRate rejection obsolete — while a
+// streaming trace sink is still refused, with an error that points at the
+// lossy-sharded support and the TraceRecords() alternative.
 func TestShardOptionValidation(t *testing.T) {
-	_, err := core.New(core.Options{Machines: 4, Shards: 2, Net: netw.Config{LossRate: 0.1}})
-	if err == nil {
-		t.Fatal("lossy network accepted with shards")
+	c, err := core.New(core.Options{Machines: 4, Shards: 2, Net: netw.Config{LossRate: 0.1}})
+	if err != nil {
+		t.Fatalf("lossy network rejected with shards: %v", err)
+	}
+	if !c.NetLossy() {
+		t.Fatal("NetLossy() = false on a lossy sharded cluster")
 	}
 	_, err = core.New(core.Options{Machines: 4, Shards: 2, TraceSink: discard{}})
 	if err == nil {
 		t.Fatal("trace sink accepted with shards")
+	}
+	for _, want := range []string{"TraceRecords()", "machine-anchored ARQ"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("TraceSink rejection %q does not mention %q", err, want)
+		}
 	}
 }
 
@@ -203,6 +214,160 @@ func TestShardCountInvariance(t *testing.T) {
 	if par.trace != base.trace || !reflect.DeepEqual(par.stats, base.stats) || par.metrics != base.metrics {
 		t.Error("parallel rounds diverged from sequential execution")
 	}
+}
+
+// TestShardLossyInvariance extends the determinism pin to a lossy network:
+// with the machine-anchored ARQ armed (LossRate > 0), the same seed must
+// still produce bit-identical traces, summed network counters (including
+// drops and retransmits), merged snapshots, and process outcomes across
+// 1, 2, and 4 shards, sequential or parallel. This is the property the old
+// `Shards requires a lossless network` rejection existed to protect.
+func TestShardLossyInvariance(t *testing.T) {
+	mut := func(o *core.Options) {
+		o.Net.LossRate = 0.03
+		o.Net.RetransTimeout = 4000
+		o.Net.MaxRetries = 60
+	}
+	base := runShardWorkload(t, 1, mut)
+	if base.stats.Dropped == 0 {
+		t.Fatal("lossy run dropped no frames; the ARQ invariance check is vacuous")
+	}
+	if base.stats.Retransmits == 0 {
+		t.Fatal("lossy run retransmitted nothing; the ARQ invariance check is vacuous")
+	}
+	for _, shards := range []int{2, 4} {
+		got := runShardWorkload(t, shards, mut)
+		if got.trace != base.trace {
+			t.Errorf("%d shards: lossy trace diverged from 1 shard (lens %d vs %d)",
+				shards, len(got.trace), len(base.trace))
+		}
+		if !reflect.DeepEqual(got.stats, base.stats) {
+			t.Errorf("%d shards: lossy net stats diverged:\n%+v\nvs\n%+v", shards, got.stats, base.stats)
+		}
+		if got.metrics != base.metrics {
+			t.Errorf("%d shards: lossy merged obs snapshot diverged", shards)
+		}
+		if got.exits != base.exits {
+			t.Errorf("%d shards: lossy exits diverged:\n%s\nvs\n%s", shards, got.exits, base.exits)
+		}
+	}
+	par := runShardWorkload(t, 4, func(o *core.Options) {
+		mut(o)
+		o.ShardParallel = true
+	})
+	if par.trace != base.trace || !reflect.DeepEqual(par.stats, base.stats) || par.metrics != base.metrics {
+		t.Error("lossy parallel rounds diverged from sequential execution")
+	}
+}
+
+// TestShardFaultInjection drives the one-shot fault injections across a
+// shard boundary: machine 1 (shard 0) sends to machine 2 (shard 1) with
+// duplicates, a delay, and a loss burst injected on the sending shard. The
+// ARQ's receiver dedup must keep delivery at-most-once (here: exactly-once,
+// since retries outlast every fault), and the lossless variant must account
+// every frame it abandons — orphan_dropped for cross-shard frames landing
+// on a crashed machine, send_from_down for a crashed sender — through the
+// merged obs registry.
+func TestShardFaultInjection(t *testing.T) {
+	t.Run("arq-at-most-once", func(t *testing.T) {
+		c, err := core.New(core.Options{
+			Machines: 4, Seed: 11, Shards: 2,
+			Net: netw.Config{LossRate: 0.05, RetransTimeout: 3000, MaxRetries: 50},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &workload.Sink{}
+		sinkPID, err := c.Spawn(2, kernel.SpawnSpec{Body: sink})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const sent = 30
+		if _, err := c.Spawn(1, kernel.SpawnSpec{
+			Body:  &workload.Chatter{N: sent, Interval: 400},
+			Links: []link.Link{{Addr: addr.At(sinkPID, 2)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// All three injections armed before the run: 5 wire duplicates and
+		// one delayed (reordered) frame on the cross-shard pair 1->2, plus a
+		// cluster-wide 90% loss burst over the first 6ms.
+		c.DuplicateNext(1, 2, 5)
+		c.DelayNext(1, 2, 1500)
+		c.LossBurst(0.9, 6000)
+		c.Run()
+
+		if got := len(sink.Got); got != sent {
+			t.Fatalf("sink received %d messages, want exactly %d (at-most-once under dup injection, ARQ recovery under loss)", got, sent)
+		}
+		snap := c.ObsSnapshot()
+		if v := snap.Value("netw.dup_injected"); v != 5 {
+			t.Errorf("registry dup_injected = %d, want 5", v)
+		}
+		if v := snap.Value("netw.delay_injected"); v != 1 {
+			t.Errorf("registry delay_injected = %d, want 1", v)
+		}
+		if v := snap.Value("netw.duplicates"); v < 5 {
+			t.Errorf("registry duplicates = %d, want >= 5 (each injected dup must be suppressed or force a suppressed retransmit)", v)
+		}
+		if v := snap.Value("netw.dropped"); v == 0 {
+			t.Error("loss burst dropped nothing; the recovery half of the test is vacuous")
+		}
+		if c.InflightARQ() != 0 || c.PendingFrames() != 0 {
+			t.Errorf("quiescent cluster still holds ARQ state: inflight=%d pending=%d",
+				c.InflightARQ(), c.PendingFrames())
+		}
+	})
+
+	t.Run("lossless-orphan-and-down-accounting", func(t *testing.T) {
+		c, err := core.New(core.Options{Machines: 4, Seed: 7, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &workload.Sink{}
+		sinkPID, err := c.Spawn(2, kernel.SpawnSpec{Body: sink})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Spawn(1, kernel.SpawnSpec{
+			Body:  &workload.Chatter{N: 20, Interval: 500},
+			Links: []link.Link{{Addr: addr.At(sinkPID, 2)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Crash the receiver mid-stream, on its own shard's engine. Every
+		// chatter frame sent after this crosses the shard boundary and lands
+		// on a down machine: lossless mode has no retry, and the sender's
+		// envelope pool lives on the other shard, so the drop must surface
+		// as orphan_dropped (not vanish).
+		c.EngineOf(2).At(3200, "test:crash", func() { c.Kernel(2).Crash() })
+		c.Run()
+
+		// A crashed machine attempting to transmit must be counted too.
+		nw := c.NetworkOfShard(c.ShardOf(2))
+		nw.Send(2, 1, &msg.Message{
+			Kind: msg.KindUser,
+			From: addr.At(sinkPID, 2),
+			To:   addr.At(sinkPID, 1),
+			Body: []byte("from the grave"),
+		})
+		c.Run()
+
+		snap := c.ObsSnapshot()
+		if v := snap.Value("netw.orphan_dropped"); v == 0 {
+			t.Error("cross-shard frames to the crashed machine left no orphan_dropped accounting")
+		}
+		if v := snap.Value("netw.send_from_down"); v != 1 {
+			t.Errorf("registry send_from_down = %d, want 1", v)
+		}
+		ns := c.NetStats()
+		if ns.OrphanDropped == 0 || ns.SendFromDown != 1 {
+			t.Errorf("summed NetStats disagree: orphan=%d send_from_down=%d", ns.OrphanDropped, ns.SendFromDown)
+		}
+		if got := len(sink.Got); got == 0 || got >= 20 {
+			t.Errorf("sink received %d messages, want some but not all 20 (crash mid-stream)", got)
+		}
+	})
 }
 
 // TestShardPairLatencyLookahead pins conservative lookahead on a

@@ -89,10 +89,10 @@ var demosLayers = map[string][]string{
 	"demosmp/cmd/demoslint": {"demosmp/internal/lint"},
 	"demosmp/cmd/demosnet": {"demosmp", "demosmp/internal/addr", "demosmp/internal/kernel",
 		"demosmp/internal/link", "demosmp/internal/obs"},
-	"demosmp/cmd/experiments": {"demosmp", "demosmp/internal/addr", "demosmp/internal/kernel",
-		"demosmp/internal/link", "demosmp/internal/msg", "demosmp/internal/netw",
-		"demosmp/internal/obs", "demosmp/internal/sim", "demosmp/internal/trace",
-		"demosmp/internal/workload"},
+	"demosmp/cmd/experiments": {"demosmp", "demosmp/internal/addr", "demosmp/internal/chaos",
+		"demosmp/internal/kernel", "demosmp/internal/link", "demosmp/internal/msg",
+		"demosmp/internal/netw", "demosmp/internal/obs", "demosmp/internal/sim",
+		"demosmp/internal/trace", "demosmp/internal/workload"},
 	"demosmp/examples/faulttolerance": {"demosmp"},
 	"demosmp/examples/fileserver":     {"demosmp"},
 	"demosmp/examples/loadbalance":    {"demosmp"},
@@ -124,6 +124,21 @@ func DemosAnalyzers() []Analyzer {
 			Pkg:        ModulePath + "/internal/kernel",
 			ConstType:  "KillPoint",
 			ConfigType: "Config",
+			// Every fault kind the chaos injector drives must be exercised
+			// from a sharded test: the shard-local fault plane composes
+			// per-kind (partition mirrors, burst horizons, dup/delay
+			// one-shots, kill rotations, checkpoint pulses), so classic
+			// single-engine coverage alone can rot the sharded paths.
+			// TestChaosKindInventory pins this table.
+			ChaosKinds: map[string][]string{
+				"partition":  {"PartitionEvery", "Partition"},
+				"loss-burst": {"BurstEvery", "LossBurst"},
+				"duplicate":  {"DupEvery", "DuplicateNext"},
+				"delay":      {"DelayEvery", "DelayNext"},
+				"crash":      {"MaxKills", "Crash"},
+				"checkpoint": {"CheckpointEvery", "SaveCheckpoint"},
+			},
+			ShardMarkers: []string{"Shards", "ShardParallel"},
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // KillCover enforces that the fault-injection surface stays exercised:
@@ -23,6 +24,16 @@ type KillCover struct {
 	// ConfigType is the struct whose exported bool fields must be
 	// test-referenced (Config).
 	ConfigType string
+	// ChaosKinds maps each fault kind the chaos injector can drive to the
+	// identifier names that mark it as exercised (any one counts). Every
+	// kind must be referenced from at least one SHARDED test file — a test
+	// file that also references one of ShardMarkers — so the fault plane's
+	// sharded composition cannot silently lose coverage while the classic
+	// single-engine tests keep it green.
+	ChaosKinds map[string][]string
+	// ShardMarkers are the identifiers whose presence makes a test file
+	// sharded (e.g. Shards, ShardParallel).
+	ShardMarkers []string
 }
 
 func (KillCover) Name() string { return "killcover" }
@@ -57,6 +68,34 @@ func (kc KillCover) Run(p *Pass) {
 		}
 	}
 
+	// Chaos fault kinds: each must be referenced from a sharded test file.
+	// Diagnostics anchor at the ConstType declaration — the kill-point type
+	// is the root of the fault-injection surface this rule guards.
+	if len(kc.ChaosKinds) > 0 {
+		sharded := shardedTestIdents(p.Mod, kc.ShardMarkers)
+		var kinds []string
+		for kind := range kc.ChaosKinds {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		anchor := scope.Lookup(kc.ConstType)
+		for _, kind := range kinds {
+			ids := kc.ChaosKinds[kind]
+			hit := false
+			for _, id := range ids {
+				if sharded[id] {
+					hit = true
+					break
+				}
+			}
+			if !hit && anchor != nil {
+				p.Reportf(anchor.Pos(),
+					"chaos fault kind %q (%s) is not referenced by any sharded test (one referencing %s): the sharded fault plane lost coverage",
+					kind, strings.Join(ids, "/"), strings.Join(kc.ShardMarkers, "/"))
+			}
+		}
+	}
+
 	// Config ablation flags: exported bool fields of ConfigType.
 	if tn, ok := scope.Lookup(kc.ConfigType).(*types.TypeName); ok {
 		if st, ok := tn.Type().Underlying().(*types.Struct); ok {
@@ -88,6 +127,40 @@ func moduleTestIdents(mod *Module) map[string]bool {
 				}
 				return true
 			})
+		}
+	}
+	return out
+}
+
+// shardedTestIdents collects the identifier union over the module's
+// SHARDED test files only: those whose own identifiers include at least
+// one of the marker names. The same coarse parse-only notion as
+// moduleTestIdents, scoped to the files that exercise the sharded runtime.
+func shardedTestIdents(mod *Module, markers []string) map[string]bool {
+	mark := make(map[string]bool, len(markers))
+	for _, m := range markers {
+		mark[m] = true
+	}
+	out := make(map[string]bool)
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.TestFiles {
+			ids := make(map[string]bool)
+			sharded := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					ids[id.Name] = true
+					if mark[id.Name] {
+						sharded = true
+					}
+				}
+				return true
+			})
+			if !sharded {
+				continue
+			}
+			for name := range ids {
+				out[name] = true
+			}
 		}
 	}
 	return out

@@ -41,6 +41,11 @@ func TestFixtures(t *testing.T) {
 		{"supfix", "supfix", []Analyzer{Determinism{}, SuppressAudit{}}},
 		{"killfix", "killfix", []Analyzer{KillCover{
 			Pkg: "killfix", ConstType: "Point", ConfigType: "Config",
+			ChaosKinds: map[string][]string{
+				"partition": {"Partition"},
+				"burst":     {"LossBurst"},
+			},
+			ShardMarkers: []string{"Shards"},
 		}}},
 	}
 	for _, tc := range cases {
@@ -164,5 +169,59 @@ func TestInjectedDoublePutCaught(t *testing.T) {
 	}
 	if !caught {
 		t.Fatalf("injected double-Put at own/drain.go:%d was not reported", injectedLine)
+	}
+}
+
+// TestChaosKindInventory pins the chaos fault-kind table wired into the
+// repository's killcover configuration: every fault family the injector
+// can drive, each with the identifiers that mark it exercised, plus the
+// shard markers. Adding a fault family to the injector means adding it
+// here AND referencing it from a sharded test in the same commit.
+func TestChaosKindInventory(t *testing.T) {
+	var kc *KillCover
+	for _, a := range DemosAnalyzers() {
+		if k, ok := a.(KillCover); ok {
+			kc = &k
+		}
+	}
+	if kc == nil {
+		t.Fatal("DemosAnalyzers lost its KillCover entry")
+	}
+	want := map[string][]string{
+		"partition":  {"PartitionEvery", "Partition"},
+		"loss-burst": {"BurstEvery", "LossBurst"},
+		"duplicate":  {"DupEvery", "DuplicateNext"},
+		"delay":      {"DelayEvery", "DelayNext"},
+		"crash":      {"MaxKills", "Crash"},
+		"checkpoint": {"CheckpointEvery", "SaveCheckpoint"},
+	}
+	if len(kc.ChaosKinds) != len(want) {
+		t.Fatalf("ChaosKinds has %d kinds, want %d: %v", len(kc.ChaosKinds), len(want), kc.ChaosKinds)
+	}
+	for kind, ids := range want {
+		got, ok := kc.ChaosKinds[kind]
+		if !ok {
+			t.Errorf("fault kind %q missing from killcover config", kind)
+			continue
+		}
+		if len(got) != len(ids) {
+			t.Errorf("kind %q idents = %v, want %v", kind, got, ids)
+			continue
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Errorf("kind %q idents = %v, want %v", kind, got, ids)
+				break
+			}
+		}
+	}
+	wantMarkers := []string{"Shards", "ShardParallel"}
+	if len(kc.ShardMarkers) != len(wantMarkers) {
+		t.Fatalf("ShardMarkers = %v, want %v", kc.ShardMarkers, wantMarkers)
+	}
+	for i := range wantMarkers {
+		if kc.ShardMarkers[i] != wantMarkers[i] {
+			t.Fatalf("ShardMarkers = %v, want %v", kc.ShardMarkers, wantMarkers)
+		}
 	}
 }

@@ -25,3 +25,15 @@ type Config struct {
 
 // use keeps the unexported field from being declared-and-unused dead.
 func (c Config) use() bool { return c.hidden }
+
+// Runtime mimics core.Options: its Shards field is the shard marker that
+// makes a test file count as sharded for the chaos-kind rule.
+type Runtime struct {
+	Shards int
+}
+
+// Partition and LossBurst mimic the netw fault surface: Partition is
+// referenced from the sharded test file, LossBurst only from the classic
+// one — so the "burst" kind must be reported.
+func Partition(a, b int)     {}
+func LossBurst(rate float64) {}

@@ -1,0 +1,15 @@
+package killfix
+
+import "testing"
+
+// TestShardedFaults is the fixture's sharded test file: it references the
+// Shards marker, so its identifiers count toward chaos-kind coverage —
+// "partition" is covered here, "burst" is not (LossBurst only appears in
+// the classic test file).
+func TestShardedFaults(t *testing.T) {
+	rt := Runtime{Shards: 2}
+	Partition(1, 2)
+	if rt.Shards != 2 {
+		t.Fatal("shards lost")
+	}
+}

@@ -12,4 +12,7 @@ func TestCovered(t *testing.T) {
 			t.Fatal("zero point")
 		}
 	}
+	// Classic-only fault reference: this file has no shard marker, so
+	// LossBurst here does NOT count as sharded coverage for "burst".
+	LossBurst(0.5)
 }

@@ -31,31 +31,51 @@ import (
 	"demosmp/internal/sim"
 )
 
+// Canonical entry classes. Lossless traffic is all classData; the
+// machine-anchored ARQ (arq.go) adds injected wire duplicates and
+// network-level acks, which ride the same pending heap so their ordering at
+// equal timestamps is fixed by class rather than by per-engine scheduling
+// order.
+const (
+	classData = iota // a data frame (the only class in lossless mode)
+	classDup         // an injected wire duplicate of a data frame
+	classAck         // a network-level ARQ ack flowing back to the sender
+)
+
 // RemoteFrame is one cross-shard frame in flight between a sending shard
 // and the receiving shard's mailbox. At and Seq are computed on the sending
 // shard; the receiving shard's pending heap re-orders mailbox contents by
-// (At, To, From, Seq), so mailbox push order — even from parallel shard
-// goroutines — cannot influence simulation order. The cluster layer treats
-// the frame as opaque cargo: it never inspects M.
+// (At, To, From, Seq, Class, Attempt), so mailbox push order — even from
+// parallel shard goroutines — cannot influence simulation order. The
+// cluster layer treats the frame as opaque cargo: it never inspects M.
+// Class, Attempt, and ID are ARQ routing state (zero for lossless frames):
+// acks carry a nil M.
 type RemoteFrame struct {
 	From, To addr.MachineID
 	At       sim.Time
 	Seq      uint64
+	Class    uint8
+	Attempt  uint32
+	ID       uint64
 	M        *msg.Message
 }
 
 // pendEnt is one frame waiting for canonical delivery on this shard.
 type pendEnt struct {
-	at   sim.Time
-	to   addr.MachineID
-	from addr.MachineID
-	seq  uint64
-	m    *msg.Message
+	at      sim.Time
+	to      addr.MachineID
+	from    addr.MachineID
+	seq     uint64
+	class   uint8  // classData / classDup / classAck
+	attempt uint32 // ARQ attempt number (tie-break between retransmissions)
+	id      uint64 // ARQ frame id (dedup key); 0 in lossless mode
+	m       *msg.Message
 }
 
 // pendLess is the canonical delivery order at a shard: time, then receiver,
-// then sender, then the sender's frame sequence. Every component is
-// shard-invariant, so so is the order.
+// then sender, then the sender's frame sequence, then ARQ class and attempt
+// (distinct retransmissions of one frame share (to, from, seq)). Every
+// component is shard-invariant, so so is the order.
 func pendLess(a, b pendEnt) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -66,23 +86,38 @@ func pendLess(a, b pendEnt) bool {
 	if a.from != b.from {
 		return a.from < b.from
 	}
-	return a.seq < b.seq
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	return a.attempt < b.attempt
 }
 
 // SetCanonical switches the network into canonical delivery mode for a
 // cluster of `machines` total machines. local reports whether a machine id
 // is attached to this shard; ship hands a frame bound for another shard to
 // the cluster's mailbox plane together with its precomputed arrival time
-// and per-sender sequence. Must be called before any Send; lossless
-// configurations only (the cluster constructor rejects LossRate > 0 with
-// shards).
-func (n *Network) SetCanonical(machines int, local func(addr.MachineID) bool, ship func(RemoteFrame)) {
+// and per-sender sequence. Must be called before any Send. With
+// LossRate > 0 the machine-anchored ARQ (arq.go) is armed: seed keys its
+// hash-based loss draws and must be identical on every shard of one run,
+// so a frame's fate is a pure function of its identity, not of shard count.
+func (n *Network) SetCanonical(machines int, seed int64, local func(addr.MachineID) bool, ship func(RemoteFrame)) {
 	n.canon = true
 	n.canonTotal = addr.MachineID(machines)
 	n.canonLocal = local
 	n.canonShip = ship
 	n.sendSeq = make([]uint64, machines+1)
 	n.pumpFn = n.pump
+	// The hash-draw seed is armed in lossless mode too: burst drops on the
+	// canonical path draw by frame identity (see sendFaulty), so they stay
+	// shard-count invariant.
+	n.arqSeed = uint64(seed)
+	if n.cfg.LossRate > 0 {
+		n.arqOn = true
+		n.inflight = make(map[uint64]*arqFlight)
+	}
 	// Pre-size the dense per-machine counters to the whole cluster: this
 	// shard accounts FramesIn for remote receivers it sends to, and the
 	// obs registry registers one sampler row per machine on every shard so
@@ -120,19 +155,28 @@ func (n *Network) canonSend(from, to addr.MachineID, m *msg.Message, size int, e
 //
 //demos:owner inflight — the pending heap owns the shipped clone until pump delivers it.
 func (n *Network) EnqueueRemote(f RemoteFrame) {
-	n.pendPush(pendEnt{at: f.At, to: f.To, from: f.From, seq: f.Seq, m: f.M})
+	n.pendPush(pendEnt{
+		at: f.At, to: f.To, from: f.From, seq: f.Seq,
+		class: f.Class, attempt: f.Attempt, id: f.ID, m: f.M,
+	})
 	n.eng.AtGate(f.At, "netw:pump", n.pumpFn)
 }
 
 // pump fires every pending delivery due at or before the current time. It
 // runs as a gate event, so all frames arriving "at t" are delivered before
 // any normal event at t — the same order a single shared engine produces.
+// In ARQ mode entries carry a class and land through arqLand (arq.go); the
+// lossless path pays one boolean test for that and stays allocation-free.
 //
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestShardHotPathZeroAlloc in internal/core/shard_test.go.
 func (n *Network) pump() {
 	now := n.eng.Now()
 	for len(n.pend) > 0 && n.pend[0].at <= now {
 		ent := n.pendPop()
+		if n.arqOn {
+			n.arqLand(ent)
+			continue
+		}
 		n.deliver(ent.to, ent.m)
 	}
 }
@@ -212,4 +256,14 @@ func (cfg Config) MinLatency(machines int) sim.Time {
 		return cfg.Latency
 	}
 	return min
+}
+
+// AckLatency returns the one-way transit time of a network-level ARQ ack:
+// acks travel at the flat per-frame latency with no per-byte cost (they
+// carry no payload; see arq.go). A lossy sharded cluster clamps its
+// conservative lookahead window to min(MinLatency, AckLatency), because
+// acks are cross-shard frames too.
+func (cfg Config) AckLatency() sim.Time {
+	cfg.fillDefaults()
+	return cfg.Latency
 }

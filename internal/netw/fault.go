@@ -115,11 +115,28 @@ func (n *Network) dropFromDown(from, to addr.MachineID, m *msg.Message) {
 // that loss is final, so the frame is sunk; in ARQ mode the retransmit/dead
 // path owns the accounting (sinking here too would double-count a frame
 // that a later retry delivers after restart).
+//
+// In canonical lossless mode the loss is an orphan drop regardless of shard
+// topology: a cross-shard frame is an ownerless clone, so echoing an
+// Undeliverable completion back to a SAME-shard sender would make the
+// sender's observable behavior depend on which shard the dead receiver
+// landed on — breaking shard-count invariance. The master envelope is
+// retired as a completed send instead (exactly what the ship path does when
+// the frame crosses shards), and the loss joins the delivery audit's budget
+// through OrphanDropped.
 func (n *Network) dropToDown(to addr.MachineID, m *msg.Message) {
 	n.stats.dropped++
-	if n.cfg.LossRate <= 0 {
-		n.deadFrame(m.From.LastKnown, to, m)
+	if n.cfg.LossRate > 0 {
+		return
 	}
+	if n.canon {
+		n.stats.orphanDropped++
+		if m.Pooled() {
+			n.retire(m.From.LastKnown, m)
+		}
+		return
+	}
+	n.deadFrame(m.From.LastKnown, to, m)
 }
 
 // normPair returns the order-normalized key for a bidirectional pair.
@@ -225,7 +242,11 @@ func (n *Network) sendFaulty(from, to addr.MachineID, m *msg.Message) {
 	}
 
 	if n.cfg.LossRate > 0 {
-		n.sendARQ(from, to, m, size, extra, dup)
+		if n.canon {
+			n.canonSendARQ(from, to, m, size, extra, dup)
+		} else {
+			n.sendARQ(from, to, m, size, extra, dup)
+		}
 		return
 	}
 
@@ -237,11 +258,29 @@ func (n *Network) sendFaulty(from, to addr.MachineID, m *msg.Message) {
 		n.deadFrame(from, to, m)
 		return
 	}
-	if n.burstEnd > n.eng.Now() && n.eng.Rand().Float64() < n.burstRate {
-		n.stats.dropped++
-		n.stats.burstDropped++
-		n.deadFrame(from, to, m)
-		return
+	if n.burstEnd > n.eng.Now() {
+		lost := false
+		if n.canon {
+			// Shard-count invariance: the drop must be a pure function of
+			// the frame's identity (sender, per-sender sequence), never of
+			// a per-shard engine RNG stream. A dropped frame consumes its
+			// sequence number so the next frame from this sender draws
+			// fresh (seq stays shard-invariant either way: machine m's
+			// k-th send attempt is its k-th under any sharding).
+			id := uint64(from)<<48 | (n.sendSeq[from] + 1)
+			lost = arqDraw(n.arqSeed, id, 0, saltFrame) < n.burstRate
+			if lost {
+				n.sendSeq[from]++
+			}
+		} else {
+			lost = n.eng.Rand().Float64() < n.burstRate
+		}
+		if lost {
+			n.stats.dropped++
+			n.stats.burstDropped++
+			n.deadFrame(from, to, m)
+			return
+		}
 	}
 	if n.canon {
 		// Canonical (sharded) routing honors injections too: the clone for

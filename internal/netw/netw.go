@@ -297,8 +297,16 @@ type Network struct {
 	canonLocal func(addr.MachineID) bool
 	canonShip  func(RemoteFrame)
 	sendSeq    []uint64  // per-sending-machine dense frame sequence
-	pend       []pendEnt // binary min-heap keyed (at, to, from, seq)
+	pend       []pendEnt // binary min-heap keyed (at, to, from, seq, class, attempt)
 	pumpFn     func()    // bound once; fires pending deliveries due now
+
+	// Machine-anchored ARQ state for canonical mode (arq.go), armed by
+	// SetCanonical when LossRate > 0. inflight is keyed by shard-invariant
+	// frame id (sender machine << 48 | per-sender seq); every flight lives
+	// on the sending machine's own shard.
+	arqOn    bool
+	arqSeed  uint64
+	inflight map[uint64]*arqFlight
 
 	// Fault-injection state (fault.go). faulty is the single hot-path
 	// guard: it is true only while some injected condition could alter a
@@ -434,6 +442,10 @@ func (n *Network) Send(from, to addr.MachineID, m *msg.Message) {
 		m.Hops++
 		d := n.getDelivery(to, m)
 		n.eng.After(n.transit(from, to, size), "netw:deliver", d.fn)
+		return
+	}
+	if n.canon {
+		n.canonSendARQ(from, to, m, size, 0, false)
 		return
 	}
 	n.sendARQ(from, to, m, size, 0, false)

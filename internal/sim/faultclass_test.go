@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFaultClassOrdering pins the three-tier same-timestamp priority:
+// fault events before gates before normal events, with scheduling order
+// preserved inside each class — regardless of the order the three classes
+// were scheduled in.
+func TestFaultClassOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	rec := func(n string) func() { return func() { got = append(got, n) } }
+	e.At(10, "n1", rec("n1"))
+	e.AtGate(10, "g1", rec("g1"))
+	e.AtFault(10, "f1", rec("f1"))
+	e.At(10, "n2", rec("n2"))
+	e.AtFault(10, "f2", rec("f2"))
+	e.AtGate(10, "g2", rec("g2"))
+	e.Run()
+	want := []string{"f1", "f2", "g1", "g2", "n1", "n2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("firing order %v, want %v", got, want)
+	}
+}
+
+// TestWeakFaultDoesNotKeepRunAlive pins the pulse shape: a weak fault event
+// alone never keeps Run going, but fires when strong work reaches its time.
+func TestWeakFaultDoesNotKeepRunAlive(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.AfterWeakFault(5, "pulse", func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("weak fault event kept Run alive")
+	}
+	if e.StrongPending() != 0 {
+		t.Fatalf("strong pending = %d, want 0", e.StrongPending())
+	}
+	e.After(10, "work", func() {})
+	e.Run()
+	if !fired {
+		t.Fatal("weak fault event did not fire alongside strong work")
+	}
+}

@@ -132,18 +132,39 @@ func (e *Engine) NextAt() (at Time, ok bool) {
 	return 0, false
 }
 
-// normalSeqBit is OR-ed into the heap key of every ordinary event. Gate
-// events (AtGate) keep the plain counter, so at equal timestamps every gate
-// sorts before every normal event while the relative order within each class
-// still follows scheduling order. The bit is key-only: e.seq itself stays a
-// dense counter, and a run that never schedules a gate orders exactly as it
-// did before the bit existed.
-const normalSeqBit = 1 << 63
+// Event classes: at equal timestamps, fault events sort before gate events,
+// which sort before normal events; within each class, scheduling order is
+// preserved. The class bits are OR-ed into the heap key only — e.seq itself
+// stays a dense counter, and a run that schedules nothing but normal events
+// orders exactly as it did before the bits existed.
+//
+//   - fault (AtFault/AfterWeakFault): fault-plane mutations (partitions,
+//     loss bursts, injected duplicates/delays). Running them first gives the
+//     sharded runtime one invariant rule — "fault state armed at time t
+//     applies to every send and every arrival at time t" — that holds for
+//     any shard count, because the ordering is fixed by class rather than by
+//     per-engine scheduling order.
+//   - gate (AtGate): canonical frame-delivery pumps. A message arriving "at
+//     time t" is visible before any of the receiver's own work at t runs,
+//     matching what a single shared engine would have done.
+//   - normal (At/After/AfterWeak): everything else.
+const (
+	gateSeqBit   = 1 << 62
+	normalSeqBit = 1 << 63
+)
+
+// classNormal/classGate/classFault select an event's same-timestamp
+// priority tier in schedule.
+const (
+	classNormal = iota
+	classGate
+	classFault
+)
 
 // At schedules fn at absolute time t. Scheduling in the past fires at the
 // current time (events never run retroactively).
 func (e *Engine) At(t Time, name string, fn func()) Event {
-	return e.schedule(t, name, fn, false, false)
+	return e.schedule(t, name, fn, false, classNormal)
 }
 
 // AtGate schedules fn at absolute time t, ordered before every normal event
@@ -152,7 +173,15 @@ func (e *Engine) At(t Time, name string, fn func()) Event {
 // message arriving "at time t" is visible before any of the receiver's own
 // work at t runs — matching what a single shared engine would have done.
 func (e *Engine) AtGate(t Time, name string, fn func()) Event {
-	return e.schedule(t, name, fn, false, true)
+	return e.schedule(t, name, fn, false, classGate)
+}
+
+// AtFault schedules fn at absolute time t, ordered before every gate and
+// every normal event sharing that timestamp. The chaos plane uses fault
+// events for its shard-replicated fault pulses, so fault-state mutations at
+// time t are visible to all of t's sends and deliveries on every shard.
+func (e *Engine) AtFault(t Time, name string, fn func()) Event {
+	return e.schedule(t, name, fn, false, classFault)
 }
 
 // After schedules fn d microseconds from now.
@@ -165,11 +194,18 @@ func (e *Engine) After(d Time, name string, fn func()) Event {
 // housekeeping (load reports) uses weak events so "run until idle" still
 // terminates.
 func (e *Engine) AfterWeak(d Time, name string, fn func()) Event {
-	return e.schedule(e.now+d, name, fn, true, false)
+	return e.schedule(e.now+d, name, fn, true, classNormal)
+}
+
+// AfterWeakFault schedules a weak fault-class event d microseconds from
+// now: it runs before gates and normal events at its timestamp but never
+// keeps Run alive — the shape of a chaos pulse.
+func (e *Engine) AfterWeakFault(d Time, name string, fn func()) Event {
+	return e.schedule(e.now+d, name, fn, true, classFault)
 }
 
 //demos:hotpath — checked by demoslint (hotpathalloc); dynamic guard: TestHotPathZeroAlloc/engine-schedule in bench_hotpath_test.go.
-func (e *Engine) schedule(t Time, name string, fn func(), weak, gate bool) Event {
+func (e *Engine) schedule(t Time, name string, fn func(), weak bool, class int) Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
@@ -185,7 +221,10 @@ func (e *Engine) schedule(t Time, name string, fn func(), weak, gate bool) Event
 		idx = uint32(len(e.arena) - 1)
 	}
 	key := e.seq | normalSeqBit
-	if gate {
+	switch class {
+	case classGate:
+		key = e.seq | gateSeqBit
+	case classFault:
 		key = e.seq
 	}
 	s := &e.arena[idx]

@@ -21,9 +21,13 @@ go test -race ./...
 echo "== chaos soak (short mode, fixed seeds: 4242 / 99 / 7)"
 go test -short -count=1 ./internal/chaos/
 
-echo "== sharded runtime: 2-shard chaos soak + seed reproducibility + §6 conformance + shard-count invariance"
+echo "== sharded runtime: chaos matrix + seed reproducibility + §6 conformance + shard-count invariance"
 go test -short -count=1 -run 'TestChaosSoakSharded|TestChaosShardedSameSeedReproduces' ./internal/chaos/
 go test -count=1 -run 'TestShardSection6Conformance|TestShardCountInvariance|TestShardHotPathZeroAlloc' ./internal/core/
+
+echo "== parallel chaos under sharding: lossy 4-shard soak under -race (fixed seeds: 4242 / 20260808)"
+go test -race -short -count=1 -run 'TestChaosShardedSameSeedReproduces|TestShardChaosScale1000' ./internal/chaos/
+go test -race -short -count=1 -run 'TestShardFaultInjection|TestShardLossyInvariance' ./internal/core/
 
 echo "== hot-path allocation guards + benchmarks (1 iteration smoke)"
 go test -run TestHotPathZeroAlloc \

@@ -63,8 +63,12 @@ type benchSample struct {
 	KernelLocalRTAllocsOp    float64 `json:"kernel_local_rt_allocs_op,omitempty"`
 	KernelMigrationAllocsOp  float64 `json:"kernel_migration_allocs_op"`
 	KernelPingPongMsgsPerSec float64 `json:"kernel_pingpong_msgs_per_sec,omitempty"`
-	DispatchSpeedupVsSeed    float64 `json:"dispatch_speedup_vs_seed,omitempty"`
-	PingPongSpeedupVsSeed    float64 `json:"pingpong_speedup_vs_seed,omitempty"`
+	// Policy tier: one op is a full 256-machine collector round plus the
+	// composite policy decide (see policybench.go).
+	PolicySweepNsOp       float64 `json:"policy_sweep_ns_op,omitempty"`
+	PolicyDecisionsPerSec float64 `json:"policy_decisions_per_sec,omitempty"`
+	DispatchSpeedupVsSeed float64 `json:"dispatch_speedup_vs_seed,omitempty"`
+	PingPongSpeedupVsSeed float64 `json:"pingpong_speedup_vs_seed,omitempty"`
 }
 
 type benchFile struct {
@@ -205,6 +209,7 @@ func measureHotpath() benchSample {
 		})
 	}
 	measureKernel(&s)
+	measurePolicy(&s)
 	s.DispatchSpeedupVsSeed = seedBaseline.EngineDispatchDepth64NsOp / s.EngineDispatchDepth64NsOp
 	s.PingPongSpeedupVsSeed = seedBaseline.KernelPingPongNsOp / s.KernelPingPongNsOp
 	return s
@@ -428,6 +433,8 @@ func benchJSON(path string) {
 	row("kernel cross-machine ping-pong", seedBaseline.KernelPingPongNsOp, run.KernelPingPongNsOp)
 	row("kernel full migration (8 steps)", seedBaseline.KernelMigrationNsOp, run.KernelMigrationNsOp)
 	row("kernel forwarded send (§4 hop)", seedBaseline.KernelForwardNsOp, run.KernelForwardNsOp)
+	fmt.Printf("| policy sweep+decide (256 mach) | — | %.0f ns/op | |\n", run.PolicySweepNsOp)
+	fmt.Printf("| policy decisions/sec | — | %.0fk | |\n", run.PolicyDecisionsPerSec/1e3)
 	fmt.Printf("| kernel ping-pong msgs/sec | %.2fM | %.2fM | %.1fx |\n",
 		seedBaseline.KernelPingPongMsgsPerSec/1e6, run.KernelPingPongMsgsPerSec/1e6,
 		run.KernelPingPongMsgsPerSec/seedBaseline.KernelPingPongMsgsPerSec)
@@ -460,6 +467,7 @@ func trackedRows(s *benchSample) []struct {
 		{"kernel cross-machine ping-pong", s.KernelPingPongNsOp},
 		{"kernel full migration (8 steps)", s.KernelMigrationNsOp},
 		{"kernel forwarded send (§4 hop)", s.KernelForwardNsOp},
+		{"policy sweep+decide (256 mach)", s.PolicySweepNsOp},
 	}
 }
 
@@ -559,6 +567,18 @@ func checkRegression(path string) {
 	// Fault-plane overhead gate: the machine-anchored ARQ may cost at most
 	// 4x events/sec against the lossless arm of the same sharded chaos soak.
 	bad += checkChaosOverhead()
+	// Policy-plane floor: the 256-machine composite sweep must sustain an
+	// absolute decisions/sec rate (order-of-magnitude gate; see policybench.go).
+	{
+		best := cur
+		if second.PolicyDecisionsPerSec > best.PolicyDecisionsPerSec {
+			best = second
+		}
+		if third.PolicyDecisionsPerSec > best.PolicyDecisionsPerSec {
+			best = third
+		}
+		bad += checkPolicyFloor(&best)
+	}
 	if bad > 0 {
 		fmt.Printf("\n%d tracked metric(s) regressed\n", bad)
 		os.Exit(1)

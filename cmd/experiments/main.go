@@ -37,6 +37,8 @@ var (
 	traceOutFlag        = flag.String("trace-out", "", "with the obs export scenario, also write a Chrome trace_event timeline JSON to this path")
 	benchShortFlag      = flag.Bool("bench-short", false, "scale the hot-path measurement iteration counts down ~10x (for CI smoke runs; noisier, so pair with -check-regression's min-of-three)")
 	scaleJSONFlag       = flag.String("scale-json", "", "measure sharded-runtime events/sec (64/256/1000 machines x 1/2/4 shards) and write the run as standalone JSON to this path, then exit")
+	tournamentJSONFlag  = flag.String("tournament-json", "", "run the policy tournament (seeded A/B hypotheses on the sharded runtime) and write the findings artifact to this path, then exit")
+	tournamentShortFlag = flag.Bool("tournament-short", false, "shrink the tournament to CI smoke scale (32 machines, 2 seeds)")
 )
 
 // benchShort is read by scaleIters in bench.go; set from -bench-short after
@@ -66,6 +68,10 @@ func main() {
 	}
 	if *scaleJSONFlag != "" {
 		scaleJSON(*scaleJSONFlag)
+		return
+	}
+	if *tournamentJSONFlag != "" || *tournamentShortFlag {
+		tournament(*tournamentJSONFlag, *tournamentShortFlag)
 		return
 	}
 	if *obsJSONFlag != "" || *traceOutFlag != "" {

@@ -1,0 +1,205 @@
+package main
+
+// The policy tournament: named, seeded A/B hypotheses about migration
+// strategy, run on the sharded runtime and settled by paired metrics. The
+// paper left policy open ("has not yet been developed", §7) — the
+// tournament is the harness that decides which of our candidate policies
+// actually earn their keep, and refutes the ones that don't. -tournament-json
+// writes the findings artifact (byte-identical across reruns of the same
+// binary and seeds); each hypothesis also exports an obs timeline of its
+// challenger's first-seed run next to the findings file.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"demosmp/internal/core"
+	exp "demosmp/internal/experiment"
+	"demosmp/internal/obs"
+	"demosmp/internal/policy"
+	"demosmp/internal/workload"
+)
+
+// tournamentScale holds the knobs the short (CI smoke) mode shrinks.
+type tournamentScale struct {
+	machines   int
+	shards     int
+	parallel   bool
+	perMachine int
+	seeds      []int64
+}
+
+func tournamentScales(short bool) tournamentScale {
+	if short {
+		return tournamentScale{machines: 32, shards: 4, parallel: true, perMachine: 20, seeds: []int64{101, 202}}
+	}
+	return tournamentScale{machines: 256, shards: 8, parallel: true, perMachine: 40, seeds: []int64{101, 202, 303}}
+}
+
+// arm builds a RunSpec on the tournament's shared cluster shape. The report
+// cadence (10ms) is deliberately much shorter than the congestion the
+// workloads build (hundreds of ms), so every policy sees dozens of sweeps
+// while there is still something to fix.
+func (s tournamentScale) arm(wl workload.OpenLoop, pol func() policy.Policy, name string) exp.RunSpec {
+	wl.PerMachine = s.perMachine
+	return exp.RunSpec{
+		Machines:        s.machines,
+		Shards:          s.shards,
+		Parallel:        s.parallel,
+		LoadReportEvery: 10_000,
+		Horizon:         4_000_000,
+		Workload:        wl,
+		Policy:          pol,
+		PolicyName:      name,
+	}
+}
+
+// tournamentHypotheses is the fixed card: three claims about strategy, each
+// challenger paired against a load-average baseline (or against its own
+// aggressive variant) under the same seeds.
+func tournamentHypotheses(s tournamentScale) []exp.Hypothesis {
+	// Bimodal service times (400µs vs 20ms) with every 4th machine
+	// running 3x hot: hot machines saturate — their load average pins at
+	// 100 and stops resolving *how* overloaded they are — while
+	// ready-queue depth keeps ranking which machines are drowning.
+	bimodal := workload.OpenLoop{
+		Seed: 42, MeanGap: 10_000,
+		ShortService: 400, LongService: 20_000, LongFraction: 0.3,
+		HotEvery: 4, HotFactor: 3,
+	}
+	// A rolling diurnal wave: load swings ±80% with machine phases spread
+	// around the cluster, so there is always a crest to flee and a trough
+	// to land on. The long jobs live through several wave periods — the
+	// thrashing trap for a trigger-happy policy, which keeps chasing the
+	// crest around the ring with the same long-lived processes in tow.
+	diurnal := workload.OpenLoop{
+		Seed: 43, MeanGap: 20_000,
+		ShortService: 400, LongService: 200_000, LongFraction: 0.08,
+		WaveAmp: 0.8, WavePeriod: 60_000, WaveSpread: 4,
+	}
+
+	h1c := s.arm(bimodal, func() policy.Policy { return policy.NewQueueDepth(3, 2, 100_000) }, "queue-depth")
+	h1b := s.arm(bimodal, func() policy.Policy { return policy.NewThreshold(80, 50, 100_000) }, "load-average")
+
+	// Same bimodal shape, lighter, plus one cross-machine chatter→sink
+	// pipeline per machine: communication structure only an affinity
+	// policy can see. The pipelines live ~750ms, so the affinity arm's
+	// cost model evaluates payback over 12 report windows (120ms) — still
+	// under a sixth of a pipeline's lifetime, and the §6 migration price
+	// is unchanged.
+	chatter := bimodal
+	chatter.MeanGap = 20_000
+	h2c := s.arm(chatter, func() policy.Policy {
+		cm := policy.DefaultCostModel()
+		cm.PaybackPeriods = 12
+		return policy.NewAffinityAware(15, 200_000, cm)
+	}, "affinity-aware")
+	h2b := s.arm(chatter, func() policy.Policy { return policy.NewThreshold(80, 50, 200_000) }, "load-average")
+	for _, spec := range []*exp.RunSpec{&h2c, &h2b} {
+		spec.Pipelines = s.machines
+		spec.PipelineMsgs = 1500
+		spec.PipelineGap = 500
+	}
+
+	h3c := s.arm(diurnal, func() policy.Policy { return policy.NewThreshold(80, 40, 150_000) }, "hysteresis")
+	h3b := s.arm(diurnal, func() policy.Policy { return policy.NewThreshold(60, 50, 10_000) }, "aggressive")
+
+	return []exp.Hypothesis{
+		{
+			ID:            "H1-queue-depth",
+			Claim:         "queue-depth balancing beats load-average under bimodal workloads",
+			Metric:        "p99_latency_us",
+			LowerIsBetter: true,
+			Seeds:         s.seeds,
+			Challenger:    exp.Arm{Name: "queue-depth", Spec: h1c},
+			Baseline:      exp.Arm{Name: "load-average", Spec: h1b},
+			Score:         func(m exp.Metrics) int64 { return int64(m.P99Latency) },
+		},
+		{
+			ID:            "H2-affinity",
+			Claim:         "affinity-aware placement beats load-only balancing when processes share links",
+			Metric:        "cross_user_frames",
+			LowerIsBetter: true,
+			Seeds:         s.seeds,
+			Challenger:    exp.Arm{Name: "affinity-aware", Spec: h2c},
+			Baseline:      exp.Arm{Name: "load-average", Spec: h2b},
+			Score:         func(m exp.Metrics) int64 { return int64(m.CrossUserFrames) },
+		},
+		{
+			ID:            "H3-hysteresis",
+			Claim:         "hysteresis pays for itself under diurnal load waves",
+			Metric:        "p99_latency_plus_migration_tax_us",
+			LowerIsBetter: true,
+			Seeds:         s.seeds,
+			Challenger:    exp.Arm{Name: "hysteresis", Spec: h3c},
+			Baseline:      exp.Arm{Name: "aggressive", Spec: h3b},
+			Score: func(m exp.Metrics) int64 {
+				// Completion latency plus the freeze time paid per
+				// finished job: a policy that buys p99 with migration
+				// churn must still pay its own bill.
+				jobs := int64(m.JobsFinished)
+				if jobs < 1 {
+					jobs = 1
+				}
+				return int64(m.P99Latency) + int64(m.FreezePaid)/jobs
+			},
+		},
+	}
+}
+
+// tournament runs the card, writes the findings artifact, and exports one
+// obs timeline per hypothesis (challenger arm, first seed).
+func tournament(jsonPath string, short bool) {
+	s := tournamentScales(short)
+	hyps := tournamentHypotheses(s)
+	var findings []exp.Finding
+	fmt.Printf("policy tournament: %d machines, %d shards, seeds %v\n\n",
+		s.machines, s.shards, s.seeds)
+	fmt.Println("| hypothesis | metric | challenger | baseline | delta | seeds won | verdict |")
+	fmt.Println("|------------|--------|-----------:|---------:|------:|----------:|---------|")
+	for _, h := range hyps {
+		f, err := exp.RunHypothesis(h)
+		die(err)
+		findings = append(findings, f)
+		fmt.Printf("| %s | %s | %d | %d | %+.1f%% | %d/%d | **%s** |\n",
+			f.ID, f.Metric, f.MeanChallenger, f.MeanBaseline,
+			float64(f.DeltaPermille)/10, f.Wins, len(f.Seeds), f.Verdict)
+		if jsonPath != "" {
+			writeTournamentTimeline(jsonPath, h)
+		}
+	}
+	if jsonPath != "" {
+		data, err := exp.MarshalFindings(findings)
+		die(err)
+		die(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("\nwrote findings to %s\n", jsonPath)
+	}
+	confirmed := 0
+	for _, f := range findings {
+		if f.Verdict == exp.VerdictConfirmed {
+			confirmed++
+		}
+	}
+	fmt.Printf("%d/%d hypotheses confirmed\n", confirmed, len(findings))
+}
+
+// writeTournamentTimeline re-runs the challenger's first-seed arm with
+// tracing on and exports the obs timeline next to the findings file.
+func writeTournamentTimeline(jsonPath string, h exp.Hypothesis) {
+	spec := h.Challenger.Spec
+	spec.Seed = h.Seeds[0]
+	spec.TraceCap = 1 << 16
+	var tl *obs.Timeline
+	spec.Observe = func(c *core.Cluster) {
+		tl = obs.BuildTimeline(c.TraceRecords(), c.Ledger(), nil)
+	}
+	_, err := exp.Run(spec)
+	die(err)
+	path := strings.TrimSuffix(jsonPath, ".json") + "_" + h.ID + "_timeline.json"
+	f, err := os.Create(path)
+	die(err)
+	die(tl.WriteJSON(f))
+	die(f.Close())
+	fmt.Printf("  timeline: %s\n", path)
+}

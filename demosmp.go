@@ -130,4 +130,24 @@ var (
 	NewCommAffinityPolicy = policy.NewCommAffinity
 	// NewDrainPolicy evacuates a dying processor.
 	NewDrainPolicy = policy.NewDrain
+	// NewQueueDepthPolicy balances on ready-queue depth — it sees
+	// backlog even when every CPU reads 100%.
+	NewQueueDepthPolicy = policy.NewQueueDepth
+	// NewMemoryPressurePolicy relieves machines running out of memory.
+	NewMemoryPressurePolicy = policy.NewMemoryPressure
+	// NewAffinityAwarePolicy co-locates communication partners only when
+	// the §6 cost model says the move pays for itself.
+	NewAffinityAwarePolicy = policy.NewAffinityAware
+	// NewCompositePolicy merges several policies under per-rule weights.
+	NewCompositePolicy = policy.NewComposite
+	// DefaultMigrationCostModel is the §6-seeded migration cost model.
+	DefaultMigrationCostModel = policy.DefaultCostModel
+)
+
+// Policy-plane types surfaced for experiment code.
+type (
+	// MigrationCostModel prices a migration in simulated microseconds.
+	MigrationCostModel = policy.CostModel
+	// PolicyRule is one weighted member of a composite policy.
+	PolicyRule = policy.Rule
 )

@@ -233,6 +233,17 @@ func (c *Cluster) boot() error {
 		}
 		c.pm.Note(pid, pmm)
 		c.register("procmgr", pid, pmm)
+		// The policy plane's counters live on the PM body; sample them
+		// from the registry owning the PM's machine so merged snapshots
+		// carry them exactly once.
+		pm := c.pm
+		reg := c.obsReg
+		if c.sh != nil {
+			reg = c.sh.regs[shardOfMachine(c.opts.PMMachine, c.sh.n)]
+		}
+		reg.Sample("policy.migrations_ordered", func() uint64 { return pm.MigrationsOrdered })
+		reg.Sample("policy.decisions", func() uint64 { return pm.PolicyDecisions })
+		reg.Sample("policy.sweeps", func() uint64 { return pm.PolicySweeps })
 	}
 	if c.opts.MemSched {
 		pid, err := c.ks[m1].Spawn(kernel.SpawnSpec{Body: memsched.New(), Privileged: true})

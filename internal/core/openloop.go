@@ -43,7 +43,7 @@ func (c *Cluster) StartOpenLoop(cfg workload.OpenLoop) *OpenLoopDriver {
 		failed:  make([]uint64, c.Machines()+1),
 	}
 	for m := 1; m <= c.Machines(); m++ {
-		c.armArrivals(m, workload.NewArrivals(cfg, m), d)
+		c.armArrivals(m, workload.NewArrivals(cfg, m), d, cfg.Spin)
 	}
 	return d
 }
@@ -51,9 +51,17 @@ func (c *Cluster) StartOpenLoop(cfg workload.OpenLoop) *OpenLoopDriver {
 // armArrivals schedules machine m's next arrival; the event spawns the job
 // and re-arms for the following one (streaming: one pending event per
 // machine, never the whole arrival sequence).
-func (c *Cluster) armArrivals(m int, st *workload.Arrivals, d *OpenLoopDriver) {
+func (c *Cluster) armArrivals(m int, st *workload.Arrivals, d *OpenLoopDriver, spin bool) {
 	eng := c.EngineOf(m)
 	k := c.Kernel(m)
+	// In Spin mode the service demand (µs) converts to an instruction
+	// budget at the kernel's modeled instruction cost, so a spinner
+	// occupies the CPU for the same simulated time the timer job would
+	// have slept.
+	instr := c.opts.Kernel.InstrCostNanos
+	if instr == 0 {
+		instr = 2000
+	}
 	var arm func()
 	arm = func() {
 		at, svc, ok := st.Next()
@@ -61,8 +69,17 @@ func (c *Cluster) armArrivals(m int, st *workload.Arrivals, d *OpenLoopDriver) {
 			return
 		}
 		eng.At(at, "wl:arrival", func() {
-			spec := kernel.SpawnSpec{Body: &workload.Job{Service: svc}}
-			if _, err := k.Spawn(spec); err != nil {
+			var body proc.Body
+			if spin {
+				work := int(uint64(svc) * 1000 / uint64(instr))
+				if work < 1 {
+					work = 1
+				}
+				body = &workload.Spinner{Work: work}
+			} else {
+				body = &workload.Job{Service: svc}
+			}
+			if _, err := k.Spawn(kernel.SpawnSpec{Body: body}); err != nil {
 				d.failed[m]++
 			} else {
 				d.spawned[m]++

@@ -1,0 +1,156 @@
+package experiment_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"demosmp/internal/experiment"
+	"demosmp/internal/policy"
+	"demosmp/internal/workload"
+)
+
+// smallSpec is a fast 4-machine arm with a hot-skewed CPU-bound workload.
+func smallSpec(pol func() policy.Policy, name string) experiment.RunSpec {
+	return experiment.RunSpec{
+		Machines:        4,
+		Shards:          2,
+		Seed:            7,
+		LoadReportEvery: 20000,
+		Horizon:         1_500_000,
+		Workload: workload.OpenLoop{
+			Seed: 11, MeanGap: 400, PerMachine: 20,
+			ShortService: 400, LongService: 6000, LongFraction: 0.3,
+			HotEvery: 2, HotFactor: 3,
+		},
+		Policy:     pol,
+		PolicyName: name,
+	}
+}
+
+func TestRunCollectsMetrics(t *testing.T) {
+	m, err := experiment.Run(smallSpec(func() policy.Policy {
+		return policy.NewQueueDepth(3, 2, 50000)
+	}, "queue-depth"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsFinished == 0 {
+		t.Fatal("no jobs finished")
+	}
+	if m.P50Latency == 0 || m.P99Latency < m.P50Latency {
+		t.Fatalf("latency percentiles broken: p50=%d p99=%d", m.P50Latency, m.P99Latency)
+	}
+	if m.PolicySweeps == 0 {
+		t.Fatal("collector never swept")
+	}
+	if m.Makespan == 0 {
+		t.Fatal("makespan not recorded")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	spec := smallSpec(func() policy.Policy {
+		return policy.NewQueueDepth(3, 2, 50000)
+	}, "queue-depth")
+	a, err := experiment.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiment.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same spec, different metrics:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunPipelinesGenerateCrossTraffic(t *testing.T) {
+	spec := smallSpec(nil, "none")
+	spec.Pipelines = 4
+	spec.PipelineMsgs = 30
+	spec.PipelineGap = 2000
+	m, err := experiment.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CrossUserFrames == 0 {
+		t.Fatal("pipelines produced no cross-machine user frames")
+	}
+}
+
+func TestRunHypothesisVerdictAndReproducibility(t *testing.T) {
+	h := experiment.Hypothesis{
+		ID:            "test-qd",
+		Claim:         "queue-depth beats no policy on p99 latency under hot skew",
+		Metric:        "p99_latency_us",
+		LowerIsBetter: true,
+		Seeds:         []int64{1, 2},
+		Challenger: experiment.Arm{Name: "queue-depth", Spec: smallSpec(func() policy.Policy {
+			return policy.NewQueueDepth(3, 2, 50000)
+		}, "queue-depth")},
+		Baseline: experiment.Arm{Name: "none", Spec: smallSpec(nil, "none")},
+		Score:    func(m experiment.Metrics) int64 { return int64(m.P99Latency) },
+	}
+	f, err := experiment.RunHypothesis(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Seeds) != 2 {
+		t.Fatalf("want 2 seed results, got %d", len(f.Seeds))
+	}
+	if f.Verdict != experiment.VerdictConfirmed && f.Verdict != experiment.VerdictRefuted {
+		t.Fatalf("no verdict rendered: %q", f.Verdict)
+	}
+	for _, s := range f.Seeds {
+		if s.Challenger.JobsFinished == 0 || s.Baseline.JobsFinished == 0 {
+			t.Fatalf("seed %d: empty arm metrics", s.Seed)
+		}
+	}
+	j1, err := experiment.MarshalFindings([]experiment.Finding{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := experiment.RunHypothesis(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := experiment.MarshalFindings([]experiment.Finding{f2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("findings JSON is not reproducible from the same seeds")
+	}
+}
+
+func TestRunHypothesisDirection(t *testing.T) {
+	// Score favoring the baseline by construction: higher-is-better on a
+	// metric where both arms tie → refuted (no strict win).
+	h := experiment.Hypothesis{
+		ID: "test-tie", Claim: "tie refutes", Metric: "jobs_finished",
+		Seeds:      []int64{3},
+		Challenger: experiment.Arm{Name: "a", Spec: smallSpec(nil, "none")},
+		Baseline:   experiment.Arm{Name: "b", Spec: smallSpec(nil, "none")},
+		Score:      func(m experiment.Metrics) int64 { return int64(m.JobsFinished) },
+	}
+	f, err := experiment.RunHypothesis(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != experiment.VerdictRefuted {
+		t.Fatalf("identical arms must refute, got %q (delta %d‰)", f.Verdict, f.DeltaPermille)
+	}
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	if _, err := experiment.Run(experiment.RunSpec{Machines: 1, Horizon: 1000}); err == nil {
+		t.Fatal("want error for 1 machine")
+	}
+	spec := smallSpec(nil, "none")
+	spec.Horizon = 0
+	if _, err := experiment.Run(spec); err == nil {
+		t.Fatal("want error for zero horizon")
+	}
+}

@@ -1,0 +1,150 @@
+// Hypothesis runner: a hypothesis names a challenger arm, a baseline arm,
+// a decision metric, and the seeds to pair them over. Both arms of a pair
+// run under the same seed and the same workload — only the policy differs —
+// so every per-seed delta is attributable to the policy alone. The verdict
+// is deliberately blunt: the challenger must win the majority of seeds AND
+// the pooled mean, or the hypothesis is refuted.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Hypothesis is one tournament entry. Score extracts the decision metric
+// from an arm's Metrics; LowerIsBetter orients the comparison.
+type Hypothesis struct {
+	ID            string
+	Claim         string
+	Metric        string // human name of the decision metric
+	LowerIsBetter bool
+	Seeds         []int64
+	Challenger    Arm
+	Baseline      Arm
+	Score         func(Metrics) int64
+}
+
+// Arm names one side of an A/B pair. Spec.Seed is overwritten per pair.
+type Arm struct {
+	Name string
+	Spec RunSpec
+}
+
+// SeedResult is one paired run: both arms under one seed.
+type SeedResult struct {
+	Seed            int64   `json:"seed"`
+	ChallengerScore int64   `json:"challenger_score"`
+	BaselineScore   int64   `json:"baseline_score"`
+	ChallengerWins  bool    `json:"challenger_wins"`
+	Challenger      Metrics `json:"challenger"`
+	Baseline        Metrics `json:"baseline"`
+}
+
+// Finding is the JSON artifact for one hypothesis. It contains no
+// wall-clock timestamps or host details: the same binary, seeds and specs
+// reproduce it byte-for-byte.
+type Finding struct {
+	ID             string       `json:"id"`
+	Claim          string       `json:"claim"`
+	Metric         string       `json:"metric"`
+	LowerIsBetter  bool         `json:"lower_is_better"`
+	ChallengerName string       `json:"challenger"`
+	BaselineName   string       `json:"baseline"`
+	Machines       int          `json:"machines"`
+	Shards         int          `json:"shards"`
+	Seeds          []SeedResult `json:"seeds"`
+	Wins           int          `json:"challenger_wins"`
+	MeanChallenger int64        `json:"mean_challenger"`
+	MeanBaseline   int64        `json:"mean_baseline"`
+	// DeltaPermille is the challenger's improvement over the baseline in
+	// thousandths (positive = challenger better, respecting direction).
+	DeltaPermille int64  `json:"delta_permille"`
+	Verdict       string `json:"verdict"` // "confirmed" | "refuted"
+}
+
+// Verdict values.
+const (
+	VerdictConfirmed = "confirmed"
+	VerdictRefuted   = "refuted"
+)
+
+// RunHypothesis executes every paired arm and renders the verdict.
+func RunHypothesis(h Hypothesis) (Finding, error) {
+	var f Finding
+	if len(h.Seeds) == 0 {
+		return f, fmt.Errorf("experiment %s: no seeds", h.ID)
+	}
+	if h.Score == nil {
+		return f, fmt.Errorf("experiment %s: no score function", h.ID)
+	}
+	f = Finding{
+		ID:             h.ID,
+		Claim:          h.Claim,
+		Metric:         h.Metric,
+		LowerIsBetter:  h.LowerIsBetter,
+		ChallengerName: h.Challenger.Name,
+		BaselineName:   h.Baseline.Name,
+		Machines:       h.Challenger.Spec.Machines,
+		Shards:         h.Challenger.Spec.Shards,
+	}
+	var sumC, sumB int64
+	for _, seed := range h.Seeds {
+		cs := h.Challenger.Spec
+		bs := h.Baseline.Spec
+		cs.Seed, bs.Seed = seed, seed
+		cm, err := Run(cs)
+		if err != nil {
+			return f, fmt.Errorf("experiment %s seed %d (%s): %w", h.ID, seed, h.Challenger.Name, err)
+		}
+		bm, err := Run(bs)
+		if err != nil {
+			return f, fmt.Errorf("experiment %s seed %d (%s): %w", h.ID, seed, h.Baseline.Name, err)
+		}
+		sc, sb := h.Score(cm), h.Score(bm)
+		wins := sc < sb
+		if !h.LowerIsBetter {
+			wins = sc > sb
+		}
+		if wins {
+			f.Wins++
+		}
+		sumC += sc
+		sumB += sb
+		f.Seeds = append(f.Seeds, SeedResult{
+			Seed: seed, ChallengerScore: sc, BaselineScore: sb,
+			ChallengerWins: wins, Challenger: cm, Baseline: bm,
+		})
+	}
+	n := int64(len(h.Seeds))
+	f.MeanChallenger = sumC / n
+	f.MeanBaseline = sumB / n
+	if f.MeanBaseline != 0 {
+		gain := f.MeanBaseline - f.MeanChallenger
+		if !h.LowerIsBetter {
+			gain = f.MeanChallenger - f.MeanBaseline
+		}
+		f.DeltaPermille = gain * 1000 / abs64(f.MeanBaseline)
+	}
+	meanBetter := f.MeanChallenger < f.MeanBaseline
+	if !h.LowerIsBetter {
+		meanBetter = f.MeanChallenger > f.MeanBaseline
+	}
+	if 2*f.Wins > len(h.Seeds) && meanBetter {
+		f.Verdict = VerdictConfirmed
+	} else {
+		f.Verdict = VerdictRefuted
+	}
+	return f, nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MarshalFindings renders findings as deterministic, indented JSON.
+func MarshalFindings(fs []Finding) ([]byte, error) {
+	return json.MarshalIndent(fs, "", "  ")
+}

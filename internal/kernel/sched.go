@@ -188,6 +188,9 @@ func (k *Kernel) sendLoadReport() {
 			CPUMicros: uint32(p.cpuDelta),
 			MsgsOut:   uint32(p.msgsDelta),
 		}
+		if p.image != nil {
+			pl.MemKB = uint32(p.image.Size() / 1024)
+		}
 		for _, peer := range sortedMachines(p.commDelta) {
 			if n := p.commDelta[peer]; n > uint64(pl.TopPeerMsgs) {
 				pl.TopPeer, pl.TopPeerMsgs = peer, uint32(n)

@@ -43,7 +43,10 @@ var demosLayers = map[string][]string{
 		"demosmp/internal/memory", "demosmp/internal/msg", "demosmp/internal/sim"},
 	"demosmp/internal/proctest": {"demosmp/internal/addr", "demosmp/internal/link", "demosmp/internal/memory",
 		"demosmp/internal/msg", "demosmp/internal/proc", "demosmp/internal/sim"},
-	"demosmp/internal/policy": {"demosmp/internal/addr", "demosmp/internal/msg", "demosmp/internal/sim"},
+	// policy reads the §6 ledger's record type to calibrate its cost
+	// model; obs is vocabulary-tier, so the edge stays downward.
+	"demosmp/internal/policy": {"demosmp/internal/addr", "demosmp/internal/msg", "demosmp/internal/obs",
+		"demosmp/internal/sim"},
 
 	// kernel layer: the only package allowed to drive netw delivery
 	"demosmp/internal/kernel": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/link",
@@ -56,7 +59,8 @@ var demosLayers = map[string][]string{
 		"demosmp/internal/proc", "demosmp/internal/sim"},
 	"demosmp/internal/memsched": {"demosmp/internal/addr", "demosmp/internal/msg", "demosmp/internal/proc"},
 	"demosmp/internal/procmgr": {"demosmp/internal/addr", "demosmp/internal/link", "demosmp/internal/memsched",
-		"demosmp/internal/msg", "demosmp/internal/policy", "demosmp/internal/proc"},
+		"demosmp/internal/msg", "demosmp/internal/policy", "demosmp/internal/proc",
+		"demosmp/internal/sim"},
 	"demosmp/internal/shell": {"demosmp/internal/addr", "demosmp/internal/link", "demosmp/internal/msg",
 		"demosmp/internal/proc", "demosmp/internal/procmgr", "demosmp/internal/switchboard"},
 	"demosmp/internal/switchboard": {"demosmp/internal/link", "demosmp/internal/proc"},
@@ -68,6 +72,13 @@ var demosLayers = map[string][]string{
 	"demosmp/internal/chaos": {"demosmp/internal/addr", "demosmp/internal/core",
 		"demosmp/internal/kernel", "demosmp/internal/msg", "demosmp/internal/netw",
 		"demosmp/internal/obs", "demosmp/internal/sim", "demosmp/internal/workload"},
+
+	// experiment plane: the policy tournament harness drives composed
+	// clusters like chaos does, so it also sits above core; the simulator
+	// never imports it back
+	"demosmp/internal/experiment": {"demosmp/internal/addr", "demosmp/internal/core",
+		"demosmp/internal/kernel", "demosmp/internal/link", "demosmp/internal/msg",
+		"demosmp/internal/policy", "demosmp/internal/sim", "demosmp/internal/workload"},
 
 	// composition root and public surface
 	"demosmp/internal/core": {"demosmp/internal/addr", "demosmp/internal/dvm", "demosmp/internal/fs",
@@ -90,8 +101,9 @@ var demosLayers = map[string][]string{
 	"demosmp/cmd/demosnet": {"demosmp", "demosmp/internal/addr", "demosmp/internal/kernel",
 		"demosmp/internal/link", "demosmp/internal/obs"},
 	"demosmp/cmd/experiments": {"demosmp", "demosmp/internal/addr", "demosmp/internal/chaos",
-		"demosmp/internal/kernel", "demosmp/internal/link", "demosmp/internal/msg",
-		"demosmp/internal/netw", "demosmp/internal/obs", "demosmp/internal/sim",
+		"demosmp/internal/core", "demosmp/internal/experiment", "demosmp/internal/kernel",
+		"demosmp/internal/link", "demosmp/internal/msg", "demosmp/internal/netw",
+		"demosmp/internal/obs", "demosmp/internal/policy", "demosmp/internal/sim",
 		"demosmp/internal/trace", "demosmp/internal/workload"},
 	"demosmp/examples/faulttolerance": {"demosmp"},
 	"demosmp/examples/fileserver":     {"demosmp"},

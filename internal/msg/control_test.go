@@ -68,7 +68,7 @@ func TestLoadReportRoundTrip(t *testing.T) {
 	in := LoadReport{
 		Machine: 3, Ready: 4, ProcCount: 7, MemUsedKB: 1234, CPUPercent: 86,
 		Procs: []ProcLoad{
-			{PID: pid(1, 2), CPUMicros: 9999, MsgsOut: 4, TopPeer: 2, TopPeerMsgs: 3},
+			{PID: pid(1, 2), CPUMicros: 9999, MemKB: 64, MsgsOut: 4, TopPeer: 2, TopPeerMsgs: 3},
 			{PID: pid(3, 4), CPUMicros: 1},
 		},
 	}

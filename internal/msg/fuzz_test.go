@@ -56,7 +56,7 @@ func FuzzControlDecoders(f *testing.F) {
 	f.Add(LinkUpdateBatch{Migrated: addr.ProcessID{Creator: 3, Local: 4}, Machine: 5, Senders: []addr.ProcessID{{Creator: 1, Local: 2}, {Creator: 2, Local: 9}}}.Encode())
 	f.Add(MoveRead{PID: addr.ProcessID{Creator: 1, Local: 2}, AreaOff: 4096, Off: 128, Len: 256, Xfer: 7}.Encode())
 	f.Add(XferStatus{Xfer: 9, OK: true}.Encode())
-	f.Add(LoadReport{Machine: 2, Procs: []ProcLoad{{PID: addr.ProcessID{Creator: 1, Local: 1}}}}.Encode())
+	f.Add(LoadReport{Machine: 2, Procs: []ProcLoad{{PID: addr.ProcessID{Creator: 1, Local: 1}, MemKB: 32}}}.Encode())
 	f.Add(CreateProcess{Tag: 1, Name: "x", Args: []string{"y"}}.Encode())
 	f.Add(CreateDone{PID: addr.ProcessID{Creator: 1, Local: 2}, Machine: 3, Tag: 4}.Encode())
 	f.Fuzz(func(t *testing.T, b []byte) {
@@ -113,7 +113,7 @@ func TestControlRoundTripAll(t *testing.T) {
 			func(b []byte) (any, error) { return DecodeCreateProcess(b) }},
 		{"CreateDone", CreateDone{PID: pid, Machine: 1, Tag: 2},
 			func(b []byte) (any, error) { return DecodeCreateDone(b) }},
-		{"LoadReport", LoadReport{Machine: 3, Procs: []ProcLoad{{PID: pid, CPUMicros: 10, MsgsOut: 3, TopPeer: 2, TopPeerMsgs: 1}}},
+		{"LoadReport", LoadReport{Machine: 3, Procs: []ProcLoad{{PID: pid, CPUMicros: 10, MemKB: 48, MsgsOut: 3, TopPeer: 2, TopPeerMsgs: 1}}},
 			func(b []byte) (any, error) { return DecodeLoadReport(b) }},
 	}
 	for _, tc := range cases {

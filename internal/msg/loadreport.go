@@ -19,6 +19,7 @@ const OpLoadReport Op = 200
 type ProcLoad struct {
 	PID         addr.ProcessID
 	CPUMicros   uint32 // CPU consumed since the last report
+	MemKB       uint32 // resident image size
 	MsgsOut     uint32 // messages sent since the last report
 	TopPeer     addr.MachineID
 	TopPeerMsgs uint32 // messages to TopPeer since the last report
@@ -47,6 +48,7 @@ func (r LoadReport) AppendTo(b []byte) []byte {
 	for _, p := range r.Procs {
 		b = addr.EncodePID(b, p.PID)
 		b = binary.LittleEndian.AppendUint32(b, p.CPUMicros)
+		b = binary.LittleEndian.AppendUint32(b, p.MemKB)
 		b = binary.LittleEndian.AppendUint32(b, p.MsgsOut)
 		b = binary.LittleEndian.AppendUint16(b, uint16(p.TopPeer))
 		b = binary.LittleEndian.AppendUint32(b, p.TopPeerMsgs)
@@ -56,7 +58,7 @@ func (r LoadReport) AppendTo(b []byte) []byte {
 
 // Encode serializes the report.
 func (r LoadReport) Encode() []byte {
-	return r.AppendTo(make([]byte, 0, 12+len(r.Procs)*16))
+	return r.AppendTo(make([]byte, 0, 13+len(r.Procs)*22))
 }
 
 // DecodeLoadReport parses a load report.
@@ -78,14 +80,15 @@ func DecodeLoadReport(b []byte) (LoadReport, error) {
 		if p.PID, b, err = addr.DecodePID(b); err != nil {
 			return r, fmt.Errorf("msg: LoadReport proc %d: %w", i, err)
 		}
-		if len(b) < 14 {
+		if len(b) < 18 {
 			return r, fmt.Errorf("msg: LoadReport proc %d truncated", i)
 		}
 		p.CPUMicros = binary.LittleEndian.Uint32(b)
-		p.MsgsOut = binary.LittleEndian.Uint32(b[4:])
-		p.TopPeer = addr.MachineID(binary.LittleEndian.Uint16(b[8:]))
-		p.TopPeerMsgs = binary.LittleEndian.Uint32(b[10:])
-		b = b[14:]
+		p.MemKB = binary.LittleEndian.Uint32(b[4:])
+		p.MsgsOut = binary.LittleEndian.Uint32(b[8:])
+		p.TopPeer = addr.MachineID(binary.LittleEndian.Uint16(b[12:]))
+		p.TopPeerMsgs = binary.LittleEndian.Uint32(b[14:])
+		b = b[18:]
 		r.Procs = append(r.Procs, p)
 	}
 	return r, nil

@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+)
+
+func machines(n int) []addr.MachineID {
+	out := make([]addr.MachineID, n)
+	for i := range out {
+		out[i] = addr.MachineID(i + 1)
+	}
+	return out
+}
+
+func TestCollectorSweepOnRoundClose(t *testing.T) {
+	c := NewCollector(machines(3), 0)
+	if c.Observe(10, load(1, 50)) || c.Observe(11, load(2, 60)) {
+		t.Fatal("swept before the round closed")
+	}
+	if !c.Observe(12, load(3, 70)) {
+		t.Fatal("highest machine must close the round")
+	}
+	if c.Sweeps() != 1 {
+		t.Fatalf("sweeps = %d", c.Sweeps())
+	}
+	v := c.View(12)
+	if len(v) != 3 || v[0].Machine != 1 || v[1].Machine != 2 || v[2].Machine != 3 {
+		t.Fatalf("view: %+v", v)
+	}
+	// Next round behaves identically.
+	if c.Observe(20, load(1, 10)) {
+		t.Fatal("new round swept early")
+	}
+	if !c.Observe(22, load(3, 10)) || c.Sweeps() != 2 {
+		t.Fatal("second round close")
+	}
+}
+
+func TestCollectorWrapDetection(t *testing.T) {
+	// Machine 3 (the closer) crashed: rounds must still close when some
+	// machine reports twice.
+	c := NewCollector(machines(3), 0)
+	c.Observe(10, load(1, 50))
+	c.Observe(11, load(2, 60))
+	// m3 never reports; m1 starts the next round.
+	if !c.Observe(20, load(1, 55)) {
+		t.Fatal("repeat must close the stale round")
+	}
+	if c.Sweeps() != 1 {
+		t.Fatalf("sweeps = %d", c.Sweeps())
+	}
+	// The wrap started a fresh round containing m1 only; m2's repeat must
+	// not sweep again immediately.
+	if c.Observe(21, load(2, 61)) {
+		t.Fatal("m2 is first-time in the new round")
+	}
+	if !c.Observe(30, load(1, 56)) {
+		t.Fatal("second wrap must sweep")
+	}
+}
+
+func TestCollectorViewLatestAndAge(t *testing.T) {
+	c := NewCollector(machines(2), 100)
+	c.Observe(10, load(1, 50))
+	c.Observe(11, load(2, 60))
+	c.Observe(50, load(1, 80))
+	v := c.View(60)
+	if len(v) != 2 || v[0].CPUPercent != 80 {
+		t.Fatalf("view must hold the freshest sample: %+v", v)
+	}
+	// At t=150, m2's sample (t=11) is past MaxAge=100; m1's (t=50) is not.
+	v = c.View(150)
+	if len(v) != 1 || v[0].Machine != 1 {
+		t.Fatalf("stale sample survived: %+v", v)
+	}
+}
+
+func TestCollectorSingleMachine(t *testing.T) {
+	c := NewCollector(machines(1), 0)
+	for i := 0; i < 3; i++ {
+		if !c.Observe(10, load(1, 50)) {
+			t.Fatal("single-machine rounds close on every report")
+		}
+	}
+	if c.Sweeps() != 3 {
+		t.Fatalf("sweeps = %d", c.Sweeps())
+	}
+}
+
+func TestCollectorDeterministicView(t *testing.T) {
+	// Same report sequence → byte-identical views, regardless of map
+	// internals.
+	run := func() []msg.LoadReport {
+		c := NewCollector(machines(5), 0)
+		for m := 5; m >= 1; m-- {
+			c.Observe(10, load(addr.MachineID(m), uint8(m*10)))
+		}
+		return c.View(10)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("views differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,163 @@
+package policy
+
+import (
+	"testing"
+
+	"demosmp/internal/addr"
+	"demosmp/internal/msg"
+)
+
+func qload(m addr.MachineID, ready uint16, procs ...msg.ProcLoad) msg.LoadReport {
+	return msg.LoadReport{Machine: m, Ready: ready, CPUPercent: 100, Procs: procs}
+}
+
+func TestQueueDepthMovesFromDeepest(t *testing.T) {
+	p := NewQueueDepth(4, 3, 1000)
+	p.MaxMoves = 1
+	loads := []msg.LoadReport{
+		qload(1, 8, pl(1, 5000), pl(2, 9000)),
+		qload(2, 1),
+		qload(3, 4),
+	}
+	d := p.Decide(0, loads)
+	if len(d) != 1 || d[0].PID != pid(2) || d[0].From != 1 || d[0].Dest != 2 {
+		t.Fatalf("queue-depth: %+v", d)
+	}
+}
+
+func TestQueueDepthSeesThroughSaturatedCPU(t *testing.T) {
+	// Both machines at 100% CPU — Threshold is blind here (no gap), but
+	// the 10-deep queue vs the 1-deep queue still shows the imbalance.
+	th := NewThreshold(80, 20, 1000)
+	loads := []msg.LoadReport{
+		qload(1, 10, pl(1, 5000), pl(2, 9000)),
+		qload(2, 1, pl(3, 5000)),
+	}
+	if d := th.Decide(0, loads); d != nil {
+		t.Fatalf("threshold should be blind under saturation: %v", d)
+	}
+	qd := NewQueueDepth(4, 3, 1000)
+	if d := qd.Decide(0, loads); len(d) == 0 {
+		t.Fatal("queue-depth must see the backlog")
+	}
+}
+
+func TestQueueDepthHysteresisAndSpread(t *testing.T) {
+	p := NewQueueDepth(4, 3, 1000)
+	// Gap too small: nothing moves.
+	if d := p.Decide(0, []msg.LoadReport{qload(1, 4, pl(1, 9000)), qload(2, 2)}); d != nil {
+		t.Fatalf("moved inside the hysteresis gap: %v", d)
+	}
+	// A burst spreads: each order updates the scratch depths, so the
+	// second pick can choose a different destination.
+	p2 := NewQueueDepth(2, 2, 1000)
+	p2.MaxMoves = 2
+	loads := []msg.LoadReport{
+		qload(1, 8, pl(1, 5000), pl(2, 6000), pl(3, 7000)),
+		qload(2, 0),
+		qload(3, 1),
+	}
+	d := p2.Decide(0, loads)
+	if len(d) != 2 {
+		t.Fatalf("burst: %+v", d)
+	}
+	if d[0].PID == d[1].PID {
+		t.Fatalf("same process ordered twice: %+v", d)
+	}
+}
+
+func TestMemoryPressure(t *testing.T) {
+	p := NewMemoryPressure(1000, 500, 1000)
+	p.MaxMoves = 1
+	loads := []msg.LoadReport{
+		{Machine: 1, MemUsedKB: 2000, Procs: []msg.ProcLoad{
+			{PID: pid(1), MemKB: 300}, {PID: pid(2), MemKB: 900},
+		}},
+		{Machine: 2, MemUsedKB: 100},
+	}
+	d := p.Decide(0, loads)
+	if len(d) != 1 || d[0].PID != pid(2) || d[0].Dest != 2 {
+		t.Fatalf("memory-pressure: %+v", d)
+	}
+	// Below the high water nothing moves.
+	p2 := NewMemoryPressure(5000, 500, 1000)
+	if d := p2.Decide(0, loads); d != nil {
+		t.Fatalf("moved below high water: %v", d)
+	}
+}
+
+func TestAffinityAwareCostGate(t *testing.T) {
+	cost := DefaultCostModel()
+	p := NewAffinityAware(1, 1000, cost)
+	// Enough traffic to repay the price.
+	needed := uint32(cost.MigrationMicros()/(cost.CrossMsgMicros*cost.PaybackPeriods)) + 1
+	loads := []msg.LoadReport{
+		{Machine: 1, CPUPercent: 50, Procs: []msg.ProcLoad{
+			{PID: pid(1), TopPeer: 2, TopPeerMsgs: needed},
+			{PID: pid(2), TopPeer: 2, TopPeerMsgs: 1}, // traffic never repays
+		}},
+		{Machine: 2, CPUPercent: 10},
+	}
+	d := p.Decide(0, loads)
+	if len(d) != 1 || d[0].PID != pid(1) {
+		t.Fatalf("cost gate: %+v", d)
+	}
+}
+
+func TestAffinityAwareDestinationHeadroom(t *testing.T) {
+	p := NewAffinityAware(1, 1000, nil)
+	loads := []msg.LoadReport{
+		{Machine: 1, CPUPercent: 50, Procs: []msg.ProcLoad{
+			{PID: pid(1), TopPeer: 2, TopPeerMsgs: 10000},
+		}},
+		{Machine: 2, CPUPercent: 99}, // too hot to absorb anything
+	}
+	if d := p.Decide(0, loads); d != nil {
+		t.Fatalf("moved onto a saturated destination: %v", d)
+	}
+	// Unknown destinations (no sample in the view) are skipped too.
+	loads2 := []msg.LoadReport{
+		{Machine: 1, CPUPercent: 50, Procs: []msg.ProcLoad{
+			{PID: pid(1), TopPeer: 7, TopPeerMsgs: 10000},
+		}},
+	}
+	if d := p.Decide(0, loads2); d != nil {
+		t.Fatalf("moved onto an unknown destination: %v", d)
+	}
+}
+
+func TestCompositeWeightsAndCap(t *testing.T) {
+	qd := NewQueueDepth(2, 2, 1000)
+	qd.MaxMoves = 4
+	aff := NewAffinityAware(1, 1000, nil)
+	comp := NewComposite(2, Rule{Policy: aff, Weight: 10}, Rule{Policy: qd, Weight: 1})
+	loads := []msg.LoadReport{
+		// pid1 qualifies for both rules: affinity (weight 10) must win
+		// the conflict.
+		{Machine: 1, Ready: 8, CPUPercent: 80, Procs: []msg.ProcLoad{
+			{PID: pid(1), CPUMicros: 9000, TopPeer: 3, TopPeerMsgs: 10000},
+			{PID: pid(2), CPUMicros: 5000},
+			{PID: pid(3), CPUMicros: 4000},
+		}},
+		{Machine: 2, Ready: 0, CPUPercent: 5},
+		{Machine: 3, Ready: 1, CPUPercent: 10},
+	}
+	d := comp.Decide(0, loads)
+	if len(d) != 2 {
+		t.Fatalf("cap: %+v", d)
+	}
+	if d[0].PID != pid(1) || d[0].Dest != 3 {
+		t.Fatalf("weight conflict must go to affinity: %+v", d[0])
+	}
+	if comp.Name() != "composite" {
+		t.Fatal("name")
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	if NewQueueDepth(1, 1, 1).Name() != "queue-depth" ||
+		NewMemoryPressure(1, 1, 1).Name() != "memory-pressure" ||
+		NewAffinityAware(1, 1, nil).Name() != "affinity-aware" {
+		t.Fatal("policy names")
+	}
+}

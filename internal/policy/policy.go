@@ -13,6 +13,7 @@ package policy
 
 import (
 	"fmt"
+	"sort"
 
 	"demosmp/internal/addr"
 	"demosmp/internal/msg"
@@ -120,20 +121,26 @@ func (p *Threshold) Decide(now sim.Time, loads []msg.LoadReport) []Decision {
 type CommAffinity struct {
 	MinMsgs  uint32 // messages per report period to justify a move
 	Cooldown sim.Time
+	MaxMoves int // orders per call; a burst of chatty processes must not
+	// turn into hundreds of simultaneous migrations
 
 	lastMove map[addr.ProcessID]sim.Time
 }
 
 // NewCommAffinity returns an affinity policy.
 func NewCommAffinity(minMsgs uint32, cooldown sim.Time) *CommAffinity {
-	return &CommAffinity{MinMsgs: minMsgs, Cooldown: cooldown,
+	return &CommAffinity{MinMsgs: minMsgs, Cooldown: cooldown, MaxMoves: 4,
 		lastMove: make(map[addr.ProcessID]sim.Time)}
 }
 
 func (p *CommAffinity) Name() string { return "comm-affinity" }
 
 func (p *CommAffinity) Decide(now sim.Time, loads []msg.LoadReport) []Decision {
-	var out []Decision
+	type cand struct {
+		d    Decision
+		msgs uint32
+	}
+	var cands []cand
 	for i := range loads {
 		l := &loads[i]
 		for j := range l.Procs {
@@ -147,12 +154,31 @@ func (p *CommAffinity) Decide(now sim.Time, loads []msg.LoadReport) []Decision {
 			if last, ok := p.lastMove[pl.PID]; ok && now-last < p.Cooldown {
 				continue
 			}
-			p.lastMove[pl.PID] = now
-			out = append(out, Decision{
+			cands = append(cands, cand{msgs: pl.TopPeerMsgs, d: Decision{
 				PID: pl.PID, From: l.Machine, Dest: pl.TopPeer,
 				Reason: fmt.Sprintf("%d msgs/period to m%d", pl.TopPeerMsgs, uint16(pl.TopPeer)),
-			})
+			}})
 		}
+	}
+	// Spend a capped budget on the chattiest processes first; the rest
+	// keep their cooldown clear and get another shot next sweep.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.msgs != b.msgs {
+			return a.msgs > b.msgs
+		}
+		if a.d.PID.Creator != b.d.PID.Creator {
+			return a.d.PID.Creator < b.d.PID.Creator
+		}
+		return a.d.PID.Local < b.d.PID.Local
+	})
+	var out []Decision
+	for _, c := range cands {
+		out = append(out, c.d)
+	}
+	out = capMoves(out, p.MaxMoves)
+	for _, d := range out {
+		p.lastMove[d.PID] = now
 	}
 	return out
 }
@@ -165,6 +191,7 @@ type Drain struct {
 	Dying addr.MachineID
 
 	ordered map[addr.ProcessID]bool
+	next    int // round-robin cursor over the surviving machines
 }
 
 // NewDrain returns a policy that empties machine m.
@@ -176,28 +203,37 @@ func (p *Drain) Name() string { return "drain" }
 
 func (p *Drain) Decide(now sim.Time, loads []msg.LoadReport) []Decision {
 	var dying *msg.LoadReport
-	var calmest *msg.LoadReport
+	var targets []*msg.LoadReport
 	for i := range loads {
 		l := &loads[i]
 		if l.Machine == p.Dying {
 			dying = l
 			continue
 		}
-		if calmest == nil || l.CPUPercent < calmest.CPUPercent {
-			calmest = l
-		}
+		targets = append(targets, l)
 	}
-	if dying == nil || calmest == nil {
+	if dying == nil || len(targets) == 0 {
 		return nil
 	}
+	// Spread evacuees round-robin across the survivors, calmest first —
+	// dumping a whole machine's worth of processes on the single calmest
+	// machine would just move the hotspot.
+	sort.Slice(targets, func(i, j int) bool {
+		a, b := targets[i], targets[j]
+		if a.CPUPercent != b.CPUPercent {
+			return a.CPUPercent < b.CPUPercent
+		}
+		return a.Machine < b.Machine
+	})
 	var out []Decision
-	dest := calmest.Machine
 	for i := range dying.Procs {
 		pl := &dying.Procs[i]
 		if p.ordered[pl.PID] {
 			continue
 		}
 		p.ordered[pl.PID] = true
+		dest := targets[p.next%len(targets)].Machine
+		p.next++
 		out = append(out, Decision{
 			PID: pl.PID, From: p.Dying, Dest: dest,
 			Reason: "evacuating dying processor",

@@ -113,6 +113,34 @@ func TestCommAffinity(t *testing.T) {
 	}
 }
 
+func TestCommAffinityMaxMoves(t *testing.T) {
+	p := NewCommAffinity(10, 1000)
+	p.MaxMoves = 2
+	// Five qualifying processes; traffic ranks pid5 > pid4 > the rest.
+	loads := []msg.LoadReport{
+		{Machine: 1, Procs: []msg.ProcLoad{
+			{PID: pid(1), TopPeer: 2, TopPeerMsgs: 20},
+			{PID: pid(2), TopPeer: 2, TopPeerMsgs: 30},
+			{PID: pid(3), TopPeer: 2, TopPeerMsgs: 40},
+			{PID: pid(4), TopPeer: 2, TopPeerMsgs: 50},
+			{PID: pid(5), TopPeer: 2, TopPeerMsgs: 60},
+		}},
+	}
+	d := p.Decide(0, loads)
+	if len(d) != 2 {
+		t.Fatalf("cap ignored: %v", d)
+	}
+	if d[0].PID != pid(5) || d[1].PID != pid(4) {
+		t.Fatalf("cap must keep the chattiest first: %v", d)
+	}
+	// The capped-out processes were not charged a cooldown: they are
+	// eligible again on the very next sweep.
+	d2 := p.Decide(100, loads)
+	if len(d2) != 2 || d2[0].PID != pid(3) || d2[1].PID != pid(2) {
+		t.Fatalf("next sweep: %v", d2)
+	}
+}
+
 func TestDrain(t *testing.T) {
 	p := NewDrain(2)
 	loads := []msg.LoadReport{
@@ -124,14 +152,39 @@ func TestDrain(t *testing.T) {
 	if len(d) != 2 {
 		t.Fatalf("drain: %v", d)
 	}
+	// Round-robin starting from the calmest survivor: m3 then m1.
+	if d[0].Dest != 3 || d[1].Dest != 1 {
+		t.Fatalf("drain must spread evacuees round-robin: %+v", d)
+	}
 	for _, dec := range d {
-		if dec.From != 2 || dec.Dest != 3 {
-			t.Fatalf("drain target: %+v (want calmest m3)", dec)
+		if dec.From != 2 {
+			t.Fatalf("drain source: %+v", dec)
 		}
 	}
 	// Already-ordered processes are not re-ordered.
 	if d2 := p.Decide(100, loads); d2 != nil {
 		t.Fatalf("drain repeated orders: %v", d2)
+	}
+}
+
+func TestDrainSpreadsEvacuees(t *testing.T) {
+	// Six evacuees over three survivors: no survivor receives more than
+	// its round-robin share — the old behavior dumped all six on one.
+	procs := []msg.ProcLoad{pl(1, 1), pl(2, 1), pl(3, 1), pl(4, 1), pl(5, 1), pl(6, 1)}
+	p := NewDrain(9)
+	loads := []msg.LoadReport{
+		load(9, 50, procs...), load(1, 30), load(2, 20), load(3, 10),
+	}
+	d := p.Decide(0, loads)
+	if len(d) != 6 {
+		t.Fatalf("drain: %v", d)
+	}
+	got := map[addr.MachineID]int{}
+	for _, dec := range d {
+		got[dec.Dest]++
+	}
+	if got[1] != 2 || got[2] != 2 || got[3] != 2 {
+		t.Fatalf("uneven evacuation spread: %v", got)
 	}
 }
 

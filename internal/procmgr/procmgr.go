@@ -18,6 +18,7 @@ import (
 	"demosmp/internal/msg"
 	"demosmp/internal/policy"
 	"demosmp/internal/proc"
+	"demosmp/internal/sim"
 )
 
 // Kind is the registry name of the process manager body.
@@ -157,9 +158,23 @@ type Manager struct {
 	MigrationsOrdered uint64
 	// PolicyDecisions counts policy-driven orders.
 	PolicyDecisions uint64
+	// PolicySweeps counts closed report rounds handed to the policy.
+	PolicySweeps uint64
+	// CollectMaxAge bounds how stale a machine's sample may be before the
+	// collector drops it from the policy's view (0 keeps all).
+	CollectMaxAge sim.Time
+	// DecisionTrace records policy orders as "now policy pid from->dest
+	// reason" lines (bounded); the shard-invariance tests compare it
+	// byte-for-byte across shard counts.
+	DecisionTrace []string
 
-	pol policy.Policy // not serialized; reattached via SetPolicy
+	pol  policy.Policy     // not serialized; reattached via SetPolicy
+	coll *policy.Collector // rebuilt lazily (after New or Restore)
 }
+
+// maxDecisionTrace bounds DecisionTrace; beyond it orders still execute
+// but are no longer recorded.
+const maxDecisionTrace = 8192
 
 // New returns a process manager with the given (possibly nil) policy.
 func New(pol policy.Policy) *Manager {
@@ -258,17 +273,24 @@ func (m *Manager) handleLoadReport(ctx proc.Context, d proc.Delivery) {
 	if m.pol == nil {
 		return
 	}
-	loads := make([]msg.LoadReport, 0, len(m.Loads))
-	machines := make([]addr.MachineID, 0, len(m.Loads))
-	for mm := range m.Loads {
-		machines = append(machines, mm)
+	// Feed the collector and run the policy once per closed round over
+	// the assembled cluster view, not once per report over a half-stale
+	// one. The collector's sweep signal depends only on report arrival
+	// order at this process, which is canonical under sharding — so
+	// decision times and contents are bit-identical across shard counts.
+	if m.coll == nil {
+		m.coll = policy.NewCollector(m.Machines, m.CollectMaxAge)
 	}
-	sort.Slice(machines, func(i, j int) bool { return machines[i] < machines[j] })
-	for _, mm := range machines {
-		loads = append(loads, m.Loads[mm])
+	if !m.coll.Observe(ctx.Now(), rep) {
+		return
 	}
-	for _, dec := range m.pol.Decide(ctx.Now(), loads) {
+	m.PolicySweeps++
+	for _, dec := range m.pol.Decide(ctx.Now(), m.coll.View(ctx.Now())) {
 		m.PolicyDecisions++
+		if len(m.DecisionTrace) < maxDecisionTrace {
+			m.DecisionTrace = append(m.DecisionTrace, fmt.Sprintf(
+				"%d %s %v %v->%v %s", ctx.Now(), m.pol.Name(), dec.PID, dec.From, dec.Dest, dec.Reason))
+		}
 		ctx.Logf("policy %s: move %v %v->%v (%s)", m.pol.Name(), dec.PID, dec.From, dec.Dest, dec.Reason)
 		m.order(ctx, dec.PID, dec.From, dec.Dest, link.NilID)
 	}

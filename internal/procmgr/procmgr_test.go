@@ -153,17 +153,28 @@ func TestSelfMigrationHintHonored(t *testing.T) {
 
 func TestLoadReportDrivesPolicy(t *testing.T) {
 	m := procmgr.New(policy.NewThreshold(80, 20, 1000))
+	m.SetMachines([]addr.MachineID{1, 2})
 	ctx := proctest.New()
 	hot := msg.LoadReport{Machine: 1, CPUPercent: 95, Procs: []msg.ProcLoad{
 		{PID: pid(1), CPUMicros: 90000},
 		{PID: pid(2), CPUMicros: 90000},
 	}}
 	cold := msg.LoadReport{Machine: 2, CPUPercent: 1}
-	ctx.Push(proc.Delivery{Op: msg.OpLoadReport, Body: cold.Encode()})
+	// The policy runs when the round closes — i.e. when the highest
+	// machine's report lands — over the full assembled view.
 	ctx.Push(proc.Delivery{Op: msg.OpLoadReport, Body: hot.Encode()})
 	step(t, m, ctx)
-	if m.PolicyDecisions != 1 {
-		t.Fatalf("decisions = %d", m.PolicyDecisions)
+	if m.PolicySweeps != 0 || m.PolicyDecisions != 0 {
+		t.Fatalf("decided on a half-assembled view: sweeps=%d decisions=%d",
+			m.PolicySweeps, m.PolicyDecisions)
+	}
+	ctx.Push(proc.Delivery{Op: msg.OpLoadReport, Body: cold.Encode()})
+	step(t, m, ctx)
+	if m.PolicySweeps != 1 || m.PolicyDecisions != 1 {
+		t.Fatalf("sweeps=%d decisions=%d", m.PolicySweeps, m.PolicyDecisions)
+	}
+	if len(m.DecisionTrace) != 1 {
+		t.Fatalf("trace: %v", m.DecisionTrace)
 	}
 	sent, _ := ctx.LastSend()
 	if sent.Op != msg.OpMigrateRequest {

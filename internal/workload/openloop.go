@@ -35,6 +35,27 @@ type OpenLoop struct {
 	// PerMachine is how many jobs each machine receives over the run. The
 	// stream ends after this many arrivals, bounding "run until idle".
 	PerMachine int
+
+	// WaveAmp and WavePeriod superimpose a diurnal load wave: the
+	// effective arrival rate swings by ±WaveAmp (0 < WaveAmp < 1) over
+	// each WavePeriod. WaveSpread staggers machine phases so the wave
+	// rolls around the cluster — machine m leads by m mod WaveSpread
+	// spread-fractions of a period (0 or 1 keeps every machine in phase).
+	WaveAmp    float64
+	WavePeriod sim.Time
+	WaveSpread int
+
+	// HotEvery and HotFactor skew load: every HotEvery-th machine
+	// (machine % HotEvery == 0) receives HotFactor× the arrival rate,
+	// giving balancing policies a persistent imbalance to fix. 0 disables.
+	HotEvery  int
+	HotFactor float64
+
+	// Spin makes jobs CPU-bound Spinners instead of timer-driven Jobs:
+	// each job burns its service demand as real quantum budget, so load
+	// reports show genuine CPU%/queue-depth pressure. This is the mode
+	// the migration policies are evaluated under.
+	Spin bool
 }
 
 // rng64 is a splitmix64 generator. The simulation's determinism lint
@@ -65,6 +86,8 @@ type Arrivals struct {
 	rng     rng64
 	at      sim.Time
 	emitted int
+	boost   float64 // hot-machine rate multiplier (1 = nominal)
+	phase   float64 // this machine's diurnal phase offset, radians
 }
 
 // NewArrivals returns machine m's private arrival stream.
@@ -78,7 +101,16 @@ func NewArrivals(cfg OpenLoop, machine int) *Arrivals {
 	if cfg.LongService == 0 {
 		cfg.LongService = 5000
 	}
-	a := &Arrivals{cfg: cfg}
+	if cfg.WaveAmp > 0.9 {
+		cfg.WaveAmp = 0.9 // keep the modulated rate strictly positive
+	}
+	a := &Arrivals{cfg: cfg, boost: 1}
+	if cfg.HotEvery > 0 && cfg.HotFactor > 0 && machine%cfg.HotEvery == 0 {
+		a.boost = cfg.HotFactor
+	}
+	if cfg.WaveSpread > 1 {
+		a.phase = 2 * math.Pi * float64(machine%cfg.WaveSpread) / float64(cfg.WaveSpread)
+	}
 	// Substream split: hash the seed with the machine id through one
 	// splitmix step so adjacent machines land in unrelated regions.
 	a.rng.s = uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(machine)*0xda942042e4dd58b5
@@ -92,8 +124,16 @@ func (a *Arrivals) Next() (at, service sim.Time, ok bool) {
 		return 0, 0, false
 	}
 	a.emitted++
+	mean := float64(a.cfg.MeanGap) / a.boost
+	if a.cfg.WaveAmp > 0 && a.cfg.WavePeriod > 0 {
+		// The wave's rate multiplier is evaluated at the previous
+		// arrival's clock — a pure function of this stream's own
+		// history, so it cannot depend on shard count.
+		frac := float64(a.at%a.cfg.WavePeriod) / float64(a.cfg.WavePeriod)
+		mean /= 1 + a.cfg.WaveAmp*math.Sin(2*math.Pi*frac+a.phase)
+	}
 	u := a.rng.float64()
-	gap := sim.Time(-float64(a.cfg.MeanGap) * math.Log(1-u))
+	gap := sim.Time(-mean * math.Log(1-u))
 	if gap < 1 {
 		gap = 1
 	}
@@ -154,4 +194,57 @@ func (j *Job) Snapshot() ([]byte, error) {
 // Restore implements proc.Body.
 func (j *Job) Restore(data []byte) error {
 	return gob.NewDecoder(bytes.NewReader(data)).Decode(j)
+}
+
+// SpinnerKind is the registry name of Spinner.
+const SpinnerKind = "wl-spinner"
+
+// Spinner is a CPU-bound task: it burns Work instructions of real quantum
+// budget and exits. Unlike Job (timer-driven, costs the CPU nothing) a
+// Spinner occupies the run queue and accumulates CPU time, so it shows up
+// in load reports exactly the way the migration policies need — CPU%,
+// ready-queue depth and per-process CPUMicros all move. It is migratable
+// mid-burn: Work is its entire state.
+type Spinner struct {
+	Work int // instructions remaining
+}
+
+// Kind implements proc.Body.
+func (s *Spinner) Kind() string { return SpinnerKind }
+
+// Step implements proc.Body.
+func (s *Spinner) Step(ctx proc.Context, budget int) (int, proc.Status) {
+	// Drain (and ignore) anything delivered; a spinner only computes.
+	for {
+		if _, ok := ctx.Recv(); !ok {
+			break
+		}
+	}
+	if s.Work <= 0 {
+		return 0, proc.Status{State: proc.Exited}
+	}
+	n := budget
+	if n < 1 {
+		n = 1
+	}
+	if n > s.Work {
+		n = s.Work
+	}
+	s.Work -= n
+	if s.Work <= 0 {
+		return n, proc.Status{State: proc.Exited}
+	}
+	return n, proc.Status{State: proc.Runnable}
+}
+
+// Snapshot implements proc.Body.
+func (s *Spinner) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s)
+	return buf.Bytes(), err
+}
+
+// Restore implements proc.Body.
+func (s *Spinner) Restore(data []byte) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(s)
 }

@@ -654,5 +654,6 @@ func Registry() *proc.Registry {
 	reg.Register(NullKind, func() proc.Body { return &Null{} })
 	reg.Register(RecorderKind, func() proc.Body { return &Recorder{} })
 	reg.Register(JobKind, func() proc.Body { return &Job{} })
+	reg.Register(SpinnerKind, func() proc.Body { return &Spinner{} })
 	return reg
 }
